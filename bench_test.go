@@ -1,0 +1,333 @@
+// Benchmark harness: one testing.B per paper table/figure (DESIGN.md
+// per-experiment index), plus ablation benchmarks for the design
+// choices the oracle makes (ring vs tree collectives, contention φ,
+// memory reuse γ, pipeline segment count, flow-level vs closed-form
+// communication). Run with:
+//
+//	go test -bench=. -benchmem
+package paradl_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"paradl"
+	"paradl/internal/cluster"
+	"paradl/internal/collective"
+	"paradl/internal/core"
+	"paradl/internal/measure"
+	"paradl/internal/profile"
+	"paradl/internal/report"
+	"paradl/internal/simnet"
+	"paradl/internal/strategy"
+)
+
+// ---- One benchmark per paper artefact ----
+
+func BenchmarkTable3Oracle(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table3("resnet50", 64, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Models(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := e.Table5(); len(rows) != 4 {
+			b.Fatal("bad table 5")
+		}
+	}
+}
+
+func BenchmarkTable6Bottlenecks(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table6("vgg16", 64, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := report.NewEnv() // fresh env: the grid is cached per env
+		if _, err := e.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4CosmoFlow(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5DsScaling(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Congestion(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := e.Fig6(6, 0.3, int64(i)); len(s) != 2 {
+			b.Fatal("bad fig 6")
+		}
+	}
+}
+
+func BenchmarkFig7WeightUpdate(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := e.Fig7(); len(rows) != 4 {
+			b.Fatal("bad fig 7")
+		}
+	}
+}
+
+func BenchmarkFig8FilterBreakdown(b *testing.B) {
+	e := report.NewEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccuracySummary(b *testing.B) {
+	e := report.NewEnv()
+	if _, err := e.Fig3(); err != nil { // prime the cache once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Accuracy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteAllReports(b *testing.B) {
+	e := report.NewEnv()
+	if _, err := e.Fig3(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.WriteFig3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.WriteTable5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Oracle micro-benchmarks ----
+
+func BenchmarkProjectPerStrategy(b *testing.B) {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := paradl.WeakScalingConfig(m, 64, 32)
+	for _, s := range paradl.Strategies() {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := paradl.Project(cfg, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdvise1024(b *testing.B) {
+	m, err := paradl.Model("resnet152")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := paradl.WeakScalingConfig(m, 1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paradl.Advise(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureData64(b *testing.B) {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := cluster.Default()
+	eng := measure.NewEngine(sys)
+	cfg := paradl.WeakScalingConfig(m, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.Measure(eng, cfg, core.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md §5) ----
+
+// AblationRingVsTree compares the two Allreduce algorithms the oracle
+// chooses between, across message sizes.
+func BenchmarkAblationRingVsTree(b *testing.B) {
+	ab := collective.AB{Alpha: 15e-6, Beta: 1.0 / 12.5e9}
+	for _, tc := range []struct {
+		name string
+		m    float64
+	}{{"small-64KB", 64e3}, {"large-256MB", 256e6}} {
+		b.Run(tc.name, func(b *testing.B) {
+			ringWins := 0
+			for i := 0; i < b.N; i++ {
+				ring := collective.RingAllreduce(ab, 512, tc.m)
+				tree := collective.TreeAllreduce(ab, 512, tc.m, 4)
+				if ring < tree {
+					ringWins++
+				}
+			}
+			// Shape check folded into the bench: rings win large, trees
+			// win small.
+			if tc.m > 1e6 && ringWins == 0 {
+				b.Fatal("ring must win large messages")
+			}
+			if tc.m < 1e6 && ringWins == b.N {
+				b.Fatal("tree must win small messages")
+			}
+		})
+	}
+}
+
+// AblationPhi sweeps the contention coefficient of the df projection.
+func BenchmarkAblationPhi(b *testing.B) {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, phi := range []float64{1, 2, 4} {
+		b.Run(pf("phi=%g", phi), func(b *testing.B) {
+			cfg := paradl.WeakScalingConfig(m, 64, 8)
+			cfg.Phi = phi
+			var last float64
+			for i := 0; i < b.N; i++ {
+				pr, err := paradl.Project(cfg, paradl.DataFilter)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = pr.Iter().GE
+			}
+			b.ReportMetric(last*1e3, "GE-ms")
+		})
+	}
+}
+
+// AblationGamma sweeps the memory reuse factor.
+func BenchmarkAblationGamma(b *testing.B) {
+	m, err := paradl.Model("vgg16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, gamma := range []float64{0.5, 0.7, 1.0} {
+		b.Run(pf("gamma=%g", gamma), func(b *testing.B) {
+			cfg := paradl.WeakScalingConfig(m, 64, 32)
+			sys := *cfg.Sys
+			sys.MemReuseFactor = gamma
+			cfg.Sys = &sys
+			var mem float64
+			for i := 0; i < b.N; i++ {
+				pr, err := paradl.Project(cfg, paradl.Data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mem = pr.MemoryPerPE
+			}
+			b.ReportMetric(mem/1e9, "GB-per-PE")
+		})
+	}
+}
+
+// AblationSegments sweeps the pipeline micro-batch count S.
+func BenchmarkAblationSegments(b *testing.B) {
+	m, err := paradl.Model("vgg16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		b.Run(pf("S=%d", s), func(b *testing.B) {
+			cfg := paradl.StrongScalingConfig(m, 4, 32)
+			cfg.Segments = s
+			var total float64
+			for i := 0; i < b.N; i++ {
+				pr, err := paradl.Project(cfg, paradl.Pipeline)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = pr.Iter().Total()
+			}
+			b.ReportMetric(total*1e3, "iter-ms")
+		})
+	}
+}
+
+// AblationFlowVsClosedForm compares the flow-level simulated Allreduce
+// against the α–β closed form at several scales.
+func BenchmarkAblationFlowVsClosedForm(b *testing.B) {
+	sys := cluster.Default()
+	topo := simnet.NewTopology(sys)
+	const bytes = 100e6
+	for _, p := range []int{4, 16, 64} {
+		b.Run(pf("p=%d", p), func(b *testing.B) {
+			pes := strategy.AllPEs(p)
+			var flow float64
+			for i := 0; i < b.N; i++ {
+				sim := simnet.NewSim(topo.Net)
+				op, steps := collective.RingRound("allreduce", pes, bytes/float64(p), false)
+				els := collective.RunConcurrent(sim, topo, []*collective.Op{op})
+				flow = els[0] * float64(steps)
+			}
+			ab := sys.CollectiveAB(0, p)
+			closed := collective.RingAllreduce(collective.AB{Alpha: ab.Alpha, Beta: ab.Beta}, p, bytes)
+			b.ReportMetric(flow/closed, "flow-vs-closed")
+		})
+	}
+}
+
+// AblationCalibration measures the full α–β re-derivation loop.
+func BenchmarkAblationCalibration(b *testing.B) {
+	sys := cluster.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.CalibrateSystem(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func pf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,175 @@
+// Command paradl is the oracle CLI: it projects computation time,
+// communication time and per-PE memory for a CNN model under any of the
+// paper's parallelization strategies, or ranks all strategies for a
+// resource budget (ParaDL's "suggesting the best strategy" use, §4.1).
+//
+// Examples:
+//
+//	paradl -model resnet50 -strategy data -gpus 64 -batch 32
+//	paradl -model vgg16 -advise -gpus 256 -batch 8
+//	paradl -model cosmoflow -strategy ds -gpus 64 -p2 4 -batch-global 16
+//	paradl -calibrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"paradl/internal/cluster"
+	"paradl/internal/core"
+	"paradl/internal/data"
+	"paradl/internal/model"
+	"paradl/internal/profile"
+)
+
+func main() {
+	var (
+		modelName   = flag.String("model", "resnet50", "model: resnet50|resnet152|vgg16|cosmoflow")
+		strategy    = flag.String("strategy", "data", "strategy: data|spatial|pipeline|filter|channel|df|ds|serial")
+		gpus        = flag.Int("gpus", 64, "total number of GPUs")
+		batch       = flag.Int("batch", 32, "samples per GPU (weak scaling)")
+		batchGlobal = flag.Int("batch-global", 0, "global mini-batch (overrides -batch; for strong scaling)")
+		p1          = flag.Int("p1", 0, "hybrid: number of data-parallel groups")
+		p2          = flag.Int("p2", 0, "hybrid: model-parallel PEs per group")
+		segments    = flag.Int("segments", 4, "pipeline micro-batch segments S")
+		phi         = flag.Float64("phi", 0, "contention coefficient φ (0 = automatic)")
+		advise      = flag.Bool("advise", false, "rank all strategies instead of projecting one")
+		findings    = flag.Bool("findings", false, "report detected limitations/bottlenecks (Table 6)")
+		calibrate   = flag.Bool("calibrate", false, "re-derive α/β from fabric benchmarks before projecting")
+	)
+	flag.Parse()
+
+	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
+		*segments, *phi, *advise, *findings, *calibrate); err != nil {
+		fmt.Fprintln(os.Stderr, "paradl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
+	phi float64, advise, findings, calibrate bool) error {
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	sys := cluster.Default()
+	if calibrate {
+		sys, err = profile.CalibrateSystem(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Println("α/β re-derived from fabric benchmarks:")
+		for _, lvl := range []cluster.LinkLevel{cluster.IntraNode, cluster.IntraRack, cluster.InterRack} {
+			ab := sys.NCCL[lvl]
+			fmt.Printf("  %-11v α=%.1fµs β⁻¹=%.1f GB/s\n", lvl, ab.Alpha*1e6, 1e-9/ab.Beta)
+		}
+	}
+	ds, err := data.ForModel(modelName)
+	if err != nil {
+		return err
+	}
+	b := batch * gpus
+	perPE := batch
+	if batchGlobal > 0 {
+		b = batchGlobal
+		perPE = maxInt(1, batchGlobal/gpus)
+	}
+	dev := profile.NewDevice(sys.GPU)
+	cfg := core.Config{
+		Model:    m,
+		Sys:      sys,
+		Times:    profile.ProfileModel(dev, m, perPE),
+		D:        ds.Samples,
+		B:        b,
+		P:        gpus,
+		P1:       p1,
+		P2:       p2,
+		Segments: segments,
+		Phi:      phi,
+	}
+
+	if advise {
+		return printAdvice(cfg)
+	}
+	s, err := core.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	pr, err := core.Project(cfg, s)
+	if err != nil {
+		return err
+	}
+	printProjection(pr)
+	if findings {
+		printFindings(pr)
+	}
+	return nil
+}
+
+func printProjection(pr *core.Projection) {
+	cfg := pr.Config
+	fmt.Printf("ParaDL projection — %s, %v, %d GPUs, global batch %d (D=%d)\n",
+		cfg.Model.Name, pr.Strategy, cfg.P, cfg.B, cfg.D)
+	iter := pr.Iter()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "phase\tper iteration\tper epoch\n")
+	row := func(name string, it, ep float64) {
+		if ep == 0 {
+			return
+		}
+		fmt.Fprintf(tw, "%s\t%.2f ms\t%.1f s\n", name, it*1e3, ep)
+	}
+	row("FW compute", iter.FW, pr.Epoch.FW)
+	row("BW compute", iter.BW, pr.Epoch.BW)
+	row("WU compute", iter.WU, pr.Epoch.WU)
+	row("GE allreduce", iter.GE, pr.Epoch.GE)
+	row("FB collectives", iter.FBComm, pr.Epoch.FBComm)
+	row("halo exchange", iter.Halo, pr.Epoch.Halo)
+	row("pipeline P2P", iter.PipeP2P, pr.Epoch.PipeP2P)
+	row("scatter/gather", iter.Scatter, pr.Epoch.Scatter)
+	fmt.Fprintf(tw, "TOTAL\t%.2f ms\t%.1f s\n", iter.Total()*1e3, pr.Epoch.Total())
+	tw.Flush()
+	fmt.Printf("memory/PE: %.2f GB (device %.0f GB)   scaling limit: %d PEs   feasible: %v\n",
+		pr.MemoryPerPE/1e9, cfg.Sys.GPU.MemBytes/1e9, pr.MaxPE, pr.Feasible)
+	for _, n := range pr.Notes {
+		fmt.Println("  note:", n)
+	}
+}
+
+func printAdvice(cfg core.Config) error {
+	advs, err := core.Advise(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy ranking — %s on %d GPUs, global batch %d\n", cfg.Model.Name, cfg.P, cfg.B)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tstrategy\titer total\tcomp\tcomm\tmem/PE\tfeasible")
+	for _, a := range advs {
+		pr := a.Projection
+		it := pr.Iter()
+		fmt.Fprintf(tw, "%d\t%v\t%.2f ms\t%.2f ms\t%.2f ms\t%.1f GB\t%v\n",
+			a.Rank, pr.Strategy, it.Total()*1e3, it.Comp()*1e3, it.Comm()*1e3,
+			pr.MemoryPerPE/1e9, pr.Feasible)
+	}
+	return tw.Flush()
+}
+
+func printFindings(pr *core.Projection) {
+	fs := core.DetectFindings(pr)
+	if len(fs) == 0 {
+		fmt.Println("no limitations or bottlenecks detected at this configuration")
+		return
+	}
+	for _, f := range fs {
+		fmt.Printf("  [%s] %s — %s: %s\n", f.Kind, f.Category, f.Remark, f.Detail)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunSingleProjection(t *testing.T) {
+	if err := run("resnet50", "data", 64, 32, 0, 0, 0, 4, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdvise(t *testing.T) {
+	if err := run("vgg16", "", 64, 8, 0, 0, 0, 4, 0, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHybridWithSplit(t *testing.T) {
+	if err := run("resnet50", "df", 64, 8, 0, 16, 4, 4, 0, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStrongScalingFilter(t *testing.T) {
+	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCalibrated(t *testing.T) {
+	if err := run("cosmoflow", "ds", 16, 0, 4, 4, 4, 4, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	if err := run("alexnet", "data", 4, 4, 0, 0, 0, 4, 0, false, false, false); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestRunRejectsUnknownStrategy(t *testing.T) {
+	if err := run("resnet50", "quantum", 4, 4, 0, 0, 0, 4, 0, false, false, false); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+}

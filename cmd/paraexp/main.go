@@ -1,0 +1,73 @@
+// Command paraexp regenerates the paper's evaluation artefacts: every
+// table and figure of §5, as indexed in DESIGN.md.
+//
+//	paraexp -exp all
+//	paraexp -exp fig3
+//	paraexp -exp accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"paradl/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|table5|table6|fig3|fig4|fig5|fig6|fig7|fig8|accuracy|all")
+	trials := flag.Int("trials", 12, "fig6: number of collective trials")
+	congested := flag.Float64("congested", 0.35, "fig6: fraction of congested trials")
+	seed := flag.Int64("seed", 7, "fig6: congestion RNG seed")
+	asCSV := flag.Bool("csv", false, "emit machine-readable CSV (fig3, fig4, fig6, accuracy)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *trials, *congested, *seed, *asCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "paraexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, trials int, congested float64, seed int64, asCSV bool) error {
+	e := report.NewEnv()
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"table5", func() error { return e.WriteTable5(w) }},
+		{"table3", func() error { return e.WriteTable3(w, "resnet50", 64, 32) }},
+		{"fig3", func() error { return e.WriteFig3(w) }},
+		{"fig4", func() error { return e.WriteFig4(w) }},
+		{"fig5", func() error { return e.WriteFig5(w) }},
+		{"fig6", func() error { return e.WriteFig6(w, trials, congested, seed) }},
+		{"fig7", func() error { return e.WriteFig7(w) }},
+		{"fig8", func() error { return e.WriteFig8(w) }},
+		{"table6", func() error { return e.WriteTable6(w, "vgg16", 64, 32) }},
+		{"accuracy", func() error { return e.WriteAccuracy(w) }},
+	}
+	if asCSV {
+		steps = []step{
+			{"fig3", func() error { return e.WriteFig3CSV(w) }},
+			{"fig4", func() error { return e.WriteFig4CSV(w) }},
+			{"fig6", func() error { return e.WriteFig6CSV(w, trials, congested, seed) }},
+			{"accuracy", func() error { return e.WriteAccuracyCSV(w) }},
+		}
+	}
+	ran := false
+	for _, s := range steps {
+		if exp != "all" && exp != s.name {
+			continue
+		}
+		ran = true
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table5", "fig7", "fig8"} {
+		var buf bytes.Buffer
+		if err := run(&buf, exp, 2, 0.5, 1, false); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", 2, 0.5, 1, false); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig6", 2, 0.5, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "series,bytes,") {
+		t.Fatalf("csv output missing header: %q", out[:40])
+	}
+}

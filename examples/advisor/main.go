@@ -1,0 +1,59 @@
+// Advisor: use the oracle to pick a parallelization strategy for VGG16
+// under different GPU budgets and memory regimes — the "suggesting the
+// best strategy for a given CNN, dataset, and resource budget" use case
+// of §4.1, including the cases where data parallelism stops being the
+// answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"paradl"
+	"paradl/internal/core"
+)
+
+func main() {
+	m, err := paradl.Model("vgg16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy advisor — %s (%.0fM parameters: the gradient-exchange heavyweight)\n\n",
+		m.Name, float64(m.Params())/1e6)
+
+	// Scan GPU budgets at two per-GPU batch sizes. Large batches favor
+	// data parallelism (compute hides the Allreduce); small batches at
+	// scale expose it.
+	for _, perGPU := range []int{32, 4} {
+		fmt.Printf("== %d samples/GPU ==\n", perGPU)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "GPUs\tbest strategy\titer total\trunner-up\tgap")
+		for _, gpus := range []int{16, 64, 256, 1024} {
+			cfg := paradl.WeakScalingConfig(m, gpus, perGPU)
+			advs, err := paradl.Advise(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best, second := advs[0].Projection, advs[1].Projection
+			gap := second.Iter().Total()/best.Iter().Total() - 1
+			fmt.Fprintf(tw, "%d\t%v\t%.1f ms\t%v\t+%.0f%%\n",
+				gpus, best.Strategy, best.Iter().Total()*1e3, second.Strategy, 100*gap)
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+
+	// Show the oracle's limitation/bottleneck detector (Table 6) on an
+	// aggressive configuration.
+	cfg := paradl.WeakScalingConfig(m, 1024, 4)
+	pr, err := paradl.Project(cfg, paradl.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("findings for data parallelism @ 1024 GPUs, b=4:\n")
+	for _, f := range core.DetectFindings(pr) {
+		fmt.Printf("  [%s] %s — %s: %s\n", f.Kind, f.Category, f.Remark, f.Detail)
+	}
+}

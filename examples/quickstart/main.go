@@ -1,0 +1,60 @@
+// Quickstart: project distributed-training performance for ResNet-50
+// with the ParaDL oracle, scan the weak-scaling curve, and compare the
+// projection against the simulated measured run — the 60-second tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"paradl"
+)
+
+func main() {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ParaDL quickstart — %s (%d layers, %.1fM parameters)\n\n",
+		m.Name, m.G(), float64(m.Params())/1e6)
+
+	// 1. One projection: data parallelism on 64 GPUs, 32 samples/GPU.
+	cfg := paradl.WeakScalingConfig(m, 64, 32)
+	pr, err := paradl.Project(cfg, paradl.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	it := pr.Iter()
+	fmt.Printf("data parallelism @ 64 GPUs: %.1f ms/iteration (compute %.1f ms, comm %.1f ms)\n",
+		it.Total()*1e3, it.Comp()*1e3, it.Comm()*1e3)
+	fmt.Printf("projected memory: %.1f GB/GPU, scaling limit: %d GPUs\n\n", pr.MemoryPerPE/1e9, pr.MaxPE)
+
+	// 2. The weak-scaling curve: how the gradient exchange grows.
+	fmt.Println("weak scaling (32 samples/GPU):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "GPUs\titer total\tGE allreduce\tGE share")
+	for _, p := range []int{16, 64, 256, 1024} {
+		c := paradl.WeakScalingConfig(m, p, 32)
+		pp, err := paradl.Project(c, paradl.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		i := pp.Iter()
+		fmt.Fprintf(tw, "%d\t%.1f ms\t%.1f ms\t%.1f%%\n",
+			p, i.Total()*1e3, i.GE*1e3, 100*i.GE/i.Total())
+	}
+	tw.Flush()
+
+	// 3. Validate the projection against a simulated measured run (the
+	// paper's §5.2 accuracy metric).
+	res, err := paradl.Measure(cfg, paradl.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured: %.1f ms/iteration → oracle accuracy %.2f%% (paper: up to 97.57%% for data)\n",
+		res.Iter.Total()*1e3, 100*res.Accuracy(pr))
+}

@@ -1,0 +1,227 @@
+// Package cluster models the HPC system the paper evaluates on: GPU
+// compute devices grouped into multi-GPU nodes, nodes grouped into
+// racks, racks joined by a 3-level fat tree with 1:3 inter-rack
+// oversubscription (§5.1 "Evaluation Environment").
+//
+// The model supplies the two kinds of parameters ParaDL consumes:
+//
+//   - compute: peak FLOP/s, memory bandwidth/capacity, an efficiency
+//     curve, and per-kernel launch overhead (the empirical FW/BW/WU
+//     parametrization of §4.4 derives from these), and
+//   - communication: per-level Hockney α/β pairs for both the NCCL-like
+//     GPU-direct path and the MPI-through-host path the paper's spatial
+//     halo exchange used.
+package cluster
+
+import "fmt"
+
+// LinkLevel classifies a PE pair by the deepest interconnect level their
+// traffic crosses. Levels are ordered from fastest to slowest.
+type LinkLevel int
+
+const (
+	// IntraNode traffic stays on NVLink inside one node.
+	IntraNode LinkLevel = iota
+	// IntraRack traffic crosses the node's InfiniBand HCA and one leaf
+	// switch.
+	IntraRack
+	// InterRack traffic additionally crosses the oversubscribed spine.
+	InterRack
+)
+
+// String implements fmt.Stringer.
+func (l LinkLevel) String() string {
+	switch l {
+	case IntraNode:
+		return "intra-node"
+	case IntraRack:
+		return "intra-rack"
+	case InterRack:
+		return "inter-rack"
+	default:
+		return fmt.Sprintf("LinkLevel(%d)", int(l))
+	}
+}
+
+// AlphaBeta is one Hockney model point: α startup seconds, β seconds
+// per byte.
+type AlphaBeta struct {
+	Alpha float64
+	Beta  float64
+}
+
+// P2PTime returns α + m·β for an m-byte message.
+func (ab AlphaBeta) P2PTime(bytes float64) float64 { return ab.Alpha + bytes*ab.Beta }
+
+// GPU describes one processing element.
+type GPU struct {
+	// PeakFLOPS is peak single-precision throughput (FLOP/s).
+	PeakFLOPS float64
+	// MemBandwidth is device memory bandwidth (bytes/s).
+	MemBandwidth float64
+	// MemBytes is device memory capacity.
+	MemBytes float64
+	// LaunchOverhead is the fixed cost of one kernel launch (s).
+	LaunchOverhead float64
+}
+
+// System is the full machine description.
+type System struct {
+	Name string
+
+	GPUsPerNode  int
+	NodesPerRack int
+	Racks        int
+
+	GPU GPU
+
+	// NCCL holds GPU-direct α/β per link level; MPI holds the
+	// through-host path used for halo exchange and Allgatherv (§5.1:
+	// NCCL lacked P2P and Allgatherv, so the spatial strategy used MPI).
+	NCCL map[LinkLevel]AlphaBeta
+	MPI  map[LinkLevel]AlphaBeta
+
+	// Oversubscription is the inter-rack bandwidth divisor of the fat
+	// tree (3 means 1:3).
+	Oversubscription float64
+
+	// UplinksPerNode is the number of independent InfiniBand HCAs per
+	// node (2 × EDR in the paper's machine). The self-contention
+	// coefficient φ of segmented collectives is GPUsPerNode/UplinksPerNode
+	// (§5.2: two disjoint Allreduces share one IB link → φ = 2).
+	UplinksPerNode int
+
+	// BytesPerItem is δ of Table 2 (bytes per tensor element on the
+	// wire and in memory). The paper's frameworks train in fp32.
+	BytesPerItem float64
+
+	// MemReuseFactor is γ of Table 2: the fraction of the naive
+	// aggregate memory a framework actually needs after buffer reuse.
+	MemReuseFactor float64
+}
+
+// TotalGPUs returns the number of PEs in the system.
+func (s *System) TotalGPUs() int { return s.GPUsPerNode * s.NodesPerRack * s.Racks }
+
+// Node returns the node index hosting PE id.
+func (s *System) Node(pe int) int { return pe / s.GPUsPerNode }
+
+// Rack returns the rack index hosting PE id.
+func (s *System) Rack(pe int) int { return pe / (s.GPUsPerNode * s.NodesPerRack) }
+
+// Level returns the link level between two PEs.
+func (s *System) Level(a, b int) LinkLevel {
+	switch {
+	case s.Node(a) == s.Node(b):
+		return IntraNode
+	case s.Rack(a) == s.Rack(b):
+		return IntraRack
+	default:
+		return InterRack
+	}
+}
+
+// GroupLevel returns the deepest level any pair within a contiguous
+// group of p PEs starting at PE base crosses; it selects which α/β a
+// collective over that group should use (§4.4: α and β change with the
+// number of PEs in a hierarchical machine).
+func (s *System) GroupLevel(base, p int) LinkLevel {
+	if p <= 1 {
+		return IntraNode
+	}
+	last := base + p - 1
+	switch {
+	case s.Node(base) == s.Node(last):
+		return IntraNode
+	case s.Rack(base) == s.Rack(last):
+		return IntraRack
+	default:
+		return InterRack
+	}
+}
+
+// CollectiveAB returns the α/β pair for a ring collective spanning a
+// contiguous group of p PEs starting at base, on the GPU-direct path.
+func (s *System) CollectiveAB(base, p int) AlphaBeta {
+	return s.NCCL[s.GroupLevel(base, p)]
+}
+
+// MPIAB returns the through-host α/β for the same span.
+func (s *System) MPIAB(base, p int) AlphaBeta {
+	return s.MPI[s.GroupLevel(base, p)]
+}
+
+// Validate checks structural sanity.
+func (s *System) Validate() error {
+	if s.GPUsPerNode <= 0 || s.NodesPerRack <= 0 || s.Racks <= 0 {
+		return fmt.Errorf("cluster: non-positive extent in %d×%d×%d", s.GPUsPerNode, s.NodesPerRack, s.Racks)
+	}
+	if s.GPU.PeakFLOPS <= 0 || s.GPU.MemBandwidth <= 0 || s.GPU.MemBytes <= 0 {
+		return fmt.Errorf("cluster: GPU parameters must be positive")
+	}
+	for _, lvl := range []LinkLevel{IntraNode, IntraRack, InterRack} {
+		if _, ok := s.NCCL[lvl]; !ok {
+			return fmt.Errorf("cluster: missing NCCL α/β for %v", lvl)
+		}
+		if _, ok := s.MPI[lvl]; !ok {
+			return fmt.Errorf("cluster: missing MPI α/β for %v", lvl)
+		}
+	}
+	if s.Oversubscription < 1 {
+		return fmt.Errorf("cluster: oversubscription %.2f < 1", s.Oversubscription)
+	}
+	if s.UplinksPerNode <= 0 {
+		return fmt.Errorf("cluster: uplinks per node must be positive")
+	}
+	if s.BytesPerItem <= 0 {
+		return fmt.Errorf("cluster: bytes per item must be positive")
+	}
+	if s.MemReuseFactor <= 0 || s.MemReuseFactor > 1 {
+		return fmt.Errorf("cluster: memory reuse factor γ=%.2f outside (0,1]", s.MemReuseFactor)
+	}
+	return nil
+}
+
+// Default builds the paper's evaluation machine (§5.1): nodes with four
+// 16-GB V100-class GPUs joined by NVLink (20 GB/s), dual-EDR InfiniBand
+// uplinks (2 × 12.5 GB/s), 17 nodes per rack, and a 3-level fat tree
+// with full bisection intra-rack and 1:3 oversubscription inter-rack.
+// Enough racks are provisioned for 1024 GPUs.
+func Default() *System {
+	s := &System{
+		Name:         "abci-like",
+		GPUsPerNode:  4,
+		NodesPerRack: 17,
+		Racks:        16, // 4·17·16 = 1088 ≥ 1024 GPUs
+		GPU: GPU{
+			PeakFLOPS:      15.7e12, // V100 fp32
+			MemBandwidth:   900e9,
+			MemBytes:       16e9,
+			LaunchOverhead: 10e-6,
+		},
+		// GPU-direct (NCCL-like) path. α grows with switch hops; β is
+		// the inverse of the narrowest link. NVLink 20 GB/s intra-node;
+		// 2×EDR = 25 GB/s per node; inter-rack divided by the
+		// oversubscription factor.
+		NCCL: map[LinkLevel]AlphaBeta{
+			IntraNode: {Alpha: 8e-6, Beta: 1.0 / 20e9},
+			IntraRack: {Alpha: 15e-6, Beta: 1.0 / 12.5e9},
+			InterRack: {Alpha: 22e-6, Beta: 1.0 / 12.5e9},
+		},
+		// Through-host MPI path: higher startup (CPU staging) and PCIe
+		// Gen3 x16 (~16 GB/s shared) limiting bandwidth; no GPUDirect.
+		MPI: map[LinkLevel]AlphaBeta{
+			IntraNode: {Alpha: 25e-6, Beta: 1.0 / 10e9},
+			IntraRack: {Alpha: 40e-6, Beta: 1.0 / 8e9},
+			InterRack: {Alpha: 50e-6, Beta: 1.0 / 8e9},
+		},
+		Oversubscription: 3,
+		UplinksPerNode:   2,
+		BytesPerItem:     4, // fp32
+		MemReuseFactor:   0.7,
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}

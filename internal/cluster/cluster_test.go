@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalGPUs() < 1024 {
+		t.Fatalf("default system must host ≥1024 GPUs, has %d", s.TotalGPUs())
+	}
+}
+
+func TestPlacementArithmetic(t *testing.T) {
+	s := Default()
+	if s.Node(0) != 0 || s.Node(3) != 0 || s.Node(4) != 1 {
+		t.Fatal("node placement wrong")
+	}
+	perRack := s.GPUsPerNode * s.NodesPerRack
+	if s.Rack(perRack-1) != 0 || s.Rack(perRack) != 1 {
+		t.Fatal("rack placement wrong")
+	}
+}
+
+func TestLevelClassification(t *testing.T) {
+	s := Default()
+	if s.Level(0, 1) != IntraNode {
+		t.Fatal("same node")
+	}
+	if s.Level(0, 4) != IntraRack {
+		t.Fatal("same rack")
+	}
+	if s.Level(0, s.GPUsPerNode*s.NodesPerRack) != InterRack {
+		t.Fatal("different racks")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for lvl, want := range map[LinkLevel]string{
+		IntraNode: "intra-node", IntraRack: "intra-rack", InterRack: "inter-rack",
+	} {
+		if lvl.String() != want {
+			t.Fatalf("String(%d) = %q", int(lvl), lvl.String())
+		}
+	}
+}
+
+func TestCollectiveABSelectsLevel(t *testing.T) {
+	s := Default()
+	intra := s.CollectiveAB(0, s.GPUsPerNode)
+	inter := s.CollectiveAB(0, s.TotalGPUs())
+	if intra.Alpha >= inter.Alpha {
+		t.Fatal("wider spans pay higher startup")
+	}
+	if intra.Beta > inter.Beta {
+		t.Fatal("NVLink bandwidth must be ≥ IB")
+	}
+	mpi := s.MPIAB(0, s.GPUsPerNode)
+	if mpi.Alpha <= intra.Alpha {
+		t.Fatal("host-staged path has higher α")
+	}
+}
+
+func TestP2PTimeLinear(t *testing.T) {
+	ab := AlphaBeta{Alpha: 1e-6, Beta: 1e-9}
+	want := 1e-6 + 1000*1e-9
+	if got := ab.P2PTime(1000); got < want*(1-1e-12) || got > want*(1+1e-12) {
+		t.Fatalf("p2p time %g, want %g", got, want)
+	}
+}
+
+func TestValidateRejectsBrokenSystems(t *testing.T) {
+	broken := func(mutate func(*System)) *System {
+		s := Default()
+		mutate(s)
+		return s
+	}
+	cases := map[string]*System{
+		"zero gpus":     broken(func(s *System) { s.GPUsPerNode = 0 }),
+		"no peak flops": broken(func(s *System) { s.GPU.PeakFLOPS = 0 }),
+		"missing nccl":  broken(func(s *System) { delete(s.NCCL, InterRack) }),
+		"missing mpi":   broken(func(s *System) { delete(s.MPI, IntraNode) }),
+		"oversub < 1":   broken(func(s *System) { s.Oversubscription = 0.5 }),
+		"no uplinks":    broken(func(s *System) { s.UplinksPerNode = 0 }),
+		"zero delta":    broken(func(s *System) { s.BytesPerItem = 0 }),
+		"gamma > 1":     broken(func(s *System) { s.MemReuseFactor = 1.5 }),
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", name)
+		}
+	}
+}
+
+// Property: GroupLevel is monotone — growing a group never lowers its
+// link level.
+func TestGroupLevelMonotoneProperty(t *testing.T) {
+	s := Default()
+	f := func(pRaw uint16) bool {
+		p := int(pRaw)%(s.TotalGPUs()-1) + 1
+		return s.GroupLevel(0, p) <= s.GroupLevel(0, p+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package collective provides the communication primitives of the
+// paper in two mirrored forms:
+//
+//   - analytic: Hockney α–β closed forms for ring/tree collectives
+//     (§4.3) — these are what the ParaDL oracle evaluates, and
+//   - simulated: step-by-step flow schedules on the simnet fabric —
+//     these are what the "measured" side of the reproduction runs,
+//     including self-contention between concurrent collectives and
+//     background congestion.
+package collective
+
+import "math"
+
+// AB aliases the Hockney parameter pair to keep signatures short.
+type AB struct {
+	Alpha, Beta float64
+}
+
+// RingAllreduce returns 2(p−1)(α + m/p·β) — the large-message NCCL ring
+// algorithm (§4.3). m is the full buffer size in bytes.
+func RingAllreduce(ab AB, p int, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 2 * float64(p-1) * (ab.Alpha + m/float64(p)*ab.Beta)
+}
+
+// RingAllgather returns (p−1)(α + m·β) where m is the PER-PE chunk each
+// process contributes (the paper's Tag(p, B|y|/p) convention).
+func RingAllgather(ab AB, p int, chunk float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * (ab.Alpha + chunk*ab.Beta)
+}
+
+// ReduceScatter returns (p−1)(α + m/p·β): the first half of the ring
+// Allreduce, used by the paper's footnote-2 optimization for
+// filter-parallel input gradients.
+func ReduceScatter(ab AB, p int, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * (ab.Alpha + m/float64(p)*ab.Beta)
+}
+
+// TreeAllreduce returns 2(log₂(p)+k)(α + m/(2k)·β): the pipelined
+// two-tree algorithm the paper's footnote 4 cites for small messages,
+// with the message divided into k chunks.
+func TreeAllreduce(ab AB, p int, m float64, k int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	return 2 * (math.Log2(float64(p)) + float64(k)) * (ab.Alpha + m/(2*float64(k))*ab.Beta)
+}
+
+// AllreduceAuto picks the ring algorithm for large messages and the
+// tree algorithm for small ones, as NCCL does (§4.3). The crossover is
+// where the two cost models intersect for the given α/β.
+func AllreduceAuto(ab AB, p int, m float64) float64 {
+	ring := RingAllreduce(ab, p, m)
+	tree := TreeAllreduce(ab, p, m, treeChunks)
+	return math.Min(ring, tree)
+}
+
+// treeChunks is the pipelining depth used for the small-message tree.
+const treeChunks = 4
+
+// Bcast returns log₂(p)·(α + m·β): binomial-tree broadcast.
+func Bcast(ab AB, p int, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p))) * (ab.Alpha + m*ab.Beta)
+}
+
+// Scatter returns (p−1)(α + m/p·β) for scattering an m-byte buffer into
+// p chunks (linear scatter, leader-rooted — the spatial strategy's
+// sample distribution).
+func Scatter(ab AB, p int, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * (ab.Alpha + m/float64(p)*ab.Beta)
+}
+
+// P2P returns α + m·β.
+func P2P(ab AB, m float64) float64 { return ab.Alpha + m*ab.Beta }
+
+// HaloExchange returns the per-layer halo cost of the spatial strategy:
+// 2α + haloBytes·β for the bidirectional neighbour exchange, matching
+// the Σ(2α + B(halo(x)+halo(dy))δβ) term of Table 3.
+func HaloExchange(ab AB, haloBytes float64) float64 {
+	return 2*ab.Alpha + haloBytes*ab.Beta
+}
+
+// WithContention divides effective bandwidth by the contention penalty
+// coefficient φ (φ flows sharing each link, §4.3 "Contention
+// modeling"); α is unchanged.
+func WithContention(ab AB, phi float64) AB {
+	if phi < 1 {
+		phi = 1
+	}
+	return AB{Alpha: ab.Alpha, Beta: ab.Beta * phi}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Advice is the oracle's recommendation for one strategy at one scale.
+type Advice struct {
+	Projection *Projection
+	// Rank is 1 for the fastest feasible strategy.
+	Rank int
+}
+
+// Advise projects every strategy under cfg and returns them sorted by
+// total epoch time, feasible strategies first — the "suggesting the
+// best strategy for a given CNN, dataset, and resource budget" use of
+// ParaDL (§4.1).
+func Advise(cfg Config) ([]Advice, error) {
+	var out []Advice
+	for _, s := range Strategies() {
+		pr, err := Project(cfg, s)
+		if err != nil {
+			return nil, fmt.Errorf("core: advising %v: %w", s, err)
+		}
+		out = append(out, Advice{Projection: pr})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Projection, out[j].Projection
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		return a.Epoch.Total() < b.Epoch.Total()
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out, nil
+}
+
+// Best returns the fastest feasible strategy, or an error when nothing
+// fits (e.g. CosmoFlow where only ds is viable at small scale).
+func Best(cfg Config) (*Projection, error) {
+	advs, err := Advise(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range advs {
+		if a.Projection.Feasible {
+			return a.Projection, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no feasible strategy for %s at P=%d B=%d", cfg.Model.Name, cfg.P, cfg.B)
+}
+
+// FindingKind classifies a detected issue as an inherent limitation of
+// the strategy (L) or a framework/system bottleneck (B) — Table 6's
+// L/B column.
+type FindingKind string
+
+const (
+	// Limitation marks issues inherent to the parallel strategy.
+	Limitation FindingKind = "L"
+	// Bottleneck marks issues caused by framework or system components.
+	Bottleneck FindingKind = "B"
+)
+
+// Finding is one row-instance of Table 6 for a concrete configuration.
+type Finding struct {
+	Kind     FindingKind
+	Category string // Communication / Memory Capacity / Computation / Scaling
+	Remark   string
+	Detail   string
+}
+
+// DetectFindings inspects a projection and reports the limitations and
+// bottlenecks of Table 6 that apply at this configuration. Thresholds
+// express "significant" as a fraction of total epoch time.
+func DetectFindings(pr *Projection) []Finding {
+	var fs []Finding
+	cfg := pr.Config
+	total := pr.Epoch.Total()
+	if total <= 0 {
+		return fs
+	}
+	frac := func(x float64) float64 { return x / total }
+
+	// Communication: gradient exchange (d, s, df, ds).
+	if frac(pr.Epoch.GE) > 0.15 {
+		fs = append(fs, Finding{Limitation, "Communication", "Gradient-exchange",
+			fmt.Sprintf("Allreduce is %.0f%% of epoch time", 100*frac(pr.Epoch.GE))})
+	}
+	// Communication: layer-wise collectives (f/c, df).
+	if frac(pr.Epoch.FBComm) > 0.15 {
+		fs = append(fs, Finding{Limitation, "Communication", "Layer-wise comm.",
+			fmt.Sprintf("per-layer Allgather/Allreduce is %.0f%% of epoch time", 100*frac(pr.Epoch.FBComm))})
+	}
+	// Communication: P2P (halo, pipeline) — a framework bottleneck, the
+	// MPI-instead-of-NCCL path (§5.3.1).
+	if frac(pr.Epoch.Halo+pr.Epoch.PipeP2P) > 0.10 {
+		fs = append(fs, Finding{Bottleneck, "Communication", "P2P communication",
+			fmt.Sprintf("halo/pipeline P2P is %.0f%% of epoch time", 100*frac(pr.Epoch.Halo+pr.Epoch.PipeP2P))})
+	}
+	// Memory capacity: redundancy (weights replicated in s/f/c, whole
+	// replicas in d).
+	if pr.MemoryPerPE > 0.8*cfg.Sys.GPU.MemBytes {
+		kind := Bottleneck
+		fs = append(fs, Finding{kind, "Memory Capacity", "Memory redundancy",
+			fmt.Sprintf("projected %.1f GB per PE vs %.0f GB device", pr.MemoryPerPE/1e9, cfg.Sys.GPU.MemBytes/1e9)})
+	}
+	// Computation: weight update share (§5.3.3, Fig. 7).
+	if comp := pr.Epoch.Comp(); comp > 0 && pr.Epoch.WU/comp > 0.10 {
+		fs = append(fs, Finding{Limitation, "Computation", "Weight update",
+			fmt.Sprintf("weight update is %.0f%% of compute", 100*pr.Epoch.WU/comp)})
+	}
+	// Scaling: at or beyond the PE limit.
+	if pr.MaxPE > 0 && cfg.P >= pr.MaxPE {
+		fs = append(fs, Finding{Limitation, "Scaling", "Number of PEs",
+			fmt.Sprintf("P=%d is at the %v limit of %d for %s", cfg.P, pr.Strategy, pr.MaxPE, cfg.Model.Name)})
+	}
+	return fs
+}

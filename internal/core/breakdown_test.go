@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"paradl/internal/model"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{FW: 1, BW: 2, WU: 3, GE: 4, FBComm: 5, Halo: 6, PipeP2P: 7, Scatter: 8}
+	if b.Comp() != 6 {
+		t.Fatalf("Comp = %v", b.Comp())
+	}
+	if b.Comm() != 30 {
+		t.Fatalf("Comm = %v", b.Comm())
+	}
+	if b.Total() != 36 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	s := b.Scale(0.5)
+	if s.Total() != 18 || s.FW != 0.5 {
+		t.Fatalf("Scale broken: %+v", s)
+	}
+}
+
+func TestIterEpochConsistency(t *testing.T) {
+	cfg := testConfig(t, model.ResNet50(), 64, 32)
+	pr, err := Project(cfg, Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := pr.Iterations()
+	if math.Abs(iters-float64(cfg.D)/float64(cfg.B)) > 1e-9 {
+		t.Fatalf("iterations %v", iters)
+	}
+	if d := math.Abs(pr.Iter().Total()*iters - pr.Epoch.Total()); d > pr.Epoch.Total()*1e-12 {
+		t.Fatalf("iter×iters ≠ epoch (diff %g)", d)
+	}
+}
+
+func TestWithCongestionFactorImmutability(t *testing.T) {
+	cfg := testConfig(t, model.ResNet50(), 64, 32)
+	pr, err := Project(cfg, Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pr.Epoch.GE
+	adj := pr.WithCongestionFactor(3)
+	if pr.Epoch.GE != before {
+		t.Fatal("WithCongestionFactor must not mutate the receiver")
+	}
+	if adj.Epoch.GE != before*3 {
+		t.Fatalf("adjusted GE %g, want %g", adj.Epoch.GE, before*3)
+	}
+	if len(adj.Notes) != len(pr.Notes)+1 {
+		t.Fatal("adjustment must be annotated")
+	}
+}
+
+func TestEstimatePhiBounds(t *testing.T) {
+	sys := testConfig(t, model.ResNet50(), 1, 1).Sys
+	if EstimatePhi(sys, DataFilter, 1) != 1 {
+		t.Fatal("one segment cannot contend")
+	}
+	if got := EstimatePhi(sys, DataFilter, 8); got != 4 {
+		t.Fatalf("8 segments over 2 rails → φ=4, got %g", got)
+	}
+}

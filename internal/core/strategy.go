@@ -1,0 +1,90 @@
+// Package core implements ParaDL — the paper's contribution: a hybrid
+// analytical/empirical oracle that projects the computation time,
+// communication time (broken down by training phase), and per-PE memory
+// of CNN distributed training under six parallel strategies, directly
+// following Table 3 and the Appendix of the paper.
+package core
+
+import "fmt"
+
+// Strategy enumerates the parallelization strategies of §3.
+type Strategy int
+
+const (
+	// Serial is the single-PE baseline.
+	Serial Strategy = iota
+	// Data replicates the model and splits the batch dimension N.
+	Data
+	// Spatial splits the activation spatial dimensions (H/W/D) with
+	// halo exchanges.
+	Spatial
+	// Pipeline partitions layers vertically into composite stages with
+	// GPipe-style micro-batch pipelining.
+	Pipeline
+	// Filter splits every layer by output channels (Allgather forward,
+	// Allreduce backward).
+	Filter
+	// Channel splits every layer by input channels (Allreduce forward,
+	// Allgather backward).
+	Channel
+	// DataFilter is the df hybrid: filter parallelism inside groups,
+	// data parallelism between groups.
+	DataFilter
+	// DataSpatial is the ds hybrid: spatial parallelism inside nodes,
+	// data parallelism between nodes.
+	DataSpatial
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (s Strategy) String() string {
+	switch s {
+	case Serial:
+		return "serial"
+	case Data:
+		return "data"
+	case Spatial:
+		return "spatial"
+	case Pipeline:
+		return "pipeline"
+	case Filter:
+		return "filter"
+	case Channel:
+		return "channel"
+	case DataFilter:
+		return "data+filter"
+	case DataSpatial:
+		return "data+spatial"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a CLI name into a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "serial":
+		return Serial, nil
+	case "data":
+		return Data, nil
+	case "spatial":
+		return Spatial, nil
+	case "pipeline", "layer":
+		return Pipeline, nil
+	case "filter":
+		return Filter, nil
+	case "channel":
+		return Channel, nil
+	case "data+filter", "df":
+		return DataFilter, nil
+	case "data+spatial", "ds":
+		return DataSpatial, nil
+	default:
+		return Serial, fmt.Errorf("core: unknown strategy %q", name)
+	}
+}
+
+// Strategies lists all projectable strategies in the paper's Fig. 3
+// column order.
+func Strategies() []Strategy {
+	return []Strategy{Data, Spatial, Filter, Channel, DataFilter, DataSpatial, Pipeline}
+}

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"testing"
+
+	"paradl/internal/model"
+	"paradl/internal/tensor"
+)
+
+func TestImageNetGeometry(t *testing.T) {
+	ds := ImageNet()
+	if ds.Samples != 1_281_167 || ds.Channels != 3 || ds.Classes != 1000 {
+		t.Fatalf("bad ImageNet metadata: %+v", ds)
+	}
+	if !tensor.EqualShapes(ds.Dims, []int{226, 226}) {
+		t.Fatalf("ImageNet dims %v", ds.Dims)
+	}
+	// One fp32 sample is 3·226²·4 ≈ 0.6 MB.
+	if b := ds.SampleBytes(4); b != 3*226*226*4 {
+		t.Fatalf("sample bytes %g", b)
+	}
+}
+
+func TestCosmoFlowGeometry(t *testing.T) {
+	ds := CosmoFlow()
+	if ds.Samples != 1584 || ds.Channels != 4 {
+		t.Fatalf("bad CosmoFlow metadata: %+v", ds)
+	}
+	// One fp32 sample is 4·256³·4 = 268 MB — the size that makes data
+	// parallelism infeasible (§5.1).
+	if b := ds.SampleBytes(4); b != 4*256*256*256*4 {
+		t.Fatalf("sample bytes %g", b)
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	m := model.TinyCNN()
+	ds := Toy(m, 100)
+	a := ds.Batch(5, 4)
+	b := ds.Batch(5, 4)
+	if !a.X.AllClose(b.X, 0) {
+		t.Fatal("equal cursors must produce identical batches")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels must be deterministic")
+		}
+	}
+	c := ds.Batch(6, 4)
+	if a.X.AllClose(c.X, 0) {
+		t.Fatal("different cursors must produce different batches")
+	}
+}
+
+func TestBatchShapeMatchesModel(t *testing.T) {
+	m := model.Tiny3D()
+	ds := Toy(m, 10)
+	b := ds.Batch(0, 2)
+	want := append([]int{2, m.InputChannels}, m.InputDims...)
+	if !tensor.EqualShapes(b.X.Shape(), want) {
+		t.Fatalf("batch shape %v, want %v", b.X.Shape(), want)
+	}
+	for _, l := range b.Labels {
+		if l < 0 || l >= m.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestBatchesCount(t *testing.T) {
+	ds := Toy(model.TinyCNN(), 100)
+	bs := ds.Batches(3, 2)
+	if len(bs) != 3 {
+		t.Fatalf("batches %d", len(bs))
+	}
+}
+
+func TestForModel(t *testing.T) {
+	for _, name := range []string{"resnet50", "resnet152", "vgg16"} {
+		ds, err := ForModel(name)
+		if err != nil || ds.Name != "imagenet-synthetic" {
+			t.Fatalf("ForModel(%s): %v %v", name, ds, err)
+		}
+	}
+	ds, err := ForModel("cosmoflow")
+	if err != nil || ds.Name != "cosmoflow-synthetic" {
+		t.Fatalf("ForModel(cosmoflow): %v %v", ds, err)
+	}
+	if _, err := ForModel("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -1,0 +1,82 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"paradl/internal/collective"
+	"paradl/internal/simnet"
+	"paradl/internal/strategy"
+)
+
+// ImpactFactor summarizes a GPCNeT-style congestion probe (§4.3: the
+// oracle's clean-fabric baseline "can be complemented with a congestion
+// impact factor, which can be empirically estimated as in [7]" to
+// predict real-world shared-system performance).
+type ImpactFactor struct {
+	// Mean, P99 and Max are measured/clean inflation ratios across the
+	// probe trials.
+	Mean, P99, Max float64
+	Trials         int
+}
+
+// EstimateImpactFactor runs repeated ring-Allreduce probes among p PEs
+// on a fabric whose node uplinks each carry `load` expected background
+// flows (Poisson-ish via per-trial sampling), and returns the inflation
+// statistics relative to the uncongested fabric.
+func EstimateImpactFactor(e *Engine, p int, bytes float64, load float64, trials int, seed int64) (ImpactFactor, error) {
+	if p < 2 {
+		return ImpactFactor{}, fmt.Errorf("measure: impact factor needs p ≥ 2")
+	}
+	if trials < 1 {
+		return ImpactFactor{}, fmt.Errorf("measure: need at least one trial")
+	}
+	pes := strategy.AllPEs(p)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Clean baseline.
+	op, steps := collective.RingRound("allreduce", pes, bytes/float64(p), false)
+	cleanSim := simnet.NewSim(e.Topo.Net)
+	clean := collective.RunConcurrent(cleanSim, e.Topo, []*collective.Op{op})[0] * float64(steps)
+	if clean <= 0 {
+		return ImpactFactor{}, fmt.Errorf("measure: degenerate clean baseline")
+	}
+
+	ratios := make([]float64, 0, trials)
+	nodes := p / e.Sys.GPUsPerNode
+	if nodes < 1 {
+		nodes = 1
+	}
+	for tr := 0; tr < trials; tr++ {
+		sim := simnet.NewSim(e.Topo.Net)
+		// Sample background flows per node uplink: expected `load`
+		// flows each, geometric-ish via repeated Bernoulli draws.
+		for n := 0; n < nodes; n++ {
+			pe := n * e.Sys.GPUsPerNode
+			for k := 0; k < 4; k++ {
+				if rng.Float64() < load/4 {
+					sim.Start([]simnet.LinkID{e.Topo.UplinkOf(pe + k%e.Sys.GPUsPerNode)}, 1e15)
+				}
+			}
+		}
+		probe, pSteps := collective.RingRound("allreduce", pes, bytes/float64(p), false)
+		el := collective.RunConcurrent(sim, e.Topo, []*collective.Op{probe})[0] * float64(pSteps)
+		ratios = append(ratios, el/clean)
+	}
+	sort.Float64s(ratios)
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	idx99 := int(float64(len(ratios))*0.99) - 1
+	if idx99 < 0 {
+		idx99 = 0
+	}
+	return ImpactFactor{
+		Mean:   sum / float64(len(ratios)),
+		P99:    ratios[idx99],
+		Max:    ratios[len(ratios)-1],
+		Trials: trials,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package measure
+
+import (
+	"testing"
+
+	"paradl/internal/cluster"
+	"paradl/internal/core"
+	"paradl/internal/model"
+)
+
+func TestImpactFactorCleanFabricIsOne(t *testing.T) {
+	e := NewEngine(cluster.Default())
+	f, err := EstimateImpactFactor(e, 32, 100e6, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mean < 0.999 || f.Mean > 1.001 {
+		t.Fatalf("zero load must give factor ≈1, got %.4f", f.Mean)
+	}
+}
+
+func TestImpactFactorGrowsWithLoad(t *testing.T) {
+	e := NewEngine(cluster.Default())
+	light, err := EstimateImpactFactor(e, 32, 100e6, 0.3, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := EstimateImpactFactor(e, 32, 100e6, 2.0, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Mean <= light.Mean {
+		t.Fatalf("heavier load must inflate more: %.3f vs %.3f", heavy.Mean, light.Mean)
+	}
+	if heavy.Max < heavy.Mean || heavy.P99 > heavy.Max {
+		t.Fatalf("statistics ordering broken: %+v", heavy)
+	}
+	if heavy.Mean > 6 {
+		t.Fatalf("mean inflation %.2f beyond plausible regime", heavy.Mean)
+	}
+}
+
+func TestImpactFactorValidation(t *testing.T) {
+	e := NewEngine(cluster.Default())
+	if _, err := EstimateImpactFactor(e, 1, 1e6, 1, 3, 1); err == nil {
+		t.Fatal("p<2 must be rejected")
+	}
+	if _, err := EstimateImpactFactor(e, 8, 1e6, 1, 0, 1); err == nil {
+		t.Fatal("zero trials must be rejected")
+	}
+}
+
+func TestProjectionWithCongestionFactor(t *testing.T) {
+	sys := cluster.Default()
+	e := NewEngine(sys)
+	m := model.ResNet50()
+	cfg := weakCfg(t, m, 64, 32)
+
+	pr, err := core.Project(cfg, core.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EstimateImpactFactor(e, 64, 100e6, 1.0, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := pr.WithCongestionFactor(f.Mean)
+	if adjusted.Epoch.GE <= pr.Epoch.GE {
+		t.Fatal("congestion factor must inflate GE")
+	}
+	if adjusted.Epoch.Comp() != pr.Epoch.Comp() {
+		t.Fatal("congestion must not touch compute")
+	}
+	// below-1 factors clamp
+	same := pr.WithCongestionFactor(0.5)
+	if same.Epoch.GE != pr.Epoch.GE {
+		t.Fatal("factor<1 must clamp to 1")
+	}
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"paradl/internal/nn"
+	"paradl/internal/tensor"
+)
+
+func TestVGG16Geometry(t *testing.T) {
+	m := VGG16()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 13 convs + 15 relus + 5 pools + 3 fcs = 36 layers
+	if m.G() != 36 {
+		t.Fatalf("VGG16 G = %d, want 36", m.G())
+	}
+	// Canonical VGG16 has ≈138M parameters (the paper's Table 5 rounds
+	// differently; see EXPERIMENTS.md).
+	p := m.Params()
+	if p < 130e6 || p > 145e6 {
+		t.Fatalf("VGG16 params = %d, want ≈138M", p)
+	}
+	if m.MinFilters() != 64 {
+		t.Fatalf("VGG16 min filters = %d, want 64 (§5.3.4)", m.MinFilters())
+	}
+}
+
+func TestResNet50Geometry(t *testing.T) {
+	m := ResNet50()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	if p < 23e6 || p > 28e6 {
+		t.Fatalf("ResNet50 params = %d, want ≈25.5M", p)
+	}
+	// 53 convolutions + 1 FC carry weights; BN adds small factors.
+	convs := 0
+	for i := range m.Layers {
+		if m.Layers[i].Kind == nn.Conv {
+			convs++
+		}
+	}
+	if convs != 53 {
+		t.Fatalf("ResNet50 conv count = %d, want 53", convs)
+	}
+	if m.MinFilters() != 64 {
+		t.Fatalf("ResNet50 min filters = %d, want 64 (§5.3.4)", m.MinFilters())
+	}
+}
+
+func TestResNet152Geometry(t *testing.T) {
+	m := ResNet152()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	if p < 55e6 || p > 65e6 {
+		t.Fatalf("ResNet152 params = %d, want ≈60M", p)
+	}
+	if m.Params() <= ResNet50().Params() {
+		t.Fatal("ResNet152 must be larger than ResNet50")
+	}
+	convs := 0
+	for i := range m.Layers {
+		if m.Layers[i].Kind == nn.Conv {
+			convs++
+		}
+	}
+	// 1 stem + 50*3 bottleneck convs + 4 shortcuts = 155
+	if convs != 155 {
+		t.Fatalf("ResNet152 conv count = %d, want 155", convs)
+	}
+}
+
+func TestCosmoFlowGeometry(t *testing.T) {
+	m := CosmoFlow()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	if p < 1.5e6 || p > 4e6 {
+		t.Fatalf("CosmoFlow params = %d, want ≈2M", p)
+	}
+	// 3-D input geometry
+	if len(m.InputDims) != 3 || m.InputDims[0] != 256 {
+		t.Fatalf("CosmoFlow input dims %v", m.InputDims)
+	}
+	// First conv dominates activation memory (>10GB at 512³ per §5.3.2);
+	// at 256³ its output is 16×256³ elements.
+	if got := m.Layers[0].OutSize(); got != 16*256*256*256 {
+		t.Fatalf("CosmoFlow first conv |y| = %d", got)
+	}
+}
+
+func TestCosmoFlowAtScalesGeometry(t *testing.T) {
+	m128 := CosmoFlowAt(128)
+	if err := m128.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m256 := CosmoFlowAt(256)
+	if m128.FwdFLOPs() >= m256.FwdFLOPs() {
+		t.Fatal("128³ must be cheaper than 256³")
+	}
+}
+
+func TestCosmoFlowAtRejectsBadSide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for side 100")
+		}
+	}()
+	CosmoFlowAt(100)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Fatalf("ByName(%q) returned %q", name, m.Name)
+		}
+	}
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestParamOrdering(t *testing.T) {
+	// Table 5 ordering: CosmoFlow < ResNet50 < ResNet152 < VGG16.
+	if !(CosmoFlow().Params() < ResNet50().Params() &&
+		ResNet50().Params() < ResNet152().Params() &&
+		ResNet152().Params() < VGG16().Params()) {
+		t.Fatal("parameter ordering does not match Table 5")
+	}
+}
+
+func TestTinyModelsExecutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []*nn.Model{TinyCNN(), TinyCNNNoBN()} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		net := nn.NewNetwork(m, rng)
+		x := tensor.New(2, 3, 16, 16).RandN(rng, 1)
+		logits, _ := net.Forward(x)
+		if !tensor.EqualShapes(logits.Shape(), []int{2, 10}) {
+			t.Fatalf("%s logits shape %v", m.Name, logits.Shape())
+		}
+	}
+}
+
+func TestTiny3DExecutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := Tiny3D()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewNetwork(m, rng)
+	x := tensor.New(2, 2, 8, 8, 8).RandN(rng, 1)
+	logits, _ := net.Forward(x)
+	if !tensor.EqualShapes(logits.Shape(), []int{2, 4}) {
+		t.Fatalf("tiny3d logits shape %v", logits.Shape())
+	}
+}
+
+func TestScalingLimitsMatchPaper(t *testing.T) {
+	// §5.3.4: filter parallelism cannot exceed 64 for VGG16/ResNet-50;
+	// channel parallelism limit on ImageNet models is also 64 (second
+	// layer onward).
+	for _, name := range []string{"vgg16", "resnet50"} {
+		m, _ := ByName(name)
+		if m.MinFilters() != 64 {
+			t.Errorf("%s filter limit %d, want 64", name, m.MinFilters())
+		}
+		if m.MinChannels() != 64 {
+			t.Errorf("%s channel limit %d, want 64", name, m.MinChannels())
+		}
+	}
+}

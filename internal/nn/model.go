@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"paradl/internal/tensor"
+)
+
+// Model is an ordered list of G layers plus dataset geometry — exactly
+// the information the ParaDL oracle consumes.
+type Model struct {
+	Name string
+	// InputChannels and InputDims describe one sample (e.g. 3 × [226,
+	// 226] for ImageNet geometry, 4 × [256, 256, 256] for CosmoFlow).
+	InputChannels int
+	InputDims     []int
+	// Classes is the output dimensionality of the final layer.
+	Classes int
+	Layers  []Layer
+}
+
+// G returns the layer count (the paper's G).
+func (m *Model) G() int { return len(m.Layers) }
+
+// Params returns the total number of weight+bias elements.
+func (m *Model) Params() int64 {
+	var p int64
+	for i := range m.Layers {
+		p += m.Layers[i].WeightSize() + m.Layers[i].BiasSize()
+	}
+	return p
+}
+
+// TotalWeights returns Σ|w_l| (excluding biases) — the Allreduce volume
+// of the gradient-exchange phase.
+func (m *Model) TotalWeights() int64 {
+	var p int64
+	for i := range m.Layers {
+		p += m.Layers[i].WeightSize()
+	}
+	return p
+}
+
+// TotalActivations returns Σ(|x_l| + |y_l|) per sample.
+func (m *Model) TotalActivations() int64 {
+	var a int64
+	for i := range m.Layers {
+		a += m.Layers[i].InSize() + m.Layers[i].OutSize()
+	}
+	return a
+}
+
+// SumOutputs returns Σ_{l<G'}|y_l| per sample over the first G' layers
+// (G' = G-1 gives the filter/channel communication volume of Table 3).
+func (m *Model) SumOutputs(upTo int) int64 {
+	var a int64
+	for i := 0; i < upTo && i < len(m.Layers); i++ {
+		a += m.Layers[i].OutSize()
+	}
+	return a
+}
+
+// FwdFLOPs returns total forward FLOPs per sample.
+func (m *Model) FwdFLOPs() int64 {
+	var f int64
+	for i := range m.Layers {
+		f += m.Layers[i].FwdFLOPs()
+	}
+	return f
+}
+
+// BwdFLOPs returns total backward FLOPs per sample.
+func (m *Model) BwdFLOPs() int64 {
+	var f int64
+	for i := range m.Layers {
+		f += m.Layers[i].BwdFLOPs()
+	}
+	return f
+}
+
+// MinFilters returns min_l F_l over weighted layers — the filter-
+// parallel scaling limit (Table 3: p ≤ min F_l).
+func (m *Model) MinFilters() int {
+	minF := math.MaxInt
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.Kind == Conv || l.Kind == FC {
+			if l.F < minF {
+				minF = l.F
+			}
+		}
+	}
+	if minF == math.MaxInt {
+		return 0
+	}
+	return minF
+}
+
+// MinChannels returns min_l C_l over weighted layers EXCLUDING the first
+// (the paper implements channel parallelism from the second layer since
+// e.g. ImageNet has only 3 input channels).
+func (m *Model) MinChannels() int {
+	minC := math.MaxInt
+	seenFirst := false
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.Kind != Conv && l.Kind != FC {
+			continue
+		}
+		if !seenFirst {
+			seenFirst = true
+			continue
+		}
+		if l.C < minC {
+			minC = l.C
+		}
+	}
+	if minC == math.MaxInt {
+		return 0
+	}
+	return minC
+}
+
+// MinSpatial returns min_l ∏(spatial extent of x_l) over the spatially
+// parallelizable trunk — the spatial scaling limit of Table 3
+// (p ≤ min W_l×H_l). Layers from the first FC onward are excluded: the
+// paper never partitions the classifier head spatially (§4.2) and
+// aggregates activations before it (§4.5.1).
+func (m *Model) MinSpatial() int {
+	minS := math.MaxInt
+	for i := range m.Layers {
+		if m.Layers[i].Kind == FC {
+			break
+		}
+		v := int(volume(m.Layers[i].In))
+		if v < minS {
+			minS = v
+		}
+	}
+	if minS == math.MaxInt {
+		return 0
+	}
+	return minS
+}
+
+// Validate checks that consecutive layers agree on geometry.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: model %q has no layers", m.Name)
+	}
+	for i := range m.Layers {
+		if err := m.Layers[i].Validate(); err != nil {
+			return fmt.Errorf("model %q: %w", m.Name, err)
+		}
+		if i == 0 {
+			continue
+		}
+		// When prev is a Branch layer its output F equals the main
+		// path's F (enforced below), so checking continuity against it
+		// is equivalent to checking against the main path.
+		prev, cur := &m.Layers[i-1], &m.Layers[i]
+		if cur.Branch {
+			if cur.F != prev.F {
+				return fmt.Errorf("nn: model %q: branch layer %d (%s) outputs F=%d, cannot merge into main path F=%d",
+					m.Name, i, cur.Name, cur.F, prev.F)
+			}
+			continue
+		}
+		if prev.F != cur.C {
+			return fmt.Errorf("nn: model %q: layer %d (%s) expects C=%d but layer %d (%s) outputs F=%d",
+				m.Name, i, cur.Name, cur.C, i-1, prev.Name, prev.F)
+		}
+		// FC layers flatten, so spatial continuity only applies between
+		// spatial layers of equal rank.
+		if cur.Kind != FC && len(prev.Out) == len(cur.In) {
+			for d := range cur.In {
+				if prev.Out[d] != cur.In[d] {
+					return fmt.Errorf("nn: model %q: layer %d (%s) spatial dim %d: in %d != previous out %d",
+						m.Name, i, cur.Name, d, cur.In[d], prev.Out[d])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Builder incrementally constructs a Model, tracking the running output
+// shape so callers only specify what changes.
+type Builder struct {
+	m       *Model
+	curC    int
+	curDims []int
+	counts  map[LayerKind]int
+}
+
+// NewBuilder starts a model with the given input geometry.
+func NewBuilder(name string, inputChannels int, inputDims []int) *Builder {
+	return &Builder{
+		m: &Model{
+			Name:          name,
+			InputChannels: inputChannels,
+			InputDims:     append([]int(nil), inputDims...),
+		},
+		curC:    inputChannels,
+		curDims: append([]int(nil), inputDims...),
+		counts:  map[LayerKind]int{},
+	}
+}
+
+func (b *Builder) autoName(k LayerKind) string {
+	b.counts[k]++
+	return fmt.Sprintf("%s%d", k, b.counts[k])
+}
+
+// Conv appends a convolution with F filters and uniform kernel/stride/
+// pad across all spatial dims.
+func (b *Builder) Conv(f, kernel, stride, pad int) *Builder {
+	d := len(b.curDims)
+	k := uniform(d, kernel)
+	s := uniform(d, stride)
+	p := uniform(d, pad)
+	out := make([]int, d)
+	for i := range out {
+		out[i] = convOut(b.curDims[i], kernel, stride, pad)
+	}
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv, Name: b.autoName(Conv),
+		C: b.curC, F: f,
+		In: append([]int(nil), b.curDims...), Out: out,
+		Kernel: k, Stride: s, Pad: p,
+	})
+	b.curC = f
+	b.curDims = out
+	return b
+}
+
+// Pool appends a pooling layer with a uniform window.
+func (b *Builder) Pool(kind int, window, stride, pad int) *Builder {
+	d := len(b.curDims)
+	out := make([]int, d)
+	for i := range out {
+		out[i] = convOut(b.curDims[i], window, stride, pad)
+	}
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Pool, Name: b.autoName(Pool),
+		C: b.curC, F: b.curC,
+		In: append([]int(nil), b.curDims...), Out: out,
+		Kernel: uniform(d, window), Stride: uniform(d, stride), Pad: uniform(d, pad),
+		PoolKind: poolKind(kind),
+	})
+	b.curDims = out
+	return b
+}
+
+// ReLU appends a rectifier.
+func (b *Builder) ReLU() *Builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: ReLU, Name: b.autoName(ReLU),
+		C: b.curC, F: b.curC,
+		In: append([]int(nil), b.curDims...), Out: append([]int(nil), b.curDims...),
+	})
+	return b
+}
+
+// BatchNorm appends channel-wise batch normalization.
+func (b *Builder) BatchNorm() *Builder {
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: BatchNorm, Name: b.autoName(BatchNorm),
+		C: b.curC, F: b.curC,
+		In: append([]int(nil), b.curDims...), Out: append([]int(nil), b.curDims...),
+	})
+	return b
+}
+
+// ShortcutConv appends a Branch convolution whose input geometry (c
+// input channels over inDims) is taken from an earlier point of the
+// network — the ResNet downsample/projection shortcut. Its output must
+// match the current main-path geometry (channel count f and the current
+// spatial extent), which Build verifies.
+func (b *Builder) ShortcutConv(c int, inDims []int, f, kernel, stride, pad int) *Builder {
+	d := len(inDims)
+	out := make([]int, d)
+	for i := range out {
+		out[i] = convOut(inDims[i], kernel, stride, pad)
+	}
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: Conv, Name: b.autoName(Conv) + "_shortcut",
+		C: c, F: f,
+		In: append([]int(nil), inDims...), Out: out,
+		Kernel: uniform(d, kernel), Stride: uniform(d, stride), Pad: uniform(d, pad),
+		Branch: true,
+	})
+	return b
+}
+
+// Snapshot reports the builder's current channel count and spatial
+// extent (for wiring shortcut branches).
+func (b *Builder) Snapshot() (c int, dims []int) {
+	return b.curC, append([]int(nil), b.curDims...)
+}
+
+// FC appends a fully-connected layer with out outputs; it consumes the
+// whole current extent (flattening it).
+func (b *Builder) FC(out int) *Builder {
+	outDims := uniform(len(b.curDims), 1)
+	if len(outDims) == 0 {
+		outDims = []int{1}
+	}
+	in := append([]int(nil), b.curDims...)
+	if len(in) == 0 {
+		in = []int{1}
+	}
+	b.m.Layers = append(b.m.Layers, Layer{
+		Kind: FC, Name: b.autoName(FC),
+		C: b.curC, F: out,
+		In: in, Out: outDims,
+	})
+	b.curC = out
+	b.curDims = outDims
+	return b
+}
+
+// Build finalizes and validates the model.
+func (b *Builder) Build() (*Model, error) {
+	b.m.Classes = b.curC
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build that panics on error (for the static model zoo).
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func uniform(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func convOut(in, k, s, p int) int {
+	n := in + 2*p - k
+	if n < 0 {
+		panic(fmt.Sprintf("nn: kernel %d larger than padded input %d", k, in+2*p))
+	}
+	return n/s + 1
+}
+
+// Pool kind constants re-exported for Builder.Pool readability.
+const (
+	MaxPool = 0
+	AvgPool = 1
+)
+
+func poolKind(kind int) tensor.PoolKind {
+	switch kind {
+	case MaxPool:
+		return tensor.MaxPool
+	case AvgPool:
+		return tensor.AvgPool
+	default:
+		panic(fmt.Sprintf("nn: unknown pool kind %d", kind))
+	}
+}

@@ -1,0 +1,215 @@
+// Package profile supplies ParaDL's empirical parameters (§4.4): the
+// per-layer computation times FWl/BWl/WUl and the communication α/β
+// pairs.
+//
+// The paper obtains these by micro-benchmarking a real V100 and a real
+// InfiniBand fabric. This reproduction obtains them from a calibrated
+// device model (FLOP counts × a saturation-efficiency curve, plus
+// memory-bandwidth bounds and kernel-launch overhead) and from
+// least-squares fits over the flow-level network simulator. Both
+// sources exercise the same code path in the oracle: opaque measured
+// numbers in, projections out.
+package profile
+
+import (
+	"paradl/internal/cluster"
+	"paradl/internal/nn"
+)
+
+// KernelClass selects the efficiency regime of a kernel.
+type KernelClass int
+
+const (
+	// ConvClass kernels are compute-bound with moderate efficiency.
+	ConvClass KernelClass = iota
+	// GEMMClass (fully-connected) kernels reach higher efficiency.
+	GEMMClass
+	// ElementwiseClass kernels are memory-bandwidth bound.
+	ElementwiseClass
+	// UpdateClass models optimizer updates: many small bandwidth-bound
+	// kernels that achieve a small fraction of peak bandwidth (this is
+	// what makes weight update a non-trivial 15% for VGG16, Fig. 7).
+	UpdateClass
+)
+
+// Device converts FLOP/byte counts into seconds for one GPU.
+type Device struct {
+	GPU cluster.GPU
+
+	// MaxEff is the peak fraction of PeakFLOPS reachable per class.
+	MaxEff map[KernelClass]float64
+	// HalfWork is the per-kernel FLOP count at which a kernel reaches
+	// half its peak efficiency — the saturation knee. Small kernels
+	// (e.g. convolutions shrunk by filter parallelism) land below the
+	// knee and lose efficiency, reproducing the "convolution does not
+	// scale as expected" effect of Fig. 8.
+	HalfWork float64
+	// UpdateBWFrac is the fraction of memory bandwidth optimizer
+	// updates achieve.
+	UpdateBWFrac float64
+}
+
+// NewDevice builds the default V100-like device model.
+func NewDevice(g cluster.GPU) *Device {
+	return &Device{
+		GPU: g,
+		MaxEff: map[KernelClass]float64{
+			ConvClass:        0.55,
+			GEMMClass:        0.70,
+			ElementwiseClass: 1.0, // bandwidth-bound; eff applies to BW
+			UpdateClass:      1.0,
+		},
+		HalfWork:     2e9, // FLOPs at half efficiency
+		UpdateBWFrac: 0.03,
+	}
+}
+
+// Efficiency returns the fraction of peak FLOPS a kernel of the given
+// class and total FLOP count achieves.
+func (d *Device) Efficiency(class KernelClass, flops float64) float64 {
+	max := d.MaxEff[class]
+	if flops <= 0 {
+		return max
+	}
+	return max * flops / (flops + d.HalfWork)
+}
+
+// KernelTime returns wall-clock seconds for one kernel moving `bytes`
+// through memory and executing `flops`.
+func (d *Device) KernelTime(class KernelClass, flops, bytes float64) float64 {
+	var compute, memory float64
+	switch class {
+	case ElementwiseClass:
+		memory = bytes / d.GPU.MemBandwidth
+		compute = flops / d.GPU.PeakFLOPS
+	case UpdateClass:
+		memory = bytes / (d.GPU.MemBandwidth * d.UpdateBWFrac)
+		compute = flops / d.GPU.PeakFLOPS
+	default:
+		compute = flops / (d.GPU.PeakFLOPS * d.Efficiency(class, flops))
+		memory = bytes / d.GPU.MemBandwidth
+	}
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return t + d.GPU.LaunchOverhead
+}
+
+func classOf(kind nn.LayerKind) KernelClass {
+	switch kind {
+	case nn.Conv:
+		return ConvClass
+	case nn.FC:
+		return GEMMClass
+	default:
+		return ElementwiseClass
+	}
+}
+
+// LayerFW returns the forward time of layer l for a batch of b samples,
+// with channel and spatial fractions frac (1 for full layer). frac
+// scales the work, letting the measured side price the ACTUAL per-GPU
+// partition (where efficiency loss appears) while the oracle divides
+// profiled full-layer times ideally.
+func (d *Device) LayerFW(l *nn.Layer, b int, frac float64) float64 {
+	flops := float64(l.FwdFLOPs()) * float64(b) * frac
+	bytes := float64(l.InSize()+l.OutSize()) * float64(b) * frac * 4
+	return d.KernelTime(classOf(l.Kind), flops, bytes)
+}
+
+// LayerBW returns the backward time of layer l for b samples at
+// fraction frac.
+func (d *Device) LayerBW(l *nn.Layer, b int, frac float64) float64 {
+	flops := float64(l.BwdFLOPs()) * float64(b) * frac
+	bytes := 2 * float64(l.InSize()+l.OutSize()) * float64(b) * frac * 4
+	return d.KernelTime(classOf(l.Kind), flops, bytes)
+}
+
+// OptimizerSpec prices one optimizer's weight-update pass: how many
+// memory accesses and FLOPs each parameter costs, and how many
+// persistent state variables it keeps beyond the weight itself. §5.3.3:
+// ADAM's four variables per weight push WU time and memory up sharply.
+type OptimizerSpec struct {
+	Name string
+	// ExtraState counts persistent per-parameter tensors beyond the
+	// weight (and transient gradient): 0 for SGD, 2 for ADAM (m, v).
+	ExtraState int
+	// AccessesPerParam is memory operations per parameter per update.
+	AccessesPerParam float64
+	// FLOPsPerParam is arithmetic per parameter per update.
+	FLOPsPerParam float64
+}
+
+// SGDSpec prices plain SGD: read w, read g, write w.
+func SGDSpec() OptimizerSpec {
+	return OptimizerSpec{Name: "sgd", ExtraState: 0, AccessesPerParam: 3, FLOPsPerParam: 2}
+}
+
+// AdamSpec prices ADAM: read w/g/m/v, write w/m/v, plus the moment and
+// bias-correction arithmetic.
+func AdamSpec() OptimizerSpec {
+	return OptimizerSpec{Name: "adam", ExtraState: 2, AccessesPerParam: 7, FLOPsPerParam: 12}
+}
+
+// LayerWU returns the SGD weight-update time of layer l at weight
+// fraction frac (filter/channel parallelism update only their slice).
+func (d *Device) LayerWU(l *nn.Layer, frac float64) float64 {
+	return d.LayerWUOpt(l, frac, SGDSpec())
+}
+
+// LayerWUOpt prices the weight update under an arbitrary optimizer.
+func (d *Device) LayerWUOpt(l *nn.Layer, frac float64, opt OptimizerSpec) float64 {
+	params := float64(l.WeightSize()+l.BiasSize()) * frac
+	if params == 0 {
+		return 0
+	}
+	return d.KernelTime(UpdateClass, opt.FLOPsPerParam*params, opt.AccessesPerParam*params*4)
+}
+
+// LayerTimes is the per-layer profile the oracle consumes: seconds for
+// one SAMPLE (FW/BW) and one ITERATION (WU) per layer, as produced by
+// profiling the full (unpartitioned) layer on one device — exactly the
+// paper's procedure of profiling beforehand on the target architecture.
+type LayerTimes struct {
+	FW, BW, WU []float64
+}
+
+// ProfileModel profiles every layer of m on device d at per-GPU batch
+// size b under SGD, normalizing FW/BW to per-sample seconds.
+func ProfileModel(d *Device, m *nn.Model, b int) *LayerTimes {
+	return ProfileModelOpt(d, m, b, SGDSpec())
+}
+
+// ProfileModelOpt profiles with an explicit optimizer pricing.
+func ProfileModelOpt(d *Device, m *nn.Model, b int, opt OptimizerSpec) *LayerTimes {
+	lt := &LayerTimes{
+		FW: make([]float64, m.G()),
+		BW: make([]float64, m.G()),
+		WU: make([]float64, m.G()),
+	}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		lt.FW[i] = d.LayerFW(l, b, 1) / float64(b)
+		lt.BW[i] = d.LayerBW(l, b, 1) / float64(b)
+		lt.WU[i] = d.LayerWUOpt(l, 1, opt)
+	}
+	return lt
+}
+
+// SumFW returns Σ_l FW_l (seconds per sample).
+func (lt *LayerTimes) SumFW() float64 { return sum(lt.FW) }
+
+// SumBW returns Σ_l BW_l (seconds per sample).
+func (lt *LayerTimes) SumBW() float64 { return sum(lt.BW) }
+
+// SumWU returns Σ_l WU_l (seconds per iteration).
+func (lt *LayerTimes) SumWU() float64 { return sum(lt.WU) }
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

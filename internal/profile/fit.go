@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"paradl/internal/cluster"
+	"paradl/internal/simnet"
+)
+
+// Sample is one (message size, measured seconds) benchmark point.
+type Sample struct {
+	Bytes   float64
+	Seconds float64
+}
+
+// FitAlphaBeta least-squares-fits the Hockney model t = α + m·β to
+// benchmark samples — the interpolation step of §4.4 ("we use those
+// benchmark results to interpolate α and β").
+func FitAlphaBeta(samples []Sample) (alpha, beta float64, err error) {
+	n := float64(len(samples))
+	if n < 2 {
+		return 0, 0, fmt.Errorf("profile: need ≥2 samples to fit α/β, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		sx += s.Bytes
+		sy += s.Seconds
+		sxx += s.Bytes * s.Bytes
+		sxy += s.Bytes * s.Seconds
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("profile: degenerate sample set (all sizes equal)")
+	}
+	beta = (n*sxy - sx*sy) / den
+	alpha = (sy - beta*sx) / n
+	if beta < 0 {
+		// Latency noise can produce a slightly negative slope on tiny
+		// ranges; clamp and re-estimate α as the mean residual.
+		beta = 0
+		alpha = sy / n
+	}
+	return alpha, beta, nil
+}
+
+// PingPong benchmarks the p2p path between two PEs on the simulated
+// fabric at the given message sizes.
+func PingPong(topo *simnet.Topology, src, dst int, sizes []float64, mpi bool) []Sample {
+	out := make([]Sample, 0, len(sizes))
+	for _, m := range sizes {
+		sim := simnet.NewSim(topo.Net)
+		var path []simnet.LinkID
+		if mpi {
+			path = topo.RouteMPI(src, dst)
+		} else {
+			path = topo.Route(src, dst)
+		}
+		f := sim.Start(path, m)
+		out = append(out, Sample{Bytes: m, Seconds: sim.RunUntilDone(f)})
+	}
+	return out
+}
+
+// DefaultSizes is a geometric sweep of benchmark message sizes (1 KiB
+// to 256 MiB), mirroring osu_latency/nccl-tests sweeps.
+func DefaultSizes() []float64 {
+	var out []float64
+	for m := 1024.0; m <= 256*1024*1024; m *= 4 {
+		out = append(out, m)
+	}
+	return out
+}
+
+// CalibrateSystem re-derives per-level α/β pairs from the simulated
+// fabric itself and returns a copy of sys carrying them. Running the
+// oracle with calibrated parameters closes the loop the paper
+// describes: benchmarks in, projections out, no hand-set constants.
+func CalibrateSystem(sys *cluster.System) (*cluster.System, error) {
+	topo := simnet.NewTopology(sys)
+	pairs := map[cluster.LinkLevel][2]int{
+		cluster.IntraNode: {0, 1},
+		cluster.IntraRack: {0, sys.GPUsPerNode},
+		cluster.InterRack: {0, sys.GPUsPerNode * sys.NodesPerRack},
+	}
+	out := *sys
+	out.NCCL = map[cluster.LinkLevel]cluster.AlphaBeta{}
+	out.MPI = map[cluster.LinkLevel]cluster.AlphaBeta{}
+	for lvl, pe := range pairs {
+		for _, mpi := range []bool{false, true} {
+			samples := PingPong(topo, pe[0], pe[1], DefaultSizes(), mpi)
+			a, b, err := FitAlphaBeta(samples)
+			if err != nil {
+				return nil, fmt.Errorf("profile: calibrating %v (mpi=%v): %w", lvl, mpi, err)
+			}
+			if mpi {
+				out.MPI[lvl] = cluster.AlphaBeta{Alpha: a, Beta: b}
+			} else {
+				out.NCCL[lvl] = cluster.AlphaBeta{Alpha: a, Beta: b}
+			}
+		}
+	}
+	return &out, nil
+}
+
+// FitQuality returns the maximum relative residual of the fitted model
+// over the samples.
+func FitQuality(samples []Sample, alpha, beta float64) float64 {
+	worst := 0.0
+	for _, s := range samples {
+		pred := alpha + beta*s.Bytes
+		if s.Seconds == 0 {
+			continue
+		}
+		r := math.Abs(pred-s.Seconds) / s.Seconds
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paradl/internal/cluster"
+	"paradl/internal/model"
+	"paradl/internal/simnet"
+)
+
+func TestFitAlphaBetaExact(t *testing.T) {
+	alpha, beta := 12e-6, 1.0/10e9
+	var samples []Sample
+	for _, m := range DefaultSizes() {
+		samples = append(samples, Sample{Bytes: m, Seconds: alpha + beta*m})
+	}
+	a, b, err := FitAlphaBeta(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-alpha) > alpha*1e-6 || math.Abs(b-beta) > beta*1e-6 {
+		t.Fatalf("fit (%g, %g), want (%g, %g)", a, b, alpha, beta)
+	}
+}
+
+func TestFitAlphaBetaRejectsDegenerate(t *testing.T) {
+	if _, _, err := FitAlphaBeta([]Sample{{1, 1}}); err == nil {
+		t.Fatal("single sample must be rejected")
+	}
+	if _, _, err := FitAlphaBeta([]Sample{{1024, 1e-6}, {1024, 2e-6}}); err == nil {
+		t.Fatal("equal sizes must be rejected")
+	}
+}
+
+// Property: the fit recovers arbitrary positive (α, β) from exact data.
+func TestFitRecoveryProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		alpha := float64(aRaw%1000+1) * 1e-6
+		beta := 1.0 / (float64(bRaw%100+1) * 1e9)
+		var samples []Sample
+		for m := 1e3; m <= 1e8; m *= 10 {
+			samples = append(samples, Sample{Bytes: m, Seconds: alpha + beta*m})
+		}
+		a, b, err := FitAlphaBeta(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a-alpha) < alpha*1e-3+1e-12 && math.Abs(b-beta) < beta*1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongMonotonic(t *testing.T) {
+	sys := cluster.Default()
+	topo := simnet.NewTopology(sys)
+	samples := PingPong(topo, 0, 1, DefaultSizes(), false)
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Seconds <= samples[i-1].Seconds {
+			t.Fatalf("p2p time must grow with size: %v", samples)
+		}
+	}
+}
+
+func TestCalibrateSystemOrdering(t *testing.T) {
+	sys := cluster.Default()
+	cal, err := CalibrateSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth ordering: NVLink (intra-node) ≥ IB rails; MPI path is
+	// slower than GPU-direct at every level.
+	for _, lvl := range []cluster.LinkLevel{cluster.IntraNode, cluster.IntraRack, cluster.InterRack} {
+		nccl := cal.NCCL[lvl]
+		mpi := cal.MPI[lvl]
+		if nccl.Beta <= 0 || nccl.Alpha <= 0 {
+			t.Fatalf("%v: non-positive calibrated parameters %+v", lvl, nccl)
+		}
+		if mpi.Beta < nccl.Beta {
+			t.Fatalf("%v: MPI β %g should be ≥ NCCL β %g", lvl, mpi.Beta, nccl.Beta)
+		}
+		if mpi.Alpha < nccl.Alpha {
+			t.Fatalf("%v: MPI α %g should be ≥ NCCL α %g", lvl, mpi.Alpha, nccl.Alpha)
+		}
+	}
+	if cal.NCCL[cluster.IntraNode].Beta > cal.NCCL[cluster.IntraRack].Beta {
+		t.Fatal("intra-node bandwidth must be ≥ intra-rack")
+	}
+	// The calibrated parameters should fit their own benchmarks well.
+	topo := simnet.NewTopology(sys)
+	samples := PingPong(topo, 0, 1, DefaultSizes(), false)
+	q := FitQuality(samples, cal.NCCL[cluster.IntraNode].Alpha, cal.NCCL[cluster.IntraNode].Beta)
+	if q > 0.25 {
+		t.Fatalf("intra-node fit residual %.2f too large", q)
+	}
+}
+
+func TestDeviceEfficiencySaturates(t *testing.T) {
+	d := NewDevice(cluster.Default().GPU)
+	small := d.Efficiency(ConvClass, 1e6)
+	large := d.Efficiency(ConvClass, 1e12)
+	if small >= large {
+		t.Fatal("efficiency must grow with work")
+	}
+	if large > d.MaxEff[ConvClass] {
+		t.Fatal("efficiency cannot exceed the class maximum")
+	}
+}
+
+func TestKernelTimeRegimes(t *testing.T) {
+	d := NewDevice(cluster.Default().GPU)
+	// A compute-heavy kernel is FLOP-bound.
+	tc := d.KernelTime(ConvClass, 1e12, 1e6)
+	if tc < 1e12/(d.GPU.PeakFLOPS*d.MaxEff[ConvClass]) {
+		t.Fatal("compute-bound kernel too fast")
+	}
+	// A pure memory kernel is bandwidth-bound.
+	tm := d.KernelTime(ElementwiseClass, 0, 1e9)
+	want := 1e9/d.GPU.MemBandwidth + d.GPU.LaunchOverhead
+	if math.Abs(tm-want) > want*1e-9 {
+		t.Fatalf("elementwise time %g, want %g", tm, want)
+	}
+	// Updates achieve only a fraction of bandwidth.
+	tu := d.KernelTime(UpdateClass, 0, 1e9)
+	if tu <= tm {
+		t.Fatal("optimizer updates must be slower per byte than plain elementwise")
+	}
+}
+
+func TestProfileModelShapes(t *testing.T) {
+	sys := cluster.Default()
+	d := NewDevice(sys.GPU)
+	m := model.ResNet50()
+	lt := ProfileModel(d, m, 32)
+	if len(lt.FW) != m.G() || len(lt.BW) != m.G() || len(lt.WU) != m.G() {
+		t.Fatal("profile must cover every layer")
+	}
+	if lt.SumFW() <= 0 || lt.SumBW() <= lt.SumFW() {
+		t.Fatalf("BW (%g) should exceed FW (%g)", lt.SumBW(), lt.SumFW())
+	}
+	// Weight-less layers have zero WU time.
+	for i := range m.Layers {
+		if m.Layers[i].WeightSize() == 0 && lt.WU[i] != 0 {
+			t.Fatalf("layer %d (%s) has WU time without weights", i, m.Layers[i].Name)
+		}
+	}
+}
+
+func TestVGGWeightUpdateShare(t *testing.T) {
+	// Fig. 7 calibration target: VGG16 weight update ≈15% of compute at
+	// b=32.
+	sys := cluster.Default()
+	d := NewDevice(sys.GPU)
+	m := model.VGG16()
+	lt := ProfileModel(d, m, 32)
+	b := 32.0
+	comp := b*(lt.SumFW()+lt.SumBW()) + lt.SumWU()
+	share := lt.SumWU() / comp
+	if share < 0.08 || share > 0.25 {
+		t.Fatalf("VGG16 WU share %.3f outside Fig. 7's ≈0.15 regime", share)
+	}
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"testing"
+
+	"paradl/internal/core"
+)
+
+func TestFig3GridShapes(t *testing.T) {
+	e := sharedEnv()
+	cells, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty Fig 3 grid")
+	}
+	seen := map[core.Strategy]bool{}
+	for _, c := range cells {
+		seen[c.Strategy] = true
+		if c.Oracle.Total() <= 0 || c.Measured.Total() <= 0 {
+			t.Fatalf("%s/%v p=%d: non-positive times", c.Model, c.Strategy, c.P)
+		}
+		if c.Accuracy <= 0.3 || c.Accuracy > 1.0 {
+			t.Fatalf("%s/%v p=%d: accuracy %.3f out of band", c.Model, c.Strategy, c.P, c.Accuracy)
+		}
+	}
+	for _, s := range core.Strategies() {
+		if !seen[s] {
+			t.Fatalf("strategy %v missing from the Fig 3 grid", s)
+		}
+	}
+}
+
+func TestAccuracySummaryMatchesPaperShape(t *testing.T) {
+	e := sharedEnv()
+	sum, err := e.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.2's headline shape: data parallelism is the most accurately
+	// projected strategy, and the overall average sits in the 80–100%
+	// band (the paper reports 86.74%).
+	dataAcc := sum.PerStrategy[core.Data]
+	if dataAcc < 0.9 {
+		t.Fatalf("data accuracy %.3f should be ≥0.9 (paper: 0.961)", dataAcc)
+	}
+	for s, acc := range sum.PerStrategy {
+		if s == core.Data {
+			continue
+		}
+		if acc > dataAcc {
+			t.Fatalf("%v accuracy %.3f exceeds data parallelism's %.3f — ordering broken", s, acc, dataAcc)
+		}
+	}
+	if sum.Overall < 0.75 || sum.Overall > 1.0 {
+		t.Fatalf("overall accuracy %.3f outside the paper's regime (0.8674)", sum.Overall)
+	}
+	// CosmoFlow must be the least accurately projected model (74.14% in
+	// the paper).
+	worst := ""
+	worstAcc := 2.0
+	for m, acc := range sum.PerModel {
+		if acc < worstAcc {
+			worst, worstAcc = m, acc
+		}
+	}
+	if worst != "cosmoflow128" {
+		t.Fatalf("worst-projected model is %s (%.3f), paper says CosmoFlow", worst, worstAcc)
+	}
+}
+
+func TestFilterCommCrossoverShape(t *testing.T) {
+	// §5.3.1: on ImageNet models with B≥32, filter/channel comm exceeds
+	// data parallelism's — across the whole Fig. 3 grid, every filter/
+	// channel cell must have more comm than the matching data cell's GE.
+	e := sharedEnv()
+	cells, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataComm := map[string]float64{}
+	for _, c := range cells {
+		if c.Strategy == core.Data && c.P == 16 {
+			dataComm[c.Model] = c.Measured.Comm()
+		}
+	}
+	for _, c := range cells {
+		if c.Strategy != core.Filter && c.Strategy != core.Channel {
+			continue
+		}
+		if base, ok := dataComm[c.Model]; ok && c.Measured.Comm() <= base {
+			t.Fatalf("%s/%v p=%d: comm %.4f does not exceed data comm %.4f",
+				c.Model, c.Strategy, c.P, c.Measured.Comm(), base)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"paradl/internal/core"
+)
+
+// WriteFig3CSV emits the Fig. 3 grid in machine-readable form (one row
+// per cell) for downstream plotting.
+func (e *Env) WriteFig3CSV(w io.Writer) error {
+	cells, err := e.Fig3()
+	if err != nil {
+		return err
+	}
+	return writeCellsCSV(w, cells)
+}
+
+// WriteFig4CSV emits the CosmoFlow accuracy series.
+func (e *Env) WriteFig4CSV(w io.Writer) error {
+	cells, err := e.Fig4()
+	if err != nil {
+		return err
+	}
+	return writeCellsCSV(w, cells)
+}
+
+func writeCellsCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"model", "strategy", "gpus", "batch",
+		"oracle_fw_s", "oracle_bw_s", "oracle_wu_s", "oracle_ge_s",
+		"oracle_fbcomm_s", "oracle_halo_s", "oracle_pipe_s", "oracle_scatter_s",
+		"measured_fw_s", "measured_bw_s", "measured_wu_s", "measured_ge_s",
+		"measured_fbcomm_s", "measured_halo_s", "measured_pipe_s", "measured_scatter_s",
+		"accuracy",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return fmt.Sprintf("%.9g", x) }
+	for _, c := range cells {
+		o, m := c.Oracle, c.Measured
+		row := []string{
+			c.Model, c.Strategy.String(), fmt.Sprint(c.P), fmt.Sprint(c.B),
+			f(o.FW), f(o.BW), f(o.WU), f(o.GE), f(o.FBComm), f(o.Halo), f(o.PipeP2P), f(o.Scatter),
+			f(m.FW), f(m.BW), f(m.WU), f(m.GE), f(m.FBComm), f(m.Halo), f(m.PipeP2P), f(m.Scatter),
+			f(c.Accuracy),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits the congestion scatter.
+func (e *Env) WriteFig6CSV(w io.Writer, trials int, congestedFrac float64, seed int64) error {
+	series := e.Fig6(trials, congestedFrac, seed)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "bytes", "theory_s", "measured_s", "inflation", "congested"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Samples {
+			row := []string{
+				s.Name,
+				fmt.Sprintf("%.0f", p.Bytes),
+				fmt.Sprintf("%.9g", p.Theory),
+				fmt.Sprintf("%.9g", p.Measured),
+				fmt.Sprintf("%.4f", p.Inflation),
+				fmt.Sprint(p.Congested),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAccuracyCSV emits the per-strategy accuracy summary.
+func (e *Env) WriteAccuracyCSV(w io.Writer) error {
+	sum, err := e.Accuracy()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "mean_accuracy"}); err != nil {
+		return err
+	}
+	for _, s := range core.Strategies() {
+		if v, ok := sum.PerStrategy[s]; ok {
+			if err := cw.Write([]string{s.String(), fmt.Sprintf("%.6f", v)}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cw.Write([]string{"overall", fmt.Sprintf("%.6f", sum.Overall)}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestFig3CSVRoundTrip(t *testing.T) {
+	e := sharedEnv()
+	var buf bytes.Buffer
+	if err := e.WriteFig3CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cells)+1 {
+		t.Fatalf("csv rows %d, want %d cells + header", len(rows), len(cells))
+	}
+	if rows[0][0] != "model" || rows[0][len(rows[0])-1] != "accuracy" {
+		t.Fatalf("bad header %v", rows[0])
+	}
+	// Spot check: accuracy column parses and matches.
+	acc, err := strconv.ParseFloat(rows[1][len(rows[1])-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := acc - cells[0].Accuracy; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("csv accuracy %g vs cell %g", acc, cells[0].Accuracy)
+	}
+}
+
+func TestFig6CSVStructure(t *testing.T) {
+	e := sharedEnv()
+	var buf bytes.Buffer
+	if err := e.WriteFig6CSV(&buf, 4, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 series × 4 trials + header
+	if len(rows) != 9 {
+		t.Fatalf("csv rows %d, want 9", len(rows))
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(row[4], 64); err != nil {
+			t.Fatalf("inflation column unparsable: %v", row)
+		}
+	}
+}
+
+func TestAccuracyCSV(t *testing.T) {
+	e := sharedEnv()
+	var buf bytes.Buffer
+	if err := e.WriteAccuracyCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[len(rows)-1][0] != "overall" {
+		t.Fatalf("last row should be overall: %v", rows[len(rows)-1])
+	}
+	v, err := strconv.ParseFloat(rows[len(rows)-1][1], 64)
+	if err != nil || v <= 0.5 || v > 1 {
+		t.Fatalf("overall accuracy %v (%v)", v, err)
+	}
+}

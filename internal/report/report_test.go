@@ -1,0 +1,246 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"paradl/internal/core"
+)
+
+// sharedEnv caches one experiment environment across tests: the Fig. 3
+// grid is deterministic and expensive, so tests share it.
+var (
+	sharedOnce sync.Once
+	shared     *Env
+)
+
+func sharedEnv() *Env {
+	sharedOnce.Do(func() { shared = NewEnv() })
+	return shared
+}
+
+func TestTable5ShapesMatchPaper(t *testing.T) {
+	e := sharedEnv()
+	rows := e.Table5()
+	if len(rows) != 4 {
+		t.Fatalf("Table 5 rows %d, want 4", len(rows))
+	}
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	if byName["resnet50"].Samples != 1_281_167 {
+		t.Fatal("ImageNet sample count wrong")
+	}
+	if byName["cosmoflow"].Samples != 1584 {
+		t.Fatal("CosmoFlow sample count wrong")
+	}
+	// Parameter ordering of Table 5.
+	if !(byName["cosmoflow"].Params < byName["resnet50"].Params &&
+		byName["resnet50"].Params < byName["resnet152"].Params &&
+		byName["resnet152"].Params < byName["vgg16"].Params) {
+		t.Fatal("parameter ordering violates Table 5")
+	}
+}
+
+func TestTable3Evaluates(t *testing.T) {
+	e := sharedEnv()
+	rows, err := e.Table3("resnet50", 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // serial + 7 strategies
+		t.Fatalf("Table 3 rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CompSec <= 0 {
+			t.Fatalf("%v: non-positive compute", r.Strategy)
+		}
+		if r.Strategy == core.Serial && r.CommSec != 0 {
+			t.Fatal("serial must have zero comm")
+		}
+		if r.Strategy != core.Serial && r.CommSec <= 0 {
+			t.Fatalf("%v: expected communication time", r.Strategy)
+		}
+	}
+}
+
+func TestFig7WeightUpdateShares(t *testing.T) {
+	e := sharedEnv()
+	rows := e.Fig7()
+	share := map[string]float64{}
+	for _, r := range rows {
+		share[r.Model] = r.WUShare
+	}
+	// Fig. 7's headline: VGG16's WU share is the largest of the
+	// ImageNet models and reaches ≈15%.
+	if share["vgg16"] < share["resnet50"] || share["vgg16"] < share["resnet152"] {
+		t.Fatalf("VGG16 WU share %.3f must dominate ResNets (%.3f, %.3f)",
+			share["vgg16"], share["resnet50"], share["resnet152"])
+	}
+	if share["vgg16"] < 0.08 || share["vgg16"] > 0.25 {
+		t.Fatalf("VGG16 WU share %.3f outside ≈0.15 regime", share["vgg16"])
+	}
+	// CosmoFlow is compute-dominated (tiny model): negligible WU.
+	if share["cosmoflow"] > 0.05 {
+		t.Fatalf("CosmoFlow WU share %.3f should be negligible", share["cosmoflow"])
+	}
+}
+
+func TestFig8ConvScalingGap(t *testing.T) {
+	e := sharedEnv()
+	rows, err := e.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Fig 8 rows %d", len(rows))
+	}
+	// Efficiency must fall with p (Fig. 8's message) and stay below 1.
+	for i, r := range rows {
+		if r.Efficiency >= 1 {
+			t.Fatalf("p=%d: measured cannot beat ideal (eff %.2f)", r.P, r.Efficiency)
+		}
+		if i > 0 && r.Efficiency >= rows[i-1].Efficiency {
+			t.Fatalf("efficiency must degrade with p: p=%d %.3f vs p=%d %.3f",
+				r.P, r.Efficiency, rows[i-1].P, rows[i-1].Efficiency)
+		}
+	}
+	if last := rows[len(rows)-1]; last.Overhead <= 0 {
+		t.Fatal("split/concat overhead must be visible at p=64")
+	}
+}
+
+func TestFig4CosmoFlowAccuracy(t *testing.T) {
+	e := sharedEnv()
+	cells, err := e.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("Fig 4 cells %d", len(cells))
+	}
+	mean := 0.0
+	for _, c := range cells {
+		// CosmoFlow is the paper's LOWEST-accuracy model (74.14%): at
+		// sub-one-sample-per-GPU granularity the shrunken 3-D kernels
+		// sit far below the efficiency knee, which the ideal model
+		// cannot see. The same effect dominates here.
+		if c.Accuracy < 0.5 {
+			t.Fatalf("CosmoFlow ds accuracy %.3f at p=%d too low", c.Accuracy, c.P)
+		}
+		mean += c.Accuracy
+	}
+	mean /= float64(len(cells))
+	if mean < 0.55 || mean > 0.95 {
+		t.Fatalf("CosmoFlow mean accuracy %.3f outside the paper's regime (0.7414)", mean)
+	}
+}
+
+func TestFig5DsScalesNearPerfectly(t *testing.T) {
+	e := sharedEnv()
+	base, pts, err := e.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 0 {
+		t.Fatal("baseline epoch time must be positive")
+	}
+	// Fig. 5: "the curve shows a perfect scaling" — epoch time falls
+	// nearly linearly as the data pool widens, so the speedup at p
+	// should be within a factor ~2 of the ideal p/4 (the baseline uses
+	// 4 GPUs).
+	for _, pt := range pts {
+		ideal := float64(pt.P) / 4
+		if pt.Speedup < ideal*0.5 || pt.Speedup > ideal*1.5 {
+			t.Fatalf("p=%d: speedup %.2f vs ideal %.1f — scaling shape broken", pt.P, pt.Speedup, ideal)
+		}
+	}
+	// Monotone increase in speedup with p.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Fatalf("speedup must grow with p: %v", pts)
+		}
+	}
+}
+
+func TestFig6CongestionOutliers(t *testing.T) {
+	e := sharedEnv()
+	series := e.Fig6(12, 0.35, 99)
+	if len(series) != 2 {
+		t.Fatalf("Fig 6 series %d", len(series))
+	}
+	for _, s := range series {
+		var cleanMax, congestedMax float64
+		for _, p := range s.Samples {
+			if p.Congested {
+				if p.Inflation > congestedMax {
+					congestedMax = p.Inflation
+				}
+			} else if p.Inflation > cleanMax {
+				cleanMax = p.Inflation
+			}
+		}
+		// Clean points track the α–β line (within ~50%); congestion
+		// produces clear outliers (the paper saw up to 4×).
+		if cleanMax > 1.6 {
+			t.Fatalf("%s: clean inflation %.2f too high", s.Name, cleanMax)
+		}
+		if congestedMax < 1.5 {
+			t.Fatalf("%s: congested inflation %.2f too small for outliers", s.Name, congestedMax)
+		}
+		if congestedMax > 8 {
+			t.Fatalf("%s: congested inflation %.2f beyond plausible regime", s.Name, congestedMax)
+		}
+	}
+}
+
+func TestWriteRenderings(t *testing.T) {
+	e := sharedEnv()
+	var buf bytes.Buffer
+	if err := e.WriteTable5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteTable3(&buf, "resnet50", 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteFig7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteTable6(&buf, "vgg16", 64, 32); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 5", "Table 3", "Figure 7", "Table 6", "vgg16", "resnet50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestTable6DetectsKnownFindings(t *testing.T) {
+	e := sharedEnv()
+	rows, err := e.Table6("vgg16", 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dataHasGE, fcHasLayerwise bool
+	for _, r := range rows {
+		for _, f := range r.Findings {
+			if r.Strategy == core.Data && f.Remark == "Gradient-exchange" {
+				dataHasGE = true
+			}
+			if (r.Strategy == core.Filter || r.Strategy == core.Channel) && f.Remark == "Layer-wise comm." {
+				fcHasLayerwise = true
+			}
+		}
+	}
+	if !dataHasGE {
+		t.Fatal("Table 6: data parallelism must flag gradient exchange for VGG16@64")
+	}
+	if !fcHasLayerwise {
+		t.Fatal("Table 6: filter/channel must flag layer-wise communication")
+	}
+}

@@ -1,0 +1,53 @@
+package simnet
+
+import (
+	"testing"
+
+	"paradl/internal/cluster"
+)
+
+func BenchmarkSingleFlow(b *testing.B) {
+	n, a, l2 := twoLinkNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSim(n)
+		f := s.Start([]LinkID{a, l2}, 1e9)
+		s.RunUntilDone(f)
+	}
+}
+
+func BenchmarkContending64Flows(b *testing.B) {
+	n := NewNetwork()
+	l := n.AddLink("shared", 10e9, 1e-6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSim(n)
+		ids := make([]FlowID, 64)
+		for j := range ids {
+			ids[j] = s.Start([]LinkID{l}, 1e6*float64(j+1))
+		}
+		s.RunUntilDone(ids...)
+	}
+}
+
+func BenchmarkFatTreeBuild(b *testing.B) {
+	sys := cluster.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewTopology(sys)
+	}
+}
+
+func BenchmarkRingRound1024(b *testing.B) {
+	sys := cluster.Default()
+	topo := NewTopology(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSim(topo.Net)
+		ids := make([]FlowID, 0, 1024)
+		for pe := 0; pe < 1024; pe++ {
+			ids = append(ids, s.Start(topo.Route(pe, (pe+1)%1024), 100e3))
+		}
+		s.RunUntilDone(ids...)
+	}
+}

@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"fmt"
+
+	"paradl/internal/cluster"
+)
+
+// Topology instantiates a cluster.System as simnet links and provides
+// routing between PEs. Two data paths exist per GPU, mirroring the
+// paper's software stack: the GPU-direct path (NCCL collectives over
+// NVLink/IB) and the through-host path (MPI halo exchange over PCIe,
+// §5.1).
+type Topology struct {
+	Sys *cluster.System
+	Net *Network
+
+	gpuUp, gpuDown   []LinkID   // GPU ↔ node fabric (NVLink)
+	pcieUp, pcieDown []LinkID   // GPU ↔ host (PCIe, MPI path)
+	nodeUp, nodeDown [][]LinkID // node ↔ leaf switch, one entry per IB rail
+	rackUp, rackDown []LinkID   // leaf ↔ spine (oversubscribed)
+}
+
+// Paper-calibrated physical constants of the fabric model.
+const (
+	nvlinkBW    = 20e9   // NVLink GPU↔fabric, bytes/s
+	pcieBW      = 8e9    // effective staged D2H+H2D bandwidth (no GPUDirect)
+	railBW      = 12.5e9 // one EDR InfiniBand rail
+	hopLatency  = 3.5e-6 // per-switch-hop propagation + software stack
+	gpuLatency  = 4e-6   // GPU engine injection + NCCL launch latency
+	hostPenalty = 15e-6  // extra latency for host-staged (MPI) transfers
+)
+
+// NewTopology builds the fat-tree network for sys.
+func NewTopology(sys *cluster.System) *Topology {
+	t := &Topology{Sys: sys, Net: NewNetwork()}
+	gpus := sys.TotalGPUs()
+	nodes := sys.NodesPerRack * sys.Racks
+
+	for g := 0; g < gpus; g++ {
+		t.gpuUp = append(t.gpuUp, t.Net.AddLink(fmt.Sprintf("gpu%d.up", g), nvlinkBW, gpuLatency))
+		t.gpuDown = append(t.gpuDown, t.Net.AddLink(fmt.Sprintf("gpu%d.down", g), nvlinkBW, gpuLatency))
+		t.pcieUp = append(t.pcieUp, t.Net.AddLink(fmt.Sprintf("gpu%d.pcie.up", g), pcieBW, gpuLatency+hostPenalty))
+		t.pcieDown = append(t.pcieDown, t.Net.AddLink(fmt.Sprintf("gpu%d.pcie.down", g), pcieBW, gpuLatency))
+	}
+	for nd := 0; nd < nodes; nd++ {
+		ups := make([]LinkID, sys.UplinksPerNode)
+		downs := make([]LinkID, sys.UplinksPerNode)
+		for r := 0; r < sys.UplinksPerNode; r++ {
+			ups[r] = t.Net.AddLink(fmt.Sprintf("node%d.rail%d.up", nd, r), railBW, hopLatency)
+			downs[r] = t.Net.AddLink(fmt.Sprintf("node%d.rail%d.down", nd, r), railBW, hopLatency)
+		}
+		t.nodeUp = append(t.nodeUp, ups)
+		t.nodeDown = append(t.nodeDown, downs)
+	}
+	rackBW := float64(sys.NodesPerRack*sys.UplinksPerNode) * railBW / sys.Oversubscription
+	for r := 0; r < sys.Racks; r++ {
+		t.rackUp = append(t.rackUp, t.Net.AddLink(fmt.Sprintf("rack%d.up", r), rackBW, hopLatency))
+		t.rackDown = append(t.rackDown, t.Net.AddLink(fmt.Sprintf("rack%d.down", r), rackBW, hopLatency))
+	}
+	return t
+}
+
+// Route returns the GPU-direct path from PE a to PE b.
+func (t *Topology) Route(a, b int) []LinkID {
+	return t.route(a, b, t.gpuUp, t.gpuDown)
+}
+
+// RouteMPI returns the host-staged path from PE a to PE b (PCIe in and
+// out of host memory instead of NVLink).
+func (t *Topology) RouteMPI(a, b int) []LinkID {
+	return t.route(a, b, t.pcieUp, t.pcieDown)
+}
+
+func (t *Topology) route(a, b int, up, down []LinkID) []LinkID {
+	if a == b {
+		panic("simnet: route to self")
+	}
+	sys := t.Sys
+	na, nb := sys.Node(a), sys.Node(b)
+	ra, rb := sys.Rack(a), sys.Rack(b)
+	path := []LinkID{up[a]}
+	if na != nb {
+		// Rail selection hashes on the sender's intra-node position so
+		// the four segmented Allreduces of Data+Filter spread across the
+		// two rails two-and-two — producing the φ=2 self-contention the
+		// paper models (§5.2).
+		rail := (a % sys.GPUsPerNode) % sys.UplinksPerNode
+		path = append(path, t.nodeUp[na][rail])
+		if ra != rb {
+			path = append(path, t.rackUp[ra], t.rackDown[rb])
+		}
+		path = append(path, t.nodeDown[nb][rail])
+	}
+	return append(path, down[b])
+}
+
+// UplinkOf returns the node uplink rail carrying PE's inter-node
+// traffic (used to attach background congestion flows).
+func (t *Topology) UplinkOf(pe int) LinkID {
+	rail := (pe % t.Sys.GPUsPerNode) % t.Sys.UplinksPerNode
+	return t.nodeUp[t.Sys.Node(pe)][rail]
+}
+
+// RackUplinkOf returns the spine uplink of PE's rack.
+func (t *Topology) RackUplinkOf(pe int) LinkID { return t.rackUp[t.Sys.Rack(pe)] }

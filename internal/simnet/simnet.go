@@ -1,0 +1,293 @@
+// Package simnet is a discrete-event, flow-level network simulator.
+//
+// It stands in for the paper's physical InfiniBand/NVLink fabric: links
+// have capacities and latencies, concurrent flows share links under
+// max–min fairness (progressive filling), and completions are exact
+// under piecewise-constant rates. Ring-collective steps, halo
+// exchanges, pipeline transfers, and the background traffic that
+// produces Fig. 6's congestion outliers are all expressed as flows.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinkID identifies one unidirectional link.
+type LinkID int
+
+// Link is a unidirectional channel with a fixed capacity and
+// propagation latency.
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second
+	Latency  float64 // seconds
+}
+
+// Network is a static set of links. Routing is supplied by the caller
+// (see Topology), keeping the simulator topology-agnostic.
+type Network struct {
+	links []Link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddLink registers a link and returns its id.
+func (n *Network) AddLink(name string, capacity, latency float64) LinkID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: link %q capacity must be positive", name))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("simnet: link %q latency must be non-negative", name))
+	}
+	n.links = append(n.links, Link{Name: name, Capacity: capacity, Latency: latency})
+	return LinkID(len(n.links) - 1)
+}
+
+// Link returns the link record for id.
+func (n *Network) Link(id LinkID) Link { return n.links[id] }
+
+// NumLinks returns the number of registered links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// PathLatency sums the propagation latency along a path.
+func (n *Network) PathLatency(path []LinkID) float64 {
+	lat := 0.0
+	for _, id := range path {
+		lat += n.links[id].Latency
+	}
+	return lat
+}
+
+// FlowID identifies a flow within one Sim.
+type FlowID int
+
+type flow struct {
+	id        FlowID
+	path      []LinkID
+	remaining float64 // bytes still to transfer
+	release   float64 // time data starts flowing (start + path latency)
+	rate      float64 // current max–min rate
+	done      bool
+	finish    float64
+}
+
+// Sim advances a set of flows over a Network through time.
+type Sim struct {
+	net    *Network
+	now    float64
+	flows  map[FlowID]*flow
+	nextID FlowID
+}
+
+// NewSim creates a simulator over net starting at time 0.
+func NewSim(net *Network) *Sim {
+	return &Sim{net: net, flows: map[FlowID]*flow{}}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Start injects a flow of the given size on path at the current time.
+// The flow's bytes begin moving after the path's propagation latency.
+func (s *Sim) Start(path []LinkID, bytes float64) FlowID {
+	if len(path) == 0 {
+		panic("simnet: flow needs a non-empty path")
+	}
+	if bytes <= 0 {
+		panic("simnet: flow size must be positive")
+	}
+	id := s.nextID
+	s.nextID++
+	s.flows[id] = &flow{
+		id:        id,
+		path:      append([]LinkID(nil), path...),
+		remaining: bytes,
+		release:   s.now + s.net.PathLatency(path),
+	}
+	return id
+}
+
+// Done reports whether the flow has completed.
+func (s *Sim) Done(id FlowID) bool {
+	f, ok := s.flows[id]
+	return ok && f.done
+}
+
+// FinishTime returns the completion time of a finished flow.
+func (s *Sim) FinishTime(id FlowID) float64 {
+	f, ok := s.flows[id]
+	if !ok || !f.done {
+		panic(fmt.Sprintf("simnet: flow %d not finished", id))
+	}
+	return f.finish
+}
+
+// Cancel removes an unfinished flow (used to tear down background
+// traffic).
+func (s *Sim) Cancel(id FlowID) {
+	delete(s.flows, id)
+}
+
+// RunUntilDone advances time until every flow in ids has completed and
+// returns the elapsed simulated seconds. Other (e.g. background) flows
+// progress concurrently and may remain active afterwards.
+func (s *Sim) RunUntilDone(ids ...FlowID) float64 {
+	start := s.now
+	for {
+		if s.allDone(ids) {
+			return s.now - start
+		}
+		if !s.Advance() {
+			panic("simnet: deadlock — tracked flows cannot finish")
+		}
+	}
+}
+
+// Advance processes exactly one event (a flow release or completion),
+// moving simulated time forward. It returns false when no event can
+// occur (no unfinished flows). Exposed so multi-collective engines can
+// interleave progress checks between events.
+func (s *Sim) Advance() bool { return s.step() }
+
+func (s *Sim) allDone(ids []FlowID) bool {
+	for _, id := range ids {
+		f, ok := s.flows[id]
+		if !ok {
+			panic(fmt.Sprintf("simnet: unknown flow %d", id))
+		}
+		if !f.done {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances to the next event (a flow release or the earliest
+// completion at current rates). Returns false if no event can occur.
+func (s *Sim) step() bool {
+	s.assignRates()
+
+	// Next release among flows not yet flowing.
+	nextEvent := math.Inf(1)
+	for _, f := range s.flows {
+		if f.done {
+			continue
+		}
+		if f.release > s.now && f.release < nextEvent {
+			nextEvent = f.release
+		}
+	}
+	// Earliest completion among flowing flows.
+	for _, f := range s.flows {
+		if f.done || f.release > s.now || f.rate <= 0 {
+			continue
+		}
+		t := s.now + f.remaining/f.rate
+		if t < nextEvent {
+			nextEvent = t
+		}
+	}
+	if math.IsInf(nextEvent, 1) {
+		return false
+	}
+
+	dt := nextEvent - s.now
+	for _, f := range s.flows {
+		if f.done || f.release > s.now {
+			continue
+		}
+		f.remaining -= f.rate * dt
+	}
+	s.now = nextEvent
+	const eps = 1e-12
+	for _, f := range s.flows {
+		if f.done || f.release > s.now {
+			continue
+		}
+		if f.remaining <= eps*math.Max(1, f.rate) {
+			f.remaining = 0
+			f.done = true
+			f.finish = s.now
+		}
+	}
+	return true
+}
+
+// assignRates computes max–min fair rates for all flowing flows via
+// progressive filling: repeatedly saturate the most constrained link,
+// freeze its flows at the fair share, and continue with residual
+// capacities.
+func (s *Sim) assignRates() {
+	active := make([]*flow, 0, len(s.flows))
+	for _, f := range s.flows {
+		if !f.done && f.release <= s.now {
+			f.rate = 0
+			active = append(active, f)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	// Deterministic ordering for reproducibility.
+	sort.Slice(active, func(i, j int) bool { return active[i].id < active[j].id })
+
+	residual := make([]float64, s.net.NumLinks())
+	count := make([]int, s.net.NumLinks())
+	for i := range residual {
+		residual[i] = s.net.links[i].Capacity
+	}
+	frozen := make(map[FlowID]bool, len(active))
+	for _, f := range active {
+		for _, l := range f.path {
+			count[l]++
+		}
+	}
+
+	for len(frozen) < len(active) {
+		// Find the bottleneck link: smallest residual/count over links
+		// carrying unfrozen flows.
+		best := -1
+		bestShare := math.Inf(1)
+		for l := range residual {
+			if count[l] == 0 {
+				continue
+			}
+			share := residual[l] / float64(count[l])
+			if share < bestShare {
+				bestShare = share
+				best = l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for _, f := range active {
+			if frozen[f.id] {
+				continue
+			}
+			crosses := false
+			for _, l := range f.path {
+				if int(l) == best {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = bestShare
+			frozen[f.id] = true
+			for _, l := range f.path {
+				residual[l] -= bestShare
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+				count[l]--
+			}
+		}
+	}
+}

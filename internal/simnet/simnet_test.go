@@ -1,0 +1,229 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paradl/internal/cluster"
+)
+
+func twoLinkNet() (*Network, LinkID, LinkID) {
+	n := NewNetwork()
+	a := n.AddLink("a", 10e9, 1e-6)
+	b := n.AddLink("b", 10e9, 1e-6)
+	return n, a, b
+}
+
+func TestSingleFlowExactTime(t *testing.T) {
+	n, a, b := twoLinkNet()
+	s := NewSim(n)
+	id := s.Start([]LinkID{a, b}, 1e9)
+	el := s.RunUntilDone(id)
+	want := 2e-6 + 1e9/10e9
+	if math.Abs(el-want) > 1e-9 {
+		t.Fatalf("elapsed %.9f, want %.9f", el, want)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	n, a, b := twoLinkNet()
+	s := NewSim(n)
+	f1 := s.Start([]LinkID{a}, 1e9)
+	f2 := s.Start([]LinkID{a}, 1e9)
+	el := s.RunUntilDone(f1, f2)
+	_ = b
+	// Both share 10 GB/s → 5 GB/s each → 0.2 s plus latency.
+	want := 1e-6 + 1e9/5e9
+	if math.Abs(el-want) > 1e-6 {
+		t.Fatalf("elapsed %.6f, want %.6f", el, want)
+	}
+}
+
+func TestShortFlowFinishesThenLongSpeedsUp(t *testing.T) {
+	n, a, _ := twoLinkNet()
+	s := NewSim(n)
+	short := s.Start([]LinkID{a}, 0.5e9)
+	long := s.Start([]LinkID{a}, 1.5e9)
+	s.RunUntilDone(short, long)
+	// short: shares 5 GB/s until done at 0.1 s; long: 0.5e9 done by
+	// then, remaining 1e9 at full 10 GB/s → finishes at 0.2 s.
+	if d := math.Abs(s.FinishTime(short) - (1e-6 + 0.1)); d > 1e-6 {
+		t.Fatalf("short finish %.6f", s.FinishTime(short))
+	}
+	if d := math.Abs(s.FinishTime(long) - (1e-6 + 0.2)); d > 1e-6 {
+		t.Fatalf("long finish %.6f", s.FinishTime(long))
+	}
+}
+
+func TestMaxMinAsymmetric(t *testing.T) {
+	// Flow X crosses narrow (1 GB/s) and wide (10 GB/s); flow Y only
+	// wide. Max–min: X gets 1, Y gets 9.
+	n := NewNetwork()
+	narrow := n.AddLink("narrow", 1e9, 0)
+	wide := n.AddLink("wide", 10e9, 0)
+	s := NewSim(n)
+	x := s.Start([]LinkID{narrow, wide}, 1e9)
+	y := s.Start([]LinkID{wide}, 9e9)
+	s.RunUntilDone(x, y)
+	if d := math.Abs(s.FinishTime(x) - 1.0); d > 1e-6 {
+		t.Fatalf("x finish %.6f, want 1.0", s.FinishTime(x))
+	}
+	if d := math.Abs(s.FinishTime(y) - 1.0); d > 1e-6 {
+		t.Fatalf("y finish %.6f, want 1.0", s.FinishTime(y))
+	}
+}
+
+func TestBackgroundFlowSlowsTracked(t *testing.T) {
+	n, a, _ := twoLinkNet()
+	// without background
+	s1 := NewSim(n)
+	f := s1.Start([]LinkID{a}, 1e9)
+	base := s1.RunUntilDone(f)
+	// with a large background flow on the same link
+	s2 := NewSim(n)
+	bg := s2.Start([]LinkID{a}, 1e12)
+	f2 := s2.Start([]LinkID{a}, 1e9)
+	cong := s2.RunUntilDone(f2)
+	s2.Cancel(bg)
+	if cong <= base*1.5 {
+		t.Fatalf("congested %.4f should be ≫ base %.4f", cong, base)
+	}
+}
+
+func TestSequentialBatchesAccumulateTime(t *testing.T) {
+	n, a, _ := twoLinkNet()
+	s := NewSim(n)
+	f1 := s.Start([]LinkID{a}, 1e9)
+	s.RunUntilDone(f1)
+	t1 := s.Now()
+	f2 := s.Start([]LinkID{a}, 1e9)
+	s.RunUntilDone(f2)
+	if s.Now() <= t1 {
+		t.Fatal("time must advance across batches")
+	}
+}
+
+func TestCancelUnblocks(t *testing.T) {
+	n, a, _ := twoLinkNet()
+	s := NewSim(n)
+	bg := s.Start([]LinkID{a}, 1e15)
+	f := s.Start([]LinkID{a}, 1e6)
+	s.RunUntilDone(f)
+	s.Cancel(bg)
+	if !s.Done(f) {
+		t.Fatal("tracked flow should be done")
+	}
+}
+
+func TestZeroSizeFlowPanics(t *testing.T) {
+	n, a, _ := twoLinkNet()
+	s := NewSim(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Start([]LinkID{a}, 0)
+}
+
+// Property: total bytes drained never exceed link capacity × time for a
+// single link (conservation).
+func TestConservationProperty(t *testing.T) {
+	f := func(sizesRaw [4]uint16) bool {
+		n := NewNetwork()
+		l := n.AddLink("l", 1e9, 0)
+		s := NewSim(n)
+		var ids []FlowID
+		total := 0.0
+		for _, raw := range sizesRaw {
+			sz := float64(raw%1000+1) * 1e6
+			total += sz
+			ids = append(ids, s.Start([]LinkID{l}, sz))
+		}
+		el := s.RunUntilDone(ids...)
+		// elapsed must be ≥ total/capacity (work conservation bound)
+		// and ≤ total/capacity + small epsilon (single link, always
+		// saturated).
+		lower := total / 1e9
+		return el >= lower-1e-9 && el <= lower+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyRoutes(t *testing.T) {
+	sys := cluster.Default()
+	topo := NewTopology(sys)
+
+	// intra-node: 2 links (gpu up, gpu down)
+	if got := len(topo.Route(0, 1)); got != 2 {
+		t.Fatalf("intra-node path length %d, want 2", got)
+	}
+	// intra-rack: gpu up, node up, node down, gpu down
+	if got := len(topo.Route(0, 4)); got != 4 {
+		t.Fatalf("intra-rack path length %d, want 4", got)
+	}
+	// inter-rack adds two spine links
+	interRackPE := sys.GPUsPerNode * sys.NodesPerRack // first PE of rack 1
+	if got := len(topo.Route(0, interRackPE)); got != 6 {
+		t.Fatalf("inter-rack path length %d, want 6", got)
+	}
+}
+
+func TestMPIRouteSlowerThanNCCL(t *testing.T) {
+	sys := cluster.Default()
+	topo := NewTopology(sys)
+
+	run := func(path []LinkID) float64 {
+		s := NewSim(topo.Net)
+		f := s.Start(path, 100e6)
+		return s.RunUntilDone(f)
+	}
+	nccl := run(topo.Route(0, 1))
+	mpi := run(topo.RouteMPI(0, 1))
+	if mpi <= nccl {
+		t.Fatalf("MPI path (%.6f) must be slower than GPU-direct (%.6f)", mpi, nccl)
+	}
+}
+
+func TestOversubscriptionLimitsInterRack(t *testing.T) {
+	sys := cluster.Default()
+	topo := NewTopology(sys)
+	// Saturate the rack uplink with one flow per node pair; per-flow
+	// rate should be below the node uplink capacity.
+	s := NewSim(topo.Net)
+	var ids []FlowID
+	size := 1e9
+	nPairs := sys.NodesPerRack
+	for i := 0; i < nPairs; i++ {
+		src := i * sys.GPUsPerNode                                      // node i of rack 0
+		dst := sys.GPUsPerNode*sys.NodesPerRack + i*sys.GPUsPerNode + 1 // rack 1
+		ids = append(ids, s.Start(topo.Route(src, dst), size))
+	}
+	el := s.RunUntilDone(ids...)
+	perFlowRate := size / el
+	if perFlowRate >= railBW {
+		t.Fatalf("per-flow rate %.2e should be throttled below one rail %.2e", perFlowRate, railBW)
+	}
+	// aggregate should be limited by the oversubscribed rack uplink
+	agg := float64(nPairs) * perFlowRate
+	rackBW := float64(sys.NodesPerRack*sys.UplinksPerNode) * railBW / sys.Oversubscription
+	if agg > rackBW*1.05 {
+		t.Fatalf("aggregate %.2e exceeds rack uplink %.2e", agg, rackBW)
+	}
+}
+
+func TestGroupLevelClassification(t *testing.T) {
+	sys := cluster.Default()
+	if sys.GroupLevel(0, 4) != cluster.IntraNode {
+		t.Fatal("4 PEs from base 0 are one node")
+	}
+	if sys.GroupLevel(0, 8) != cluster.IntraRack {
+		t.Fatal("8 PEs span two nodes in one rack")
+	}
+	if sys.GroupLevel(0, sys.GPUsPerNode*sys.NodesPerRack+1) != cluster.InterRack {
+		t.Fatal("spanning beyond a rack must be inter-rack")
+	}
+}

@@ -1,0 +1,182 @@
+package strategy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paradl/internal/model"
+)
+
+func TestPartitionDimCoverage(t *testing.T) {
+	rs := PartitionDim(10, 4)
+	if len(rs) != 4 {
+		t.Fatalf("ranges %d", len(rs))
+	}
+	if rs[0].Start != 0 || rs[len(rs)-1].End != 10 {
+		t.Fatalf("partition does not cover: %v", rs)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Start != rs[i-1].End {
+			t.Fatalf("gap between ranges %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestPartitionDimProperty(t *testing.T) {
+	f := func(extentRaw, pRaw uint8) bool {
+		extent := int(extentRaw)
+		p := int(pRaw%16) + 1
+		rs := PartitionDim(extent, p)
+		total := 0
+		for _, r := range rs {
+			if r.Size() < 0 {
+				return false
+			}
+			total += r.Size()
+		}
+		return total == extent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridGroupsStructure(t *testing.T) {
+	groups, segments, err := HybridGroups(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 || len(segments) != 2 {
+		t.Fatalf("groups %d segments %d", len(groups), len(segments))
+	}
+	// Group g holds PEs {2g, 2g+1}; segment k holds {k, 2+k, 4+k, 6+k}.
+	if groups[1][0] != 2 || groups[1][1] != 3 {
+		t.Fatalf("group 1 = %v", groups[1])
+	}
+	if segments[1][0] != 1 || segments[1][3] != 7 {
+		t.Fatalf("segment 1 = %v", segments[1])
+	}
+	// Every PE appears exactly once in groups and once in segments.
+	seen := map[int]int{}
+	for _, g := range groups {
+		for _, pe := range g {
+			seen[pe]++
+		}
+	}
+	for pe := 0; pe < 8; pe++ {
+		if seen[pe] != 1 {
+			t.Fatalf("PE %d appears %d times in groups", pe, seen[pe])
+		}
+	}
+}
+
+func TestHybridGroupsRejectsBadSplit(t *testing.T) {
+	if _, _, err := HybridGroups(0, 4); err == nil {
+		t.Fatal("p1=0 must be rejected")
+	}
+}
+
+func TestMicroBatches(t *testing.T) {
+	mb, err := MicroBatches(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, b := range mb {
+		sum += b
+	}
+	if sum != 10 {
+		t.Fatalf("micro batches %v do not sum to 10", mb)
+	}
+	if _, err := MicroBatches(3, 4); err == nil {
+		t.Fatal("B<p1 must be rejected")
+	}
+}
+
+func TestFilterShardsLimit(t *testing.T) {
+	m := model.TinyCNN()
+	var convIdx int
+	for i := range m.Layers {
+		if m.Layers[i].WeightSize() > 0 {
+			convIdx = i
+			break
+		}
+	}
+	l := &m.Layers[convIdx] // F=8
+	shards, err := FilterShards(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 || shards[3].End != l.F {
+		t.Fatalf("shards %v", shards)
+	}
+	if _, err := FilterShards(l, l.F+1); err == nil {
+		t.Fatal("p>F must be rejected")
+	}
+}
+
+func TestChannelShardsLimit(t *testing.T) {
+	m := model.TinyCNN()
+	l := &m.Layers[0] // C=3
+	if _, err := ChannelShards(l, 4); err == nil {
+		t.Fatal("p>C must be rejected")
+	}
+	shards, err := ChannelShards(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards[2].End != 3 {
+		t.Fatalf("shards %v", shards)
+	}
+}
+
+func TestSpatialShards(t *testing.T) {
+	shards, err := SpatialShards(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range shards {
+		if r.Size() != 4 {
+			t.Fatalf("uneven shards %v", shards)
+		}
+	}
+	if _, err := SpatialShards(2, 4); err == nil {
+		t.Fatal("extent<p must be rejected")
+	}
+}
+
+func TestHaloFor(t *testing.T) {
+	// middle PE gets halo on both sides; edge PEs only inward
+	h := HaloFor(1, 4, 3)
+	if h.Lo != 1 || h.Hi != 1 {
+		t.Fatalf("middle halo %+v", h)
+	}
+	if h := HaloFor(0, 4, 3); h.Lo != 0 || h.Hi != 1 {
+		t.Fatalf("first halo %+v", h)
+	}
+	if h := HaloFor(3, 4, 3); h.Lo != 1 || h.Hi != 0 {
+		t.Fatalf("last halo %+v", h)
+	}
+	if h := HaloFor(1, 1, 3); h.Lo != 0 || h.Hi != 0 {
+		t.Fatal("p=1 needs no halo")
+	}
+	if h := HaloFor(1, 4, 1); h.Lo != 0 || h.Hi != 0 {
+		t.Fatal("1×1 kernels need no halo")
+	}
+}
+
+func TestAllPEs(t *testing.T) {
+	pes := AllPEs(4)
+	for i, pe := range pes {
+		if pe != i {
+			t.Fatalf("AllPEs = %v", pes)
+		}
+	}
+}
+
+func TestContiguousStages(t *testing.T) {
+	st := ContiguousStages([]Range{{0, 3}, {3, 7}})
+	if len(st) != 2 || st[1].Start != 3 || st[1].PE != 1 {
+		t.Fatalf("stages %v", st)
+	}
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTensors(b *testing.B) (x, w, bias *Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x = New(8, 16, 32, 32).RandN(rng, 1)
+	w = New(32, 16, 3, 3).RandN(rng, 1)
+	bias = New(32).RandN(rng, 1)
+	return x, w, bias
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	x, w, bias := benchTensors(b)
+	spec := UniformConv(2, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvForward(x, w, bias, spec)
+	}
+}
+
+func BenchmarkConvBackwardData(b *testing.B) {
+	x, w, bias := benchTensors(b)
+	spec := UniformConv(2, 1, 1)
+	dy := ConvForward(x, w, bias, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvBackwardData(dy, w, x.Shape(), spec)
+	}
+}
+
+func BenchmarkConvBackwardWeight(b *testing.B) {
+	x, w, bias := benchTensors(b)
+	spec := UniformConv(2, 1, 1)
+	dy := ConvForward(x, w, bias, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvBackwardWeight(dy, x, w.Shape(), spec)
+	}
+}
+
+func BenchmarkConv3DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(2, 4, 12, 12, 12).RandN(rng, 1)
+	w := New(8, 4, 3, 3, 3).RandN(rng, 1)
+	spec := UniformConv(3, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvForward(x, w, nil, spec)
+	}
+}
+
+func BenchmarkPoolForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(8, 32, 32, 32).RandN(rng, 1)
+	spec := UniformPool(MaxPool, 2, 2, 2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PoolForward(x, spec)
+	}
+}
+
+func BenchmarkBNForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := New(16, 32, 16, 16).RandN(rng, 1)
+	gamma := New(32)
+	gamma.Fill(1)
+	beta := New(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, st := BNForward(x, gamma, beta, 1e-5)
+		BNBackward(y, gamma, st)
+	}
+}
+
+func BenchmarkFCForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := New(32, 2048).RandN(rng, 1)
+	w := New(1000, 2048).RandN(rng, 1)
+	bias := New(1000).RandN(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FCForward(x, w, bias)
+	}
+}
+
+func BenchmarkSplitConcat(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := New(16, 64, 32, 32).RandN(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := x.Split(1, 4)
+		Concat(1, parts...)
+	}
+}
+
+func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	logits := New(64, 1000).RandN(rng, 1)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = rng.Intn(1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxCrossEntropy(logits, labels)
+	}
+}

@@ -1,0 +1,239 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes an N-spatial-dimensional convolution. Stride and
+// Pad have one entry per spatial dimension.
+type ConvSpec struct {
+	Stride []int
+	Pad    []int
+}
+
+// UniformConv returns a ConvSpec with the same stride and pad in every
+// one of dims spatial dimensions.
+func UniformConv(dims, stride, pad int) ConvSpec {
+	s := make([]int, dims)
+	p := make([]int, dims)
+	for i := range s {
+		s[i] = stride
+		p[i] = pad
+	}
+	return ConvSpec{Stride: s, Pad: p}
+}
+
+// ConvForward computes a direct convolution.
+//
+//	x: [N, C, in...]   w: [F, C, k...]   b: [F] or nil
+//
+// and returns y: [N, F, out...] with out[i] = ConvOutSize(in[i], k[i],
+// stride[i], pad[i]). The spatial rank is inferred from x.
+func ConvForward(x, w, b *Tensor, spec ConvSpec) *Tensor {
+	n, c, inDims := splitActShape(x)
+	f, wc, kDims := splitWeightShape(w)
+	if wc != c {
+		panic(fmt.Sprintf("tensor: conv channel mismatch x has C=%d, w has C=%d", c, wc))
+	}
+	if len(kDims) != len(inDims) {
+		panic(fmt.Sprintf("tensor: conv spatial rank mismatch input %d vs kernel %d", len(inDims), len(kDims)))
+	}
+	checkSpec(spec, len(inDims))
+	if b != nil && (b.Rank() != 1 || b.Dim(0) != f) {
+		panic(fmt.Sprintf("tensor: conv bias shape %v does not match F=%d", b.Shape(), f))
+	}
+
+	outDims := make([]int, len(inDims))
+	for i := range inDims {
+		outDims[i] = ConvOutSize(inDims[i], kDims[i], spec.Stride[i], spec.Pad[i])
+	}
+	y := New(append([]int{n, f}, outDims...)...)
+
+	inVol := Volume(inDims)
+	outVol := Volume(outDims)
+	kVol := Volume(kDims)
+	inStr := computeStrides(inDims)
+	kCoords := enumerate(kDims)
+	outCoords := enumerate(outDims)
+
+	xd, wd, yd := x.data, w.data, y.data
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			bias := 0.0
+			if b != nil {
+				bias = b.data[fi]
+			}
+			yBase := (ni*f + fi) * outVol
+			for oi, oc := range outCoords {
+				acc := bias
+				for ki := 0; ki < kVol; ki++ {
+					kc := kCoords[ki]
+					// input spatial offset for this (output, kernel) pair
+					inOff := 0
+					ok := true
+					for d := range oc {
+						pos := oc[d]*spec.Stride[d] - spec.Pad[d] + kc[d]
+						if pos < 0 || pos >= inDims[d] {
+							ok = false
+							break
+						}
+						inOff += pos * inStr[d]
+					}
+					if !ok {
+						continue
+					}
+					for ci := 0; ci < c; ci++ {
+						acc += xd[(ni*c+ci)*inVol+inOff] * wd[((fi*c+ci)*kVol)+ki]
+					}
+				}
+				yd[yBase+oi] = acc
+			}
+		}
+	}
+	return y
+}
+
+// ConvBackwardData computes the gradient of the loss with respect to the
+// convolution input: dx = BW_data(dy, w). dy is [N, F, out...] and the
+// result matches the forward input shape inShape ([N, C, in...]).
+func ConvBackwardData(dy, w *Tensor, inShape []int, spec ConvSpec) *Tensor {
+	n, f, outDims := splitActShape(dy)
+	wf, c, kDims := splitWeightShape(w)
+	if wf != f {
+		panic(fmt.Sprintf("tensor: conv bwd filter mismatch dy has F=%d, w has F=%d", f, wf))
+	}
+	if len(inShape) != 2+len(kDims) || inShape[0] != n || inShape[1] != c {
+		panic(fmt.Sprintf("tensor: conv bwd input shape %v inconsistent with dy %v and w %v", inShape, dy.Shape(), w.Shape()))
+	}
+	checkSpec(spec, len(kDims))
+	inDims := inShape[2:]
+
+	dx := New(inShape...)
+	inVol := Volume(inDims)
+	outVol := Volume(outDims)
+	kVol := Volume(kDims)
+	inStr := computeStrides(inDims)
+	kCoords := enumerate(kDims)
+	outCoords := enumerate(outDims)
+
+	dyd, wd, dxd := dy.data, w.data, dx.data
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			dyBase := (ni*f + fi) * outVol
+			for oi, oc := range outCoords {
+				g := dyd[dyBase+oi]
+				if g == 0 {
+					continue
+				}
+				for ki := 0; ki < kVol; ki++ {
+					kc := kCoords[ki]
+					inOff := 0
+					ok := true
+					for d := range oc {
+						pos := oc[d]*spec.Stride[d] - spec.Pad[d] + kc[d]
+						if pos < 0 || pos >= inDims[d] {
+							ok = false
+							break
+						}
+						inOff += pos * inStr[d]
+					}
+					if !ok {
+						continue
+					}
+					for ci := 0; ci < c; ci++ {
+						dxd[(ni*c+ci)*inVol+inOff] += g * wd[(fi*c+ci)*kVol+ki]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ConvBackwardWeight computes the gradients of the loss with respect to
+// the weights and bias: dw = BW_weight(dy, x), db = Σ dy. The returned
+// dw matches wShape ([F, C, k...]); db is [F].
+func ConvBackwardWeight(dy, x *Tensor, wShape []int, spec ConvSpec) (dw, db *Tensor) {
+	n, f, outDims := splitActShape(dy)
+	xn, c, inDims := splitActShape(x)
+	if xn != n {
+		panic(fmt.Sprintf("tensor: conv bwd batch mismatch dy N=%d, x N=%d", n, xn))
+	}
+	if len(wShape) != 2+len(inDims) || wShape[0] != f || wShape[1] != c {
+		panic(fmt.Sprintf("tensor: conv bwd weight shape %v inconsistent with dy %v and x %v", wShape, dy.Shape(), x.Shape()))
+	}
+	checkSpec(spec, len(inDims))
+	kDims := wShape[2:]
+
+	dw = New(wShape...)
+	db = New(f)
+	inVol := Volume(inDims)
+	outVol := Volume(outDims)
+	kVol := Volume(kDims)
+	inStr := computeStrides(inDims)
+	kCoords := enumerate(kDims)
+	outCoords := enumerate(outDims)
+
+	dyd, xd, dwd := dy.data, x.data, dw.data
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			dyBase := (ni*f + fi) * outVol
+			for oi, oc := range outCoords {
+				g := dyd[dyBase+oi]
+				if g == 0 {
+					continue
+				}
+				db.data[fi] += g
+				for ki := 0; ki < kVol; ki++ {
+					kc := kCoords[ki]
+					inOff := 0
+					ok := true
+					for d := range oc {
+						pos := oc[d]*spec.Stride[d] - spec.Pad[d] + kc[d]
+						if pos < 0 || pos >= inDims[d] {
+							ok = false
+							break
+						}
+						inOff += pos * inStr[d]
+					}
+					if !ok {
+						continue
+					}
+					for ci := 0; ci < c; ci++ {
+						dwd[(fi*c+ci)*kVol+ki] += g * xd[(ni*c+ci)*inVol+inOff]
+					}
+				}
+			}
+		}
+	}
+	return dw, db
+}
+
+// splitActShape decomposes an activation shape [N, C, spatial...].
+func splitActShape(t *Tensor) (n, c int, spatial []int) {
+	if t.Rank() < 2 {
+		panic(fmt.Sprintf("tensor: activation rank %d < 2", t.Rank()))
+	}
+	return t.shape[0], t.shape[1], t.shape[2:]
+}
+
+// splitWeightShape decomposes a weight shape [F, C, kernel...].
+func splitWeightShape(t *Tensor) (f, c int, kernel []int) {
+	if t.Rank() < 2 {
+		panic(fmt.Sprintf("tensor: weight rank %d < 2", t.Rank()))
+	}
+	return t.shape[0], t.shape[1], t.shape[2:]
+}
+
+func checkSpec(spec ConvSpec, dims int) {
+	if len(spec.Stride) != dims || len(spec.Pad) != dims {
+		panic(fmt.Sprintf("tensor: conv spec rank (stride %d, pad %d) does not match spatial rank %d", len(spec.Stride), len(spec.Pad), dims))
+	}
+}
+
+// enumerate lists all multi-indices of shape in row-major order.
+func enumerate(shape []int) [][]int {
+	out := make([][]int, 0, Volume(shape))
+	for it := NewIndex(shape); it.Valid(); it.Next() {
+		out = append(out, append([]int(nil), it.Current()...))
+	}
+	return out
+}

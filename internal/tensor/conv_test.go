@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveConv2D is an independent, index-by-index 2-D reference used to
+// cross-check the generic N-d kernel.
+func naiveConv2D(x, w, b *Tensor, stride, pad int) *Tensor {
+	n, c := x.Dim(0), x.Dim(1)
+	h, wd := x.Dim(2), x.Dim(3)
+	f, k := w.Dim(0), w.Dim(2)
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(wd, k, stride, pad)
+	y := New(n, f, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := 0.0
+					if b != nil {
+						acc = b.At(fi)
+					}
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								iy := oy*stride - pad + ky
+								ix := ox*stride - pad + kx
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								acc += x.At(ni, ci, iy, ix) * w.At(fi, ci, ky, kx)
+							}
+						}
+					}
+					y.Set(acc, ni, fi, oy, ox)
+				}
+			}
+		}
+	}
+	return y
+}
+
+func TestConvForwardMatchesNaive2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ n, c, h, w, f, k, stride, pad int }{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{2, 2, 9, 7, 3, 3, 2, 1},
+		{1, 4, 6, 6, 2, 1, 1, 0},
+		{3, 2, 10, 10, 5, 5, 2, 2},
+	}
+	for _, cse := range cases {
+		x := New(cse.n, cse.c, cse.h, cse.w).RandN(rng, 1)
+		w := New(cse.f, cse.c, cse.k, cse.k).RandN(rng, 1)
+		b := New(cse.f).RandN(rng, 1)
+		got := ConvForward(x, w, b, UniformConv(2, cse.stride, cse.pad))
+		want := naiveConv2D(x, w, b, cse.stride, cse.pad)
+		if !got.AllClose(want, 1e-9) {
+			t.Fatalf("conv fwd mismatch for %+v: max diff %g", cse, got.MaxDiff(want))
+		}
+	}
+}
+
+func TestConvForward1DIdentityKernel(t *testing.T) {
+	// 1x1 conv with identity weight acts as a channel mixer; with C=F=1
+	// and w=1 it is the identity.
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 4)
+	w := FromSlice([]float64{1}, 1, 1, 1)
+	y := ConvForward(x, w, nil, UniformConv(1, 1, 0))
+	if !y.AllClose(x, 0) {
+		t.Fatalf("identity conv changed input: %v", y)
+	}
+}
+
+func TestConvForward3DVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := New(1, 2, 4, 4, 4).RandN(rng, 1)
+	w := New(3, 2, 2, 2, 2).RandN(rng, 1)
+	y := ConvForward(x, w, nil, UniformConv(3, 2, 0))
+	if !EqualShapes(y.Shape(), []int{1, 3, 2, 2, 2}) {
+		t.Fatalf("3D conv out shape %v", y.Shape())
+	}
+	// spot-check one output element against a hand computation
+	acc := 0.0
+	for ci := 0; ci < 2; ci++ {
+		for kz := 0; kz < 2; kz++ {
+			for ky := 0; ky < 2; ky++ {
+				for kx := 0; kx < 2; kx++ {
+					acc += x.At(0, ci, kz, ky, kx) * w.At(1, ci, kz, ky, kx)
+				}
+			}
+		}
+	}
+	if d := y.At(0, 1, 0, 0, 0) - acc; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("3D conv spot check: %v vs %v", y.At(0, 1, 0, 0, 0), acc)
+	}
+}
+
+// Finite-difference check of the backward-data pass: the analytic
+// gradient of 0.5*||y||² w.r.t. x must match numeric differentiation.
+func TestConvBackwardDataFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := New(1, 2, 5, 5).RandN(rng, 0.5)
+	w := New(3, 2, 3, 3).RandN(rng, 0.5)
+	spec := UniformConv(2, 1, 1)
+
+	y := ConvForward(x, w, nil, spec)
+	dy := y.Clone() // dL/dy for L = 0.5 Σ y²
+	dx := ConvBackwardData(dy, w, x.Shape(), spec)
+
+	const eps = 1e-5
+	for trial := 0; trial < 20; trial++ {
+		i := rng.Intn(x.Len())
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := halfSq(ConvForward(x, w, nil, spec))
+		x.Data()[i] = orig - eps
+		lm := halfSq(ConvForward(x, w, nil, spec))
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if d := num - dx.Data()[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("dx[%d]: analytic %g vs numeric %g", i, dx.Data()[i], num)
+		}
+	}
+}
+
+func TestConvBackwardWeightFiniteDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := New(2, 2, 5, 5).RandN(rng, 0.5)
+	w := New(2, 2, 3, 3).RandN(rng, 0.5)
+	b := New(2).RandN(rng, 0.5)
+	spec := UniformConv(2, 2, 1)
+
+	y := ConvForward(x, w, b, spec)
+	dy := y.Clone()
+	dw, db := ConvBackwardWeight(dy, x, w.Shape(), spec)
+
+	const eps = 1e-5
+	for trial := 0; trial < 20; trial++ {
+		i := rng.Intn(w.Len())
+		orig := w.Data()[i]
+		w.Data()[i] = orig + eps
+		lp := halfSq(ConvForward(x, w, b, spec))
+		w.Data()[i] = orig - eps
+		lm := halfSq(ConvForward(x, w, b, spec))
+		w.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if d := num - dw.Data()[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("dw[%d]: analytic %g vs numeric %g", i, dw.Data()[i], num)
+		}
+	}
+	for i := 0; i < b.Len(); i++ {
+		orig := b.Data()[i]
+		b.Data()[i] = orig + eps
+		lp := halfSq(ConvForward(x, w, b, spec))
+		b.Data()[i] = orig - eps
+		lm := halfSq(ConvForward(x, w, b, spec))
+		b.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if d := num - db.Data()[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("db[%d]: analytic %g vs numeric %g", i, db.Data()[i], num)
+		}
+	}
+}
+
+func halfSq(y *Tensor) float64 {
+	s := 0.0
+	for _, v := range y.Data() {
+		s += 0.5 * v * v
+	}
+	return s
+}
+
+// The defining linearity property of convolution: conv(a·x1 + x2) =
+// a·conv(x1) + conv(x2) with bias disabled.
+func TestConvLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := New(2, 3, 3, 3).RandN(rng, 1)
+	spec := UniformConv(2, 1, 1)
+	for trial := 0; trial < 10; trial++ {
+		x1 := New(1, 3, 6, 6).RandN(rng, 1)
+		x2 := New(1, 3, 6, 6).RandN(rng, 1)
+		a := rng.Float64()*4 - 2
+		mix := x1.Clone()
+		mix.Scale(a)
+		mix.Add(x2)
+		lhs := ConvForward(mix, w, nil, spec)
+		rhs := ConvForward(x1, w, nil, spec)
+		rhs.Scale(a)
+		rhs.Add(ConvForward(x2, w, nil, spec))
+		if !lhs.AllClose(rhs, 1e-9) {
+			t.Fatalf("linearity violated (a=%v): max diff %g", a, lhs.MaxDiff(rhs))
+		}
+	}
+}
+
+// Adjoint property: <conv(x), y> == <x, conv^T(y)> relates forward and
+// backward-data as transpose operators.
+func TestConvAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := New(4, 2, 3, 3).RandN(rng, 1)
+	spec := UniformConv(2, 2, 1)
+	for trial := 0; trial < 10; trial++ {
+		x := New(2, 2, 7, 7).RandN(rng, 1)
+		y := ConvForward(x, w, nil, spec)
+		u := New(y.Shape()...).RandN(rng, 1)
+		lhs := dot(y, u)
+		xT := ConvBackwardData(u, w, x.Shape(), spec)
+		rhs := dot(x, xT)
+		if d := lhs - rhs; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("adjoint violated: %g vs %g", lhs, rhs)
+		}
+	}
+}
+
+func dot(a, b *Tensor) float64 {
+	s := 0.0
+	for i, v := range a.Data() {
+		s += v * b.Data()[i]
+	}
+	return s
+}
+
+func TestConvChannelMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "channel mismatch")
+	ConvForward(New(1, 3, 4, 4), New(2, 2, 3, 3), nil, UniformConv(2, 1, 1))
+}
+
+func TestConvSpecRankMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "spec rank mismatch")
+	ConvForward(New(1, 1, 4, 4), New(1, 1, 3, 3), nil, UniformConv(3, 1, 1))
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReLUForward returns max(0, x) element-wise.
+func ReLUForward(x *Tensor) *Tensor {
+	y := New(x.shape...)
+	for i, v := range x.data {
+		if v > 0 {
+			y.data[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUBackward returns dy masked by the sign of the forward input x.
+func ReLUBackward(dy, x *Tensor) *Tensor {
+	dy.mustSameShape(x)
+	dx := New(x.shape...)
+	for i, v := range x.data {
+		if v > 0 {
+			dx.data[i] = dy.data[i]
+		}
+	}
+	return dx
+}
+
+// FCForward computes a fully-connected layer y = x·Wᵀ + b where x is
+// [N, In] (or any shape flattened to it), w is [Out, In] and b is [Out]
+// or nil. The result is [N, Out].
+//
+// A fully-connected layer is the degenerate convolution of the paper's
+// notation (filter size equal to the input size), but a dedicated matmul
+// keeps the real execution path fast.
+func FCForward(x, w, b *Tensor) *Tensor {
+	n := x.shape[0]
+	in := x.Len() / n
+	out, win := w.shape[0], w.Len()/w.shape[0]
+	if win != in {
+		panic(fmt.Sprintf("tensor: fc input %d does not match weight inner %d", in, win))
+	}
+	if b != nil && b.Len() != out {
+		panic(fmt.Sprintf("tensor: fc bias length %d does not match out %d", b.Len(), out))
+	}
+	y := New(n, out)
+	for ni := 0; ni < n; ni++ {
+		xRow := x.data[ni*in : (ni+1)*in]
+		for oi := 0; oi < out; oi++ {
+			wRow := w.data[oi*in : (oi+1)*in]
+			acc := 0.0
+			for k, xv := range xRow {
+				acc += xv * wRow[k]
+			}
+			if b != nil {
+				acc += b.data[oi]
+			}
+			y.data[ni*out+oi] = acc
+		}
+	}
+	return y
+}
+
+// FCBackward computes the input, weight and bias gradients of FCForward.
+// dy is [N, Out]; xShape restores the original input shape.
+func FCBackward(dy, x, w *Tensor, xShape []int) (dx, dw, db *Tensor) {
+	n := x.shape[0]
+	in := x.Len() / n
+	out := w.shape[0]
+	if dy.shape[0] != n || dy.Len()/n != out {
+		panic(fmt.Sprintf("tensor: fc bwd dy shape %v inconsistent with N=%d Out=%d", dy.Shape(), n, out))
+	}
+	dx = New(xShape...)
+	dw = New(w.shape...)
+	db = New(out)
+	for ni := 0; ni < n; ni++ {
+		xRow := x.data[ni*in : (ni+1)*in]
+		dxRow := dx.data[ni*in : (ni+1)*in]
+		for oi := 0; oi < out; oi++ {
+			g := dy.data[ni*out+oi]
+			if g == 0 {
+				continue
+			}
+			db.data[oi] += g
+			wRow := w.data[oi*in : (oi+1)*in]
+			dwRow := dw.data[oi*in : (oi+1)*in]
+			for k := range wRow {
+				dxRow[k] += g * wRow[k]
+				dwRow[k] += g * xRow[k]
+			}
+		}
+	}
+	return dx, dw, db
+}
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss of
+// logits [N, K] against integer labels, plus the gradient with respect
+// to the logits (already divided by N, as in the paper's SGD update).
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, dlogits *Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: softmax expects rank-2 logits, got %v", logits.Shape()))
+	}
+	n, k := logits.shape[0], logits.shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("tensor: %d labels for batch of %d", len(labels), n))
+	}
+	dlogits = New(n, k)
+	for ni := 0; ni < n; ni++ {
+		row := logits.data[ni*k : (ni+1)*k]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		lbl := labels[ni]
+		if lbl < 0 || lbl >= k {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", lbl, k))
+		}
+		loss += logSum - row[lbl]
+		for ki := 0; ki < k; ki++ {
+			p := math.Exp(row[ki] - logSum)
+			g := p
+			if ki == lbl {
+				g -= 1
+			}
+			dlogits.data[ni*k+ki] = g / float64(n)
+		}
+	}
+	return loss / float64(n), dlogits
+}
+
+// AddBias adds a per-channel bias b[C] to an activation [N, C,
+// spatial...] in place. Channel parallelism applies the bias AFTER the
+// cross-PE Allreduce of partial sums so it is added exactly once.
+func AddBias(y, b *Tensor) {
+	n, c, spatial := splitActShape(y)
+	if b.Len() != c {
+		panic(fmt.Sprintf("tensor: bias length %d does not match C=%d", b.Len(), c))
+	}
+	vol := Volume(spatial)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * vol
+			bv := b.data[ci]
+			for i := 0; i < vol; i++ {
+				y.data[base+i] += bv
+			}
+		}
+	}
+}
+
+// SGDStep applies w -= lr*dw in place.
+func SGDStep(w, dw *Tensor, lr float64) {
+	w.mustSameShape(dw)
+	for i, g := range dw.data {
+		w.data[i] -= lr * g
+	}
+}

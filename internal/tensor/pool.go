@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoolKind selects the pooling reduction.
+type PoolKind int
+
+const (
+	// MaxPool keeps the maximum of each window.
+	MaxPool PoolKind = iota
+	// AvgPool averages each window (zero padding contributes to the
+	// divisor, matching the layer-size accounting of the cost model).
+	AvgPool
+)
+
+// PoolSpec describes an N-spatial-dimensional pooling layer.
+type PoolSpec struct {
+	Kind   PoolKind
+	Window []int
+	Stride []int
+	Pad    []int
+}
+
+// UniformPool returns a PoolSpec with identical window/stride/pad in
+// every one of dims spatial dimensions.
+func UniformPool(kind PoolKind, dims, window, stride, pad int) PoolSpec {
+	w := make([]int, dims)
+	s := make([]int, dims)
+	p := make([]int, dims)
+	for i := range w {
+		w[i] = window
+		s[i] = stride
+		p[i] = pad
+	}
+	return PoolSpec{Kind: kind, Window: w, Stride: s, Pad: p}
+}
+
+// PoolForward applies pooling to x: [N, C, in...] and returns
+// y: [N, C, out...] plus an argmax index tensor (for MaxPool backward;
+// nil for AvgPool). The argmax stores the flat input-spatial offset of
+// the winning element, or -1 when the window saw only padding.
+func PoolForward(x *Tensor, spec PoolSpec) (y *Tensor, argmax []int) {
+	n, c, inDims := splitActShape(x)
+	dims := len(inDims)
+	if len(spec.Window) != dims || len(spec.Stride) != dims || len(spec.Pad) != dims {
+		panic(fmt.Sprintf("tensor: pool spec rank mismatch with spatial rank %d", dims))
+	}
+	outDims := make([]int, dims)
+	for i := range inDims {
+		outDims[i] = PoolOutSize(inDims[i], spec.Window[i], spec.Stride[i], spec.Pad[i])
+	}
+	y = New(append([]int{n, c}, outDims...)...)
+
+	inVol := Volume(inDims)
+	outVol := Volume(outDims)
+	inStr := computeStrides(inDims)
+	winCoords := enumerate(spec.Window)
+	outCoords := enumerate(outDims)
+	winVol := Volume(spec.Window)
+
+	if spec.Kind == MaxPool {
+		argmax = make([]int, n*c*outVol)
+	}
+
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * inVol
+			yBase := (ni*c + ci) * outVol
+			for oi, oc := range outCoords {
+				switch spec.Kind {
+				case MaxPool:
+					best := math.Inf(-1)
+					bestOff := -1
+					for _, wc := range winCoords {
+						inOff := 0
+						ok := true
+						for d := range oc {
+							pos := oc[d]*spec.Stride[d] - spec.Pad[d] + wc[d]
+							if pos < 0 || pos >= inDims[d] {
+								ok = false
+								break
+							}
+							inOff += pos * inStr[d]
+						}
+						if !ok {
+							continue
+						}
+						if v := x.data[base+inOff]; v > best {
+							best = v
+							bestOff = inOff
+						}
+					}
+					if bestOff < 0 {
+						best = 0 // window entirely in padding
+					}
+					y.data[yBase+oi] = best
+					argmax[yBase+oi] = bestOff
+				case AvgPool:
+					sum := 0.0
+					for _, wc := range winCoords {
+						inOff := 0
+						ok := true
+						for d := range oc {
+							pos := oc[d]*spec.Stride[d] - spec.Pad[d] + wc[d]
+							if pos < 0 || pos >= inDims[d] {
+								ok = false
+								break
+							}
+							inOff += pos * inStr[d]
+						}
+						if ok {
+							sum += x.data[base+inOff]
+						}
+					}
+					y.data[yBase+oi] = sum / float64(winVol)
+				default:
+					panic("tensor: unknown pool kind")
+				}
+			}
+		}
+	}
+	return y, argmax
+}
+
+// PoolBackward propagates dy through the pooling layer. For MaxPool the
+// argmax returned by PoolForward must be supplied.
+func PoolBackward(dy *Tensor, inShape []int, spec PoolSpec, argmax []int) *Tensor {
+	n, c, outDims := splitActShape(dy)
+	if len(inShape) != 2+len(outDims) || inShape[0] != n || inShape[1] != c {
+		panic(fmt.Sprintf("tensor: pool bwd input shape %v inconsistent with dy %v", inShape, dy.Shape()))
+	}
+	inDims := inShape[2:]
+	dx := New(inShape...)
+
+	inVol := Volume(inDims)
+	outVol := Volume(outDims)
+	inStr := computeStrides(inDims)
+	winCoords := enumerate(spec.Window)
+	outCoords := enumerate(outDims)
+	winVol := Volume(spec.Window)
+
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * inVol
+			yBase := (ni*c + ci) * outVol
+			for oi, oc := range outCoords {
+				g := dy.data[yBase+oi]
+				if g == 0 {
+					continue
+				}
+				switch spec.Kind {
+				case MaxPool:
+					off := argmax[yBase+oi]
+					if off >= 0 {
+						dx.data[base+off] += g
+					}
+				case AvgPool:
+					share := g / float64(winVol)
+					for _, wc := range winCoords {
+						inOff := 0
+						ok := true
+						for d := range oc {
+							pos := oc[d]*spec.Stride[d] - spec.Pad[d] + wc[d]
+							if pos < 0 || pos >= inDims[d] {
+								ok = false
+								break
+							}
+							inOff += pos * inStr[d]
+						}
+						if ok {
+							dx.data[base+inOff] += share
+						}
+					}
+				default:
+					panic("tensor: unknown pool kind")
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,21 @@
+package tensor
+
+import "math/rand"
+
+// RandN fills t with pseudo-normal values (mean 0, stddev sigma) drawn
+// from rng, and returns t for chaining. Deterministic given the rng seed
+// so correctness tests are reproducible.
+func (t *Tensor) RandN(rng *rand.Rand, sigma float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * sigma
+	}
+	return t
+}
+
+// RandU fills t with uniform values in [lo, hi).
+func (t *Tensor) RandU(rng *rand.Rand, lo, hi float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package tensor
+
+import "fmt"
+
+// Index iterates multi-indices in row-major order. It is the shared
+// traversal helper for the generic N-d kernels in this package.
+type Index struct {
+	shape []int
+	idx   []int
+	done  bool
+}
+
+// NewIndex returns an iterator over all multi-indices of shape, starting
+// at the all-zeros index. An empty shape yields exactly one (scalar)
+// index; a shape containing a zero dimension yields none.
+func NewIndex(shape []int) *Index {
+	it := &Index{
+		shape: shape,
+		idx:   make([]int, len(shape)),
+	}
+	for _, d := range shape {
+		if d == 0 {
+			it.done = true
+		}
+	}
+	return it
+}
+
+// Current returns the current multi-index. The returned slice is reused
+// between calls; copy it if it must survive Next.
+func (it *Index) Current() []int { return it.idx }
+
+// Valid reports whether the iterator points at a valid index.
+func (it *Index) Valid() bool { return !it.done }
+
+// Next advances to the next index in row-major order.
+func (it *Index) Next() {
+	for i := len(it.idx) - 1; i >= 0; i-- {
+		it.idx[i]++
+		if it.idx[i] < it.shape[i] {
+			return
+		}
+		it.idx[i] = 0
+	}
+	it.done = true
+}
+
+// ConvOutSize returns the output extent of a convolution along one
+// dimension: floor((in + 2*pad - kernel)/stride) + 1. It panics when the
+// geometry is invalid.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	if stride <= 0 {
+		panic(fmt.Sprintf("tensor: stride must be positive, got %d", stride))
+	}
+	n := in + 2*pad - kernel
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: kernel %d larger than padded input %d", kernel, in+2*pad))
+	}
+	return n/stride + 1
+}
+
+// PoolOutSize returns the output extent of a pooling window, identical
+// to ConvOutSize.
+func PoolOutSize(in, window, stride, pad int) int { return ConvOutSize(in, window, stride, pad) }
+
+// EqualShapes reports whether two shape slices are identical.
+func EqualShapes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if b[i] != d {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package tensor
+
+import "fmt"
+
+// SplitSizes divides total into parts chunks whose sizes differ by at
+// most one, with the remainder spread over the leading chunks. It is the
+// canonical decomposition used by every parallel strategy.
+func SplitSizes(total, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("tensor: cannot split into %d parts", parts))
+	}
+	q, r := total/parts, total%parts
+	sizes := make([]int, parts)
+	for i := range sizes {
+		sizes[i] = q
+		if i < r {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// SplitOffsets returns the starting offset of each chunk produced by
+// SplitSizes(total, parts).
+func SplitOffsets(total, parts int) []int {
+	sizes := SplitSizes(total, parts)
+	offs := make([]int, parts)
+	o := 0
+	for i, s := range sizes {
+		offs[i] = o
+		o += s
+	}
+	return offs
+}
+
+// Split partitions t along axis into parts tensors with near-equal
+// extents (leading chunks take the remainder). The returned tensors are
+// copies, mirroring the scatter/split performed by the parallel
+// strategies.
+func (t *Tensor) Split(axis, parts int) []*Tensor {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: split axis %d out of range for shape %v", axis, t.shape))
+	}
+	sizes := SplitSizes(t.shape[axis], parts)
+	out := make([]*Tensor, parts)
+	start := 0
+	for i, sz := range sizes {
+		out[i] = t.Narrow(axis, start, sz)
+		start += sz
+	}
+	return out
+}
+
+// Narrow returns a copy of the sub-tensor covering [start, start+length)
+// along axis and the full extent of every other axis.
+func (t *Tensor) Narrow(axis, start, length int) *Tensor {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: narrow axis %d out of range for shape %v", axis, t.shape))
+	}
+	if start < 0 || length < 0 || start+length > t.shape[axis] {
+		panic(fmt.Sprintf("tensor: narrow [%d,%d) out of range for dim %d", start, start+length, t.shape[axis]))
+	}
+	outShape := t.Shape()
+	outShape[axis] = length
+	out := New(outShape...)
+	copyRegion(out, t, axis, 0, start, length)
+	return out
+}
+
+// CopyInto writes src into t at offset start along axis. Every other
+// dimension must match exactly. It is the inverse of Narrow and the
+// building block of Concat and halo assembly.
+func (t *Tensor) CopyInto(src *Tensor, axis, start int) {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: copyInto axis %d out of range for shape %v", axis, t.shape))
+	}
+	if src.Rank() != t.Rank() {
+		panic("tensor: copyInto rank mismatch")
+	}
+	for i := range t.shape {
+		if i == axis {
+			continue
+		}
+		if t.shape[i] != src.shape[i] {
+			panic(fmt.Sprintf("tensor: copyInto shape mismatch %v into %v on axis %d", src.shape, t.shape, axis))
+		}
+	}
+	if start < 0 || start+src.shape[axis] > t.shape[axis] {
+		panic(fmt.Sprintf("tensor: copyInto [%d,%d) out of range for dim %d", start, start+src.shape[axis], t.shape[axis]))
+	}
+	copyRegion(t, src, axis, start, 0, src.shape[axis])
+}
+
+// copyRegion copies length planes along axis from src (starting at
+// srcStart) into dst (starting at dstStart). Outer dims are iterated,
+// inner contiguous runs are block-copied.
+func copyRegion(dst, src *Tensor, axis, dstStart, srcStart, length int) {
+	// inner = product of dims after axis (contiguous run length per plane)
+	inner := 1
+	for i := axis + 1; i < len(src.shape); i++ {
+		inner *= src.shape[i]
+	}
+	// outer = product of dims before axis
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= src.shape[i]
+	}
+	srcAxis := src.shape[axis]
+	dstAxis := dst.shape[axis]
+	for o := 0; o < outer; o++ {
+		srcBase := (o*srcAxis + srcStart) * inner
+		dstBase := (o*dstAxis + dstStart) * inner
+		copy(dst.data[dstBase:dstBase+length*inner], src.data[srcBase:srcBase+length*inner])
+	}
+}
+
+// Concat joins tensors along axis. All inputs must agree on every other
+// dimension.
+func Concat(axis int, parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: concat of zero tensors")
+	}
+	outShape := parts[0].Shape()
+	total := 0
+	for _, p := range parts {
+		if p.Rank() != len(outShape) {
+			panic("tensor: concat rank mismatch")
+		}
+		for i := range outShape {
+			if i == axis {
+				continue
+			}
+			if p.shape[i] != outShape[i] {
+				panic(fmt.Sprintf("tensor: concat shape mismatch %v vs %v on axis %d", p.shape, outShape, axis))
+			}
+		}
+		total += p.shape[axis]
+	}
+	outShape[axis] = total
+	out := New(outShape...)
+	start := 0
+	for _, p := range parts {
+		out.CopyInto(p, axis, start)
+		start += p.shape[axis]
+	}
+	return out
+}
+
+// PadEdges returns a copy of t zero-padded by lo[i] before and hi[i]
+// after along each axis. lo and hi must have length Rank().
+func (t *Tensor) PadEdges(lo, hi []int) *Tensor {
+	if len(lo) != t.Rank() || len(hi) != t.Rank() {
+		panic("tensor: pad rank mismatch")
+	}
+	outShape := make([]int, t.Rank())
+	for i := range outShape {
+		if lo[i] < 0 || hi[i] < 0 {
+			panic("tensor: negative padding")
+		}
+		outShape[i] = lo[i] + t.shape[i] + hi[i]
+	}
+	out := New(outShape...)
+	if t.Len() == 0 {
+		return out
+	}
+	for it := NewIndex(t.shape); it.Valid(); it.Next() {
+		src := it.Current()
+		dst := make([]int, len(src))
+		for i, x := range src {
+			dst[i] = x + lo[i]
+		}
+		out.Set(t.At(src...), dst...)
+	}
+	return out
+}
+
+// SliceRegion returns a copy of the hyper-rectangle [start[i],
+// start[i]+size[i]) of t.
+func (t *Tensor) SliceRegion(start, size []int) *Tensor {
+	if len(start) != t.Rank() || len(size) != t.Rank() {
+		panic("tensor: slice rank mismatch")
+	}
+	for i := range start {
+		if start[i] < 0 || size[i] < 0 || start[i]+size[i] > t.shape[i] {
+			panic(fmt.Sprintf("tensor: slice [%d,%d) out of range for dim %d (extent %d)", start[i], start[i]+size[i], i, t.shape[i]))
+		}
+	}
+	out := New(size...)
+	if out.Len() == 0 {
+		return out
+	}
+	for it := NewIndex(size); it.Valid(); it.Next() {
+		dst := it.Current()
+		src := make([]int, len(dst))
+		for i, x := range dst {
+			src[i] = x + start[i]
+		}
+		out.Set(t.At(src...), dst...)
+	}
+	return out
+}

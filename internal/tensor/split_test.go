@@ -1,0 +1,182 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitSizesEven(t *testing.T) {
+	got := SplitSizes(8, 4)
+	for _, s := range got {
+		if s != 2 {
+			t.Fatalf("SplitSizes(8,4) = %v", got)
+		}
+	}
+}
+
+func TestSplitSizesRemainderLeading(t *testing.T) {
+	got := SplitSizes(10, 4)
+	want := []int{3, 3, 2, 2}
+	if !EqualShapes(got, want) {
+		t.Fatalf("SplitSizes(10,4) = %v, want %v", got, want)
+	}
+}
+
+func TestSplitSizesSumProperty(t *testing.T) {
+	f := func(total uint8, parts uint8) bool {
+		p := int(parts%16) + 1
+		tot := int(total)
+		sizes := SplitSizes(tot, p)
+		sum := 0
+		maxS, minS := 0, tot+1
+		for _, s := range sizes {
+			sum += s
+			if s > maxS {
+				maxS = s
+			}
+			if s < minS {
+				minS = s
+			}
+		}
+		return sum == tot && maxS-minS <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOffsets(t *testing.T) {
+	offs := SplitOffsets(10, 4)
+	want := []int{0, 3, 6, 8}
+	if !EqualShapes(offs, want) {
+		t.Fatalf("SplitOffsets(10,4) = %v, want %v", offs, want)
+	}
+}
+
+func TestSplitConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(4, 6, 5).RandN(rng, 1)
+	for axis := 0; axis < 3; axis++ {
+		for parts := 1; parts <= x.Dim(axis); parts++ {
+			chunks := x.Split(axis, parts)
+			back := Concat(axis, chunks...)
+			if !back.AllClose(x, 0) {
+				t.Fatalf("split/concat round trip failed axis=%d parts=%d", axis, parts)
+			}
+		}
+	}
+}
+
+func TestNarrowValues(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Narrow(1, 1, 2)
+	if !EqualShapes(y.Shape(), []int{2, 2}) {
+		t.Fatalf("narrow shape %v", y.Shape())
+	}
+	if y.At(0, 0) != 2 || y.At(1, 1) != 6 {
+		t.Fatalf("narrow values wrong: %v", y)
+	}
+}
+
+func TestNarrowIsCopy(t *testing.T) {
+	x := New(2, 3)
+	y := x.Narrow(1, 0, 2)
+	y.Set(9, 0, 0)
+	if x.At(0, 0) != 0 {
+		t.Fatal("Narrow must copy")
+	}
+}
+
+func TestNarrowOutOfRangePanics(t *testing.T) {
+	defer expectPanic(t, "narrow range")
+	New(2, 3).Narrow(1, 2, 2)
+}
+
+func TestCopyIntoInverseOfNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(3, 8, 2).RandN(rng, 1)
+	mid := x.Narrow(1, 2, 4)
+	y := x.Clone()
+	y.CopyInto(mid, 1, 2)
+	if !y.AllClose(x, 0) {
+		t.Fatal("CopyInto(Narrow(...)) must be identity")
+	}
+}
+
+func TestCopyIntoShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "shape mismatch")
+	New(2, 4).CopyInto(New(3, 2), 1, 0)
+}
+
+func TestConcatAxis0(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 1, 2)
+	b := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	c := Concat(0, a, b)
+	if !EqualShapes(c.Shape(), []int{3, 2}) {
+		t.Fatalf("concat shape %v", c.Shape())
+	}
+	if c.At(2, 1) != 6 {
+		t.Fatalf("concat value %v", c.At(2, 1))
+	}
+}
+
+func TestConcatMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "concat mismatch")
+	Concat(0, New(1, 2), New(1, 3))
+}
+
+func TestPadEdges(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	p := x.PadEdges([]int{1, 0}, []int{0, 1})
+	if !EqualShapes(p.Shape(), []int{3, 3}) {
+		t.Fatalf("pad shape %v", p.Shape())
+	}
+	if p.At(0, 0) != 0 || p.At(1, 0) != 1 || p.At(2, 1) != 4 || p.At(2, 2) != 0 {
+		t.Fatalf("pad values wrong: %v", p)
+	}
+}
+
+func TestSliceRegion(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 3, 3)
+	s := x.SliceRegion([]int{1, 1}, []int{2, 2})
+	if s.At(0, 0) != 5 || s.At(1, 1) != 9 {
+		t.Fatalf("slice values wrong: %v", s)
+	}
+}
+
+func TestSliceRegionPadInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := New(2, 3, 4).RandN(rng, 1)
+	p := x.PadEdges([]int{1, 2, 0}, []int{3, 0, 1})
+	back := p.SliceRegion([]int{1, 2, 0}, []int{2, 3, 4})
+	if !back.AllClose(x, 0) {
+		t.Fatal("SliceRegion must invert PadEdges")
+	}
+}
+
+// Property: for random splits, each chunk equals the corresponding
+// Narrow of the original.
+func TestSplitMatchesNarrowProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := New(5, 7).RandN(rng, 1)
+	f := func(partsRaw uint8) bool {
+		parts := int(partsRaw%7) + 1
+		chunks := x.Split(1, parts)
+		offs := SplitOffsets(7, parts)
+		sizes := SplitSizes(7, parts)
+		for i, ch := range chunks {
+			if !ch.AllClose(x.Narrow(1, offs[i], sizes[i]), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

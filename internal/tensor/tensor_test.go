@@ -1,0 +1,265 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Len() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar: Len=%d Rank=%d", s.Len(), s.Rank())
+	}
+	s.Set(3.5)
+	if s.At() != 3.5 {
+		t.Fatalf("scalar At = %v", s.At())
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer expectPanic(t, "negative dim")
+	New(2, -1)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	rng := rand.New(rand.NewSource(1))
+	want := map[[3]int]float64{}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				v := rng.Float64()
+				x.Set(v, i, j, k)
+				want[[3]int{i, j, k}] = v
+			}
+		}
+	}
+	for idx, v := range want {
+		if got := x.At(idx[0], idx[1], idx[2]); got != v {
+			t.Fatalf("At(%v) = %v, want %v", idx, got, v)
+		}
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer expectPanic(t, "out of bounds")
+	New(2, 2).At(0, 2)
+}
+
+func TestAtRankMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "rank mismatch")
+	New(2, 2).At(0)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[3] = 99
+	if x.At(1, 1) != 99 {
+		t.Fatal("FromSlice must adopt the slice without copying")
+	}
+}
+
+func TestFromSliceWrongLenPanics(t *testing.T) {
+	defer expectPanic(t, "length mismatch")
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(2, 2)
+	x.Fill(1)
+	c := x.Clone()
+	c.Set(5, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestReshapeView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Fatalf("reshape At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	y.Set(0, 0, 0)
+	if x.At(0, 0) != 0 {
+		t.Fatal("Reshape must be a view")
+	}
+}
+
+func TestReshapeVolumeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "volume mismatch")
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	a.Add(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("Add: got %v", a.At(1, 1))
+	}
+	a.Sub(b)
+	if a.At(1, 1) != 4 {
+		t.Fatalf("Sub: got %v", a.At(1, 1))
+	}
+	a.Scale(2)
+	if a.At(0, 0) != 2 {
+		t.Fatalf("Scale: got %v", a.At(0, 0))
+	}
+	a.AXPY(0.5, b)
+	if a.At(0, 1) != 4+10 {
+		t.Fatalf("AXPY: got %v", a.At(0, 1))
+	}
+}
+
+func TestSumMaxAbs(t *testing.T) {
+	x := FromSlice([]float64{-3, 1, 2}, 3)
+	if x.Sum() != 0 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+}
+
+func TestAllCloseAndMaxDiff(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1.0001, 2}, 2)
+	if !a.AllClose(b, 1e-3) {
+		t.Fatal("AllClose(1e-3) should hold")
+	}
+	if a.AllClose(b, 1e-6) {
+		t.Fatal("AllClose(1e-6) should fail")
+	}
+	if d := a.MaxDiff(b); math.Abs(d-0.0001) > 1e-12 {
+		t.Fatalf("MaxDiff = %v", d)
+	}
+}
+
+func TestAllCloseShapeMismatch(t *testing.T) {
+	if New(2).AllClose(New(3), 1) {
+		t.Fatal("AllClose across shapes must be false")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(100).String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: Add is commutative on the element level: a+b == b+a.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(vals [16]float64, vals2 [16]float64) bool {
+		a1 := FromSlice(append([]float64(nil), vals[:]...), 4, 4)
+		b1 := FromSlice(append([]float64(nil), vals2[:]...), 4, 4)
+		a2 := FromSlice(append([]float64(nil), vals2[:]...), 4, 4)
+		b2 := FromSlice(append([]float64(nil), vals[:]...), 4, 4)
+		a1.Add(b1)
+		a2.Add(b2)
+		return a1.AllClose(a2, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale(s) then Scale(1/s) restores the tensor (for sane s).
+func TestScaleInverseProperty(t *testing.T) {
+	f := func(vals [8]float64, s float64) bool {
+		if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s) < 1e-6 || math.Abs(s) > 1e6 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		x := FromSlice(append([]float64(nil), vals[:]...), 8)
+		orig := x.Clone()
+		x.Scale(s)
+		x.Scale(1 / s)
+		return x.AllClose(orig, 1e-6*orig.MaxAbs()+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexIterationOrder(t *testing.T) {
+	var got [][]int
+	for it := NewIndex([]int{2, 3}); it.Valid(); it.Next() {
+		got = append(got, append([]int(nil), it.Current()...))
+	}
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !EqualShapes(got[i], want[i]) {
+			t.Fatalf("index %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndexEmptyShapeIsScalar(t *testing.T) {
+	n := 0
+	for it := NewIndex(nil); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scalar iteration count = %d, want 1", n)
+	}
+}
+
+func TestIndexZeroDimYieldsNothing(t *testing.T) {
+	n := 0
+	for it := NewIndex([]int{3, 0}); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("zero-dim iteration count = %d, want 0", n)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{224, 3, 1, 1, 224},
+		{224, 7, 2, 3, 112},
+		{28, 2, 2, 0, 14},
+		{5, 5, 1, 0, 1},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConvOutSizeInvalidPanics(t *testing.T) {
+	defer expectPanic(t, "kernel larger than input")
+	ConvOutSize(2, 5, 1, 0)
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}

@@ -1,0 +1,127 @@
+// Package paradl is the public API of the ParaDL reproduction: an
+// oracle that projects computation time, communication time, and
+// per-PE memory for distributed CNN training under the six
+// parallelization strategies of Kahira et al., "An Oracle for Guiding
+// Large-Scale Model/Hybrid Parallel Training of Convolutional Neural
+// Networks" (HPDC 2021).
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core      — the analytical model (Table 3) and advisor
+//   - internal/model     — the model zoo (ResNet-50/152, VGG16, CosmoFlow)
+//   - internal/cluster   — the machine model (GPUs, fat tree, α/β)
+//   - internal/profile   — empirical parametrization (FW/BW/WU, α–β fits)
+//   - internal/measure   — simulated "measured" runs for validation
+//   - internal/dist      — real partitioned execution of every strategy
+//   - internal/report    — regeneration of the paper's tables & figures
+//
+// Quick start:
+//
+//	m, _ := paradl.Model("resnet50")
+//	cfg := paradl.WeakScalingConfig(m, 64, 32) // 64 GPUs, 32 samples/GPU
+//	pr, _ := paradl.Project(cfg, paradl.Data)
+//	fmt.Printf("iteration: %.1f ms\n", pr.Iter().Total()*1e3)
+package paradl
+
+import (
+	"paradl/internal/cluster"
+	"paradl/internal/core"
+	"paradl/internal/data"
+	"paradl/internal/measure"
+	"paradl/internal/model"
+	"paradl/internal/nn"
+	"paradl/internal/profile"
+)
+
+// Strategy re-exports the parallelization strategies of §3.
+type Strategy = core.Strategy
+
+// The six strategies plus the serial baseline.
+const (
+	Serial      = core.Serial
+	Data        = core.Data
+	Spatial     = core.Spatial
+	Pipeline    = core.Pipeline
+	Filter      = core.Filter
+	Channel     = core.Channel
+	DataFilter  = core.DataFilter
+	DataSpatial = core.DataSpatial
+)
+
+// Config re-exports the oracle's input description.
+type Config = core.Config
+
+// Projection re-exports the oracle's output.
+type Projection = core.Projection
+
+// Breakdown re-exports the per-phase time split.
+type Breakdown = core.Breakdown
+
+// System re-exports the machine model.
+type System = cluster.System
+
+// NetModel re-exports the CNN description consumed by the oracle.
+type NetModel = nn.Model
+
+// Model returns a model from the paper's zoo by name
+// (resnet50|resnet152|vgg16|cosmoflow).
+func Model(name string) (*NetModel, error) { return model.ByName(name) }
+
+// Models lists the zoo in Table 5 order.
+func Models() []string { return model.Names() }
+
+// DefaultSystem returns the paper's evaluation machine (§5.1).
+func DefaultSystem() *System { return cluster.Default() }
+
+// WeakScalingConfig assembles a ready-to-project configuration with the
+// de facto DL scaling mode (§4.2): global batch = perGPU·gpus on the
+// default system, with per-layer times profiled on the default device
+// model.
+func WeakScalingConfig(m *NetModel, gpus, perGPU int) Config {
+	sys := cluster.Default()
+	dev := profile.NewDevice(sys.GPU)
+	d := int64(1 << 20)
+	if ds, err := data.ForModel(m.Name); err == nil {
+		d = ds.Samples
+	}
+	return Config{
+		Model: m,
+		Sys:   sys,
+		Times: profile.ProfileModel(dev, m, perGPU),
+		D:     d,
+		B:     perGPU * gpus,
+		P:     gpus,
+	}
+}
+
+// StrongScalingConfig assembles a fixed-global-batch configuration (the
+// paper's filter/channel mode).
+func StrongScalingConfig(m *NetModel, gpus, globalBatch int) Config {
+	perGPU := globalBatch / gpus
+	if perGPU < 1 {
+		perGPU = 1
+	}
+	cfg := WeakScalingConfig(m, gpus, perGPU)
+	cfg.B = globalBatch
+	return cfg
+}
+
+// Project evaluates the analytical model for one strategy.
+func Project(cfg Config, s Strategy) (*Projection, error) { return core.Project(cfg, s) }
+
+// Advise ranks all strategies for a configuration, feasible first.
+func Advise(cfg Config) ([]core.Advice, error) { return core.Advise(cfg) }
+
+// Best returns the fastest feasible strategy.
+func Best(cfg Config) (*Projection, error) { return core.Best(cfg) }
+
+// Measure runs the simulated "measured" side for validation studies.
+func Measure(cfg Config, s Strategy) (*measure.Result, error) {
+	return measure.Measure(measure.NewEngine(cfg.Sys), cfg, s)
+}
+
+// Strategies lists all projectable strategies.
+func Strategies() []Strategy { return core.Strategies() }
+
+// ParseStrategy converts a name ("data", "df", …) into a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }

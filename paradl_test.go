@@ -1,0 +1,87 @@
+package paradl_test
+
+import (
+	"testing"
+
+	"paradl"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paradl.WeakScalingConfig(m, 64, 32)
+	pr, err := paradl.Project(cfg, paradl.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Iter().Total() <= 0 {
+		t.Fatal("non-positive projection")
+	}
+	if !pr.Feasible {
+		t.Fatalf("ResNet-50 data@64 should be feasible: %v", pr.Notes)
+	}
+}
+
+func TestFacadeAdviseAndBest(t *testing.T) {
+	m, err := paradl.Model("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paradl.WeakScalingConfig(m, 64, 8)
+	advs, err := paradl.Advise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != len(paradl.Strategies()) {
+		t.Fatalf("advice count %d", len(advs))
+	}
+	best, err := paradl.Best(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Strategy != advs[0].Projection.Strategy {
+		t.Fatal("Best must match top advice")
+	}
+}
+
+func TestFacadeMeasureAgreement(t *testing.T) {
+	m, err := paradl.Model("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paradl.WeakScalingConfig(m, 16, 32)
+	pr, err := paradl.Project(cfg, paradl.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paradl.Measure(cfg, paradl.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy(pr); acc < 0.9 {
+		t.Fatalf("facade-level data accuracy %.3f < 0.9", acc)
+	}
+}
+
+func TestFacadeStrongScaling(t *testing.T) {
+	m, err := paradl.Model("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paradl.StrongScalingConfig(m, 64, 32)
+	if cfg.B != 32 {
+		t.Fatalf("global batch %d, want 32", cfg.B)
+	}
+	if _, err := paradl.Project(cfg, paradl.Filter); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	s, err := paradl.ParseStrategy("df")
+	if err != nil || s != paradl.DataFilter {
+		t.Fatalf("ParseStrategy(df) = %v, %v", s, err)
+	}
+}
