@@ -1,0 +1,3 @@
+module paradl
+
+go 1.24

@@ -75,6 +75,41 @@ func TestBatchesCount(t *testing.T) {
 	}
 }
 
+func TestBatchesMatchCursorBatches(t *testing.T) {
+	ds := Toy(model.Tiny3D(), 64)
+	bs := ds.Batches(3, 4)
+	for i := range bs {
+		want := ds.Batch(i, 4)
+		if !bs[i].X.AllClose(want.X, 0) {
+			t.Fatalf("Batches[%d] diverges from Batch(%d)", i, i)
+		}
+		for j := range want.Labels {
+			if bs[i].Labels[j] != want.Labels[j] {
+				t.Fatalf("Batches[%d] label %d diverges", i, j)
+			}
+		}
+	}
+}
+
+func TestToyGeometry(t *testing.T) {
+	m := model.Tiny3D()
+	ds := Toy(m, 64)
+	if ds.Name != "toy-"+m.Name {
+		t.Fatalf("toy name %q", ds.Name)
+	}
+	if ds.Samples != 64 || ds.Channels != m.InputChannels || ds.Classes != m.Classes {
+		t.Fatalf("toy metadata %+v does not match model", ds)
+	}
+	if !tensor.EqualShapes(ds.Dims, m.InputDims) {
+		t.Fatalf("toy dims %v, want %v", ds.Dims, m.InputDims)
+	}
+	// The dims slice must be a copy: mutating it must not alias the model.
+	ds.Dims[0] = 99
+	if m.InputDims[0] == 99 {
+		t.Fatal("Toy must copy the model's input dims")
+	}
+}
+
 func TestForModel(t *testing.T) {
 	for _, name := range []string{"resnet50", "resnet152", "vgg16"} {
 		ds, err := ForModel(name)

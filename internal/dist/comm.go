@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paradl/internal/tensor"
+)
+
+// errAborted is panicked by blocked communication calls when another PE
+// of the same world has already failed, so a single error tears the
+// whole world down instead of deadlocking it.
+var errAborted = errors.New("dist: world aborted by peer failure")
+
+// World wires p in-process PEs together with buffered point-to-point
+// channels — one mailbox per (sender, receiver) pair. Every collective
+// of the runtime (allreduce, allgather, halo exchange, pipeline stage
+// transfer) is built from these two-sided messages, mirroring the
+// message-passing structure of the MPI/NCCL execution the paper
+// validates against (§5.1).
+type World struct {
+	p    int
+	ch   [][]chan *tensor.Tensor
+	once sync.Once
+	// abort is closed on the first failure; err records its cause.
+	abort chan struct{}
+	err   error
+}
+
+// NewWorld creates a world of p PEs.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("dist: world size %d < 1", p))
+	}
+	depth := 4 * p
+	if depth < 64 {
+		depth = 64
+	}
+	w := &World{p: p, abort: make(chan struct{})}
+	w.ch = make([][]chan *tensor.Tensor, p)
+	for s := range w.ch {
+		w.ch[s] = make([]chan *tensor.Tensor, p)
+		for d := range w.ch[s] {
+			w.ch[s][d] = make(chan *tensor.Tensor, depth)
+		}
+	}
+	return w
+}
+
+// fail records the first error and wakes every blocked PE.
+func (w *World) fail(err error) {
+	w.once.Do(func() {
+		w.err = err
+		close(w.abort)
+	})
+}
+
+// Comm is one PE's handle onto the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns the handle of the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.p {
+		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, w.p))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Rank returns this PE's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size p.
+func (c *Comm) Size() int { return c.w.p }
+
+// Send delivers a deep copy of t to dst's mailbox. Payloads are copied
+// at the sender so a message is immutable in flight, like a buffer
+// handed to a real interconnect.
+func (c *Comm) Send(dst int, t *tensor.Tensor) {
+	select {
+	case c.w.ch[c.rank][dst] <- t.Clone():
+	case <-c.w.abort:
+		panic(errAborted)
+	}
+}
+
+// Recv blocks until a message from src arrives (or the world aborts).
+func (c *Comm) Recv(src int) *tensor.Tensor {
+	select {
+	case t := <-c.w.ch[src][c.rank]:
+		return t
+	case <-c.w.abort:
+		panic(errAborted)
+	}
+}
+
+// AllReduceSum returns the element-wise sum of t across all PEs. Rank 0
+// acts as the hub: it accumulates partial buffers in ascending rank
+// order and broadcasts the result, so every PE ends with bit-identical
+// values and the reduction order is deterministic — the property the
+// value-parity methodology (§4.5.2) depends on. (The analytic side
+// models the bandwidth-optimal ring instead; see internal/collective.)
+func (c *Comm) AllReduceSum(t *tensor.Tensor) *tensor.Tensor {
+	p := c.Size()
+	if p == 1 {
+		return t
+	}
+	if c.rank == 0 {
+		sum := t.Clone()
+		for src := 1; src < p; src++ {
+			sum.Add(c.Recv(src))
+		}
+		for dst := 1; dst < p; dst++ {
+			c.Send(dst, sum)
+		}
+		return sum
+	}
+	c.Send(0, t)
+	return c.Recv(0)
+}
+
+// AllReduceScalar sums one float64 across all PEs.
+func (c *Comm) AllReduceScalar(v float64) float64 {
+	if c.Size() == 1 {
+		return v
+	}
+	s := tensor.New(1)
+	s.Set(v, 0)
+	return c.AllReduceSum(s).At(0)
+}
+
+// AllGather concatenates every PE's shard along axis in rank order —
+// the activation aggregation of filter parallelism and of the spatial
+// trunk/classifier boundary (§4.5.1). All PEs receive identical bits.
+func (c *Comm) AllGather(t *tensor.Tensor, axis int) *tensor.Tensor {
+	p := c.Size()
+	if p == 1 {
+		return t.Clone()
+	}
+	for dst := 0; dst < p; dst++ {
+		if dst != c.rank {
+			c.Send(dst, t)
+		}
+	}
+	parts := make([]*tensor.Tensor, p)
+	parts[c.rank] = t
+	for src := 0; src < p; src++ {
+		if src != c.rank {
+			parts[src] = c.Recv(src)
+		}
+	}
+	return tensor.Concat(axis, parts...)
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"paradl/internal/tensor"
+)
+
+// TestAllReduceDeterministic: every PE ends with the identical sum,
+// reduced in ascending rank order regardless of arrival order.
+func TestAllReduceDeterministic(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	results := make([]*tensor.Tensor, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			x := tensor.New(3)
+			x.Fill(float64(rank + 1))
+			results[rank] = c.AllReduceSum(x)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if got := results[r].At(0); got != 10 {
+			t.Fatalf("rank %d: sum %g, want 10", r, got)
+		}
+		if !results[r].AllClose(results[0], 0) {
+			t.Fatalf("rank %d diverged from rank 0", r)
+		}
+	}
+}
+
+// TestAllGatherOrder: shards concatenate in rank order along the axis.
+func TestAllGatherOrder(t *testing.T) {
+	const p = 3
+	w := NewWorld(p)
+	results := make([]*tensor.Tensor, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			x := tensor.New(2, 1)
+			x.Fill(float64(rank))
+			results[rank] = c.AllGather(x, 1)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		for col := 0; col < p; col++ {
+			if got := results[r].At(0, col); got != float64(col) {
+				t.Fatalf("rank %d col %d: %g, want %d", r, col, got, col)
+			}
+		}
+	}
+}
+
+// TestWorldAbortOnFailure: one failing PE tears the world down instead
+// of deadlocking peers blocked in Recv.
+func TestWorldAbortOnFailure(t *testing.T) {
+	_, err := runWorld(2, 0, func(c *Comm) ([]float64, error) {
+		if c.Rank() == 0 {
+			panic("injected failure")
+		}
+		c.Recv(0) // would block forever without the abort path
+		return nil, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("want injected failure error, got %v", err)
+	}
+}
+
+// TestSendIsolation: messages are deep copies; mutating the original
+// after Send must not corrupt the delivered payload.
+func TestSendIsolation(t *testing.T) {
+	w := NewWorld(2)
+	src := tensor.New(2)
+	src.Fill(7)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, src)
+	src.Fill(-1)
+	got := c1.Recv(0)
+	if got.At(0) != 7 {
+		t.Fatalf("payload mutated in flight: %v", got)
+	}
+}

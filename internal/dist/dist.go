@@ -1,0 +1,163 @@
+// Package dist is the real partitioned-execution runtime of the ParaDL
+// reproduction: it trains CNNs for real — actual forward/backward/SGD
+// arithmetic through internal/tensor — with the model or data
+// partitioned across in-process PEs exactly as the six parallelization
+// strategies of §3 prescribe. Each PE is a goroutine owning its tensor
+// shard per the plans in internal/strategy, and all cross-PE traffic
+// flows through channel-based message passing (comm.go): gradient
+// allreduce for data parallelism, halo exchange for spatial, activation
+// allgather for filter, partial-sum allreduce for channel, and stage
+// transfers for the pipeline.
+//
+// The package exists to close the correctness loop of §4.5.2/§5.2:
+// every strategy's Run function must reproduce the per-iteration losses
+// of RunSequential value by value (the parity tests pin this to 1e-6),
+// so the oracle's projections and the executable semantics can never
+// drift apart. Entry points:
+//
+//	RunSequential — single-PE SGD, the baseline every strategy must match
+//	RunData       — batch sharded over replicas, gradient Allreduce
+//	RunSpatial    — sample domain sharded, neighbour halo exchange (§3.2)
+//	RunFilter     — output channels sharded, activation Allgather (§3.4)
+//	RunChannel    — input channels sharded, activation Allreduce (§3.5)
+//	RunPipeline   — contiguous layer stages, GPipe-style microbatching (§3.3)
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"paradl/internal/nn"
+	"paradl/internal/tensor"
+)
+
+// Batch is one training step's input: samples [N, C, spatial...] plus
+// integer class labels of length N.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// Result reports one training run: the strategy executed, its width,
+// and the loss of every iteration — the series the value-parity
+// methodology compares across strategies.
+type Result struct {
+	Strategy string
+	P        int
+	Losses   []float64
+}
+
+// RunSequential trains a fresh replica (deterministically initialized
+// from seed) with plain SGD, one iteration per batch. It is the ground
+// truth every partitioned run is validated against. It panics on models
+// the chain-execution runtime cannot represent (see supportedModel);
+// the Run* strategy variants return the same condition as an error.
+func RunSequential(m *nn.Model, seed int64, batches []Batch, lr float64) *Result {
+	if err := supportedModel(m); err != nil {
+		panic(err)
+	}
+	net := newReplica(m, seed)
+	losses := make([]float64, len(batches))
+	for i := range batches {
+		losses[i] = net.TrainStep(batches[i].X, batches[i].Labels, lr)
+	}
+	return &Result{Strategy: "sequential", P: 1, Losses: losses}
+}
+
+// newReplica instantiates the model with parameters drawn from seed.
+// Two PEs calling this with the same seed hold bit-identical replicas.
+func newReplica(m *nn.Model, seed int64) *nn.Network {
+	return nn.NewNetwork(m, rand.New(rand.NewSource(seed)))
+}
+
+// runWorld spawns one goroutine per PE, runs body on each, and returns
+// resultRank's per-iteration losses. A panic or error on any PE aborts
+// the whole world (no deadlocked stragglers) and is reported once.
+func runWorld(p, resultRank int, body func(c *Comm) ([]float64, error)) ([]float64, error) {
+	w := NewWorld(p)
+	results := make([][]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && err == errAborted {
+						return // a peer already recorded the root cause
+					}
+					w.fail(fmt.Errorf("dist: PE %d panicked: %v", rank, rec))
+				}
+			}()
+			losses, err := body(w.Comm(rank))
+			if err != nil {
+				w.fail(fmt.Errorf("dist: PE %d: %w", rank, err))
+				return
+			}
+			results[rank] = losses
+		}(r)
+	}
+	wg.Wait()
+	if w.err != nil {
+		return nil, w.err
+	}
+	return results[resultRank], nil
+}
+
+// supportedModel rejects models the executable runtime cannot
+// represent: nn.Network runs layers as a strict chain, so Branch
+// (ResNet shortcut) layers — which the oracle's size/FLOP accounting
+// handles fine — have no execution semantics here.
+func supportedModel(m *nn.Model) error {
+	for l := range m.Layers {
+		if m.Layers[l].Branch {
+			return fmt.Errorf("dist: model %q layer %d (%s) is a branch/shortcut layer; the chain-execution runtime cannot train it (use the analytical oracle for this model)",
+				m.Name, l, m.Layers[l].Name)
+		}
+	}
+	return nil
+}
+
+// checkBatches validates the common preconditions of every Run
+// function.
+func checkBatches(m *nn.Model, batches []Batch) error {
+	if err := supportedModel(m); err != nil {
+		return err
+	}
+	for i := range batches {
+		b := &batches[i]
+		if b.X == nil || b.X.Rank() < 2 {
+			return fmt.Errorf("dist: batch %d has no activation tensor", i)
+		}
+		if b.X.Dim(0) != len(b.Labels) {
+			return fmt.Errorf("dist: batch %d has %d samples but %d labels", i, b.X.Dim(0), len(b.Labels))
+		}
+		want := append([]int{b.X.Dim(0), m.InputChannels}, m.InputDims...)
+		if !tensor.EqualShapes(b.X.Shape(), want) {
+			return fmt.Errorf("dist: batch %d shape %v does not match model input %v", i, b.X.Shape(), want)
+		}
+	}
+	return nil
+}
+
+// addInto accumulates src into dst, adopting src when dst is nil.
+func addInto(dst, src *tensor.Tensor) *tensor.Tensor {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		return src
+	}
+	dst.Add(src)
+	return dst
+}
+
+// accumulateGrads folds one microbatch's gradients into the running
+// per-layer accumulator.
+func accumulateGrads(dst *nn.Grads, g nn.Grads) {
+	dst.W = addInto(dst.W, g.W)
+	dst.B = addInto(dst.B, g.B)
+	dst.Gamma = addInto(dst.Gamma, g.Gamma)
+	dst.Beta = addInto(dst.Beta, g.Beta)
+}

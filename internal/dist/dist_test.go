@@ -1,0 +1,216 @@
+// Value-parity tests: the §4.5.2 methodology. Every partitioned run
+// must reproduce the sequential baseline's per-iteration losses within
+// 1e-6 (in practice the runs agree to ~1e-12; the tolerance absorbs
+// summation reassociation across PEs).
+package dist_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"paradl/internal/data"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+	"paradl/internal/nn"
+)
+
+const (
+	seed = 42
+	lr   = 0.05
+	tol  = 1e-6
+)
+
+func toyBatches(t *testing.T, m *nn.Model, iters, size int) []dist.Batch {
+	t.Helper()
+	ds := data.Toy(m, int64(iters*size))
+	return ds.Batches(iters, size)
+}
+
+func assertParity(t *testing.T, want *dist.Result, got *dist.Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Losses) != len(want.Losses) {
+		t.Fatalf("%s: %d losses, want %d", got.Strategy, len(got.Losses), len(want.Losses))
+	}
+	for i := range want.Losses {
+		if d := math.Abs(got.Losses[i] - want.Losses[i]); d > tol || math.IsNaN(d) {
+			t.Fatalf("%s p=%d iter %d: loss %.12f vs sequential %.12f (Δ %.3e > %g)",
+				got.Strategy, got.P, i, got.Losses[i], want.Losses[i], d, tol)
+		}
+	}
+}
+
+// TestSpatialMatchesSequentialTiny3D is the acceptance criterion of the
+// runtime: 3-D spatial decomposition over 2 PEs reproduces sequential
+// SGD losses on Tiny3D over 4 iterations.
+func TestSpatialMatchesSequentialTiny3D(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 4, 4)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	got, err := dist.RunSpatial(m, seed, batches, lr, 2)
+	assertParity(t, seq, got, err)
+}
+
+func TestDataMatchesSequentialTiny3D(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 4, 4)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	got, err := dist.RunData(m, seed, batches, lr, 2)
+	assertParity(t, seq, got, err)
+}
+
+// TestAllStrategiesMatchSequential runs every §3 strategy at p=2 on the
+// BN-free tiny CNN (pipeline microbatching legitimately changes BN
+// statistics) and demands value parity across 4 iterations.
+func TestAllStrategiesMatchSequential(t *testing.T) {
+	m := model.TinyCNNNoBN()
+	batches := toyBatches(t, m, 4, 4)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	type run func(*nn.Model, int64, []dist.Batch, float64, int) (*dist.Result, error)
+	for name, fn := range map[string]run{
+		"data":     dist.RunData,
+		"spatial":  dist.RunSpatial,
+		"filter":   dist.RunFilter,
+		"channel":  dist.RunChannel,
+		"pipeline": dist.RunPipeline,
+	} {
+		got, err := fn(m, seed, batches, lr, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertParity(t, seq, got, err)
+	}
+}
+
+// TestSyncBNParity: with synchronized batch norm, data- and
+// spatial-parallel runs match sequential SGD even on a BN model —
+// the global-statistics semantics of §4.5.2.
+func TestSyncBNParity(t *testing.T) {
+	m := model.TinyCNN()
+	batches := toyBatches(t, m, 3, 4)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	gotData, err := dist.RunData(m, seed, batches, lr, 2)
+	assertParity(t, seq, gotData, err)
+	gotSpatial, err := dist.RunSpatial(m, seed, batches, lr, 2)
+	assertParity(t, seq, gotSpatial, err)
+}
+
+// TestUnevenPartitions exercises remainder-bearing shards (p that does
+// not divide the batch, filter counts, or layer count).
+func TestUnevenPartitions(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4) // batch 4 over 3 replicas → 2,1,1
+	seq := dist.RunSequential(m, seed, batches, lr)
+	gotData, err := dist.RunData(m, seed, batches, lr, 3)
+	assertParity(t, seq, gotData, err)
+	gotFilter, err := dist.RunFilter(m, seed, batches, lr, 3) // min F_l = 4
+	assertParity(t, seq, gotFilter, err)
+	gotPipe, err := dist.RunPipeline(m, seed, batches, lr, 3) // 5 layers over 3 stages
+	assertParity(t, seq, gotPipe, err)
+}
+
+// TestWidthOne: every strategy at p=1 degenerates to the sequential
+// baseline exactly.
+func TestWidthOne(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 2, 2)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	type run func(*nn.Model, int64, []dist.Batch, float64, int) (*dist.Result, error)
+	for name, fn := range map[string]run{
+		"data": dist.RunData, "spatial": dist.RunSpatial, "filter": dist.RunFilter,
+		"channel": dist.RunChannel, "pipeline": dist.RunPipeline,
+	} {
+		got, err := fn(m, seed, batches, lr, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range seq.Losses {
+			if got.Losses[i] != seq.Losses[i] {
+				t.Fatalf("%s p=1 iter %d: %.17g != sequential %.17g", name, i, got.Losses[i], seq.Losses[i])
+			}
+		}
+	}
+}
+
+// TestDeterminism: two identical partitioned runs produce bit-identical
+// loss series despite goroutine scheduling.
+func TestDeterminism(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4)
+	a, err := dist.RunSpatial(m, seed, batches, lr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dist.RunSpatial(m, seed, batches, lr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatalf("iter %d: %.17g != %.17g", i, a.Losses[i], b.Losses[i])
+		}
+	}
+}
+
+// TestScalingLimits: the Table 3 feasibility bounds surface as errors,
+// not panics or wrong numbers.
+func TestScalingLimits(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 1, 2)
+	if _, err := dist.RunData(m, seed, batches, lr, 3); err == nil {
+		t.Fatal("data: batch 2 over 3 replicas must fail")
+	}
+	if _, err := dist.RunSpatial(m, seed, batches, lr, 3); err == nil {
+		t.Fatal("spatial: extent-2 activation over 3 PEs must fail")
+	}
+	if _, err := dist.RunFilter(m, seed, batches, lr, 5); err == nil {
+		t.Fatal("filter: p=5 > min F_l=4 must fail")
+	}
+	if _, err := dist.RunChannel(m, seed, batches, lr, 5); err == nil {
+		t.Fatal("channel: p=5 > min C_l=4 must fail")
+	}
+	if _, err := dist.RunPipeline(m, seed, batches, lr, 8); err == nil {
+		t.Fatal("pipeline: 8 stages for 7 layers must fail")
+	}
+	if _, err := dist.RunData(m, seed, batches, lr, 0); err == nil {
+		t.Fatal("p=0 must fail")
+	}
+}
+
+// TestBatchValidation: malformed batches are rejected before any PE
+// spawns.
+func TestBatchValidation(t *testing.T) {
+	m := model.Tiny3D()
+	good := toyBatches(t, m, 1, 2)
+	bad := []dist.Batch{{X: good[0].X, Labels: []int{0}}}
+	if _, err := dist.RunData(m, seed, bad, lr, 2); err == nil {
+		t.Fatal("label/sample mismatch must fail")
+	}
+	other := model.TinyCNN()
+	if _, err := dist.RunSpatial(other, seed, good, lr, 2); err == nil {
+		t.Fatal("geometry mismatch must fail")
+	}
+}
+
+// TestBranchModelsRejected: ResNet shortcut (Branch) layers have no
+// chain-execution semantics; the runtime must refuse them with a clear
+// error rather than panicking deep inside a conv kernel.
+func TestBranchModelsRejected(t *testing.T) {
+	m := model.ResNet50()
+	x := data.ImageNet().Batch(0, 1)
+	if _, err := dist.RunData(m, seed, []dist.Batch{x}, lr, 1); err == nil ||
+		!strings.Contains(err.Error(), "branch") {
+		t.Fatalf("branch model must be rejected with a branch error, got %v", err)
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil || !strings.Contains(fmt.Sprint(rec), "branch") {
+			t.Fatalf("RunSequential must panic with a branch error, got %v", rec)
+		}
+	}()
+	dist.RunSequential(m, seed, []dist.Batch{x}, lr)
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+
+	"paradl/internal/core"
+	"paradl/internal/nn"
+	"paradl/internal/profile"
+	"paradl/internal/strategy"
+	"paradl/internal/tensor"
+)
+
+// RunPipeline executes layer/pipeline parallelism (§3.3): the network is
+// cut into p contiguous stages, each owned exclusively by one PE, and a
+// batch flows through as microbatches GPipe-style — all microbatches
+// forward, then a backward flush in reverse order, then one local SGD
+// step per stage. Activations and activation gradients are the only
+// traffic, point-to-point between neighbouring stages; weights are never
+// exchanged because no two PEs share a layer.
+//
+// Microbatch gradients are scaled by n_mb/B before the backward pass, so
+// their sum is exactly the full-batch mean gradient. Per-iteration
+// losses therefore match the sequential baseline up to summation
+// reassociation for models without batch norm; BN statistics are
+// per-microbatch (the GPipe semantics), which is a genuine semantic
+// deviation the correctness harness documents rather than hides.
+func RunPipeline(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
+	g := m.G()
+	if p < 1 || p > g {
+		return nil, fmt.Errorf("dist: pipeline needs 1 <= p <= G=%d stages, got p=%d", g, p)
+	}
+	if err := checkBatches(m, batches); err != nil {
+		return nil, err
+	}
+	stages := strategy.ContiguousStages(balanceStages(m, p))
+	losses, err := runWorld(p, p-1, func(c *Comm) ([]float64, error) {
+		net := newReplica(m, seed)
+		st := stages[c.Rank()]
+		out := make([]float64, 0, len(batches))
+		for bi := range batches {
+			loss := pipelineStep(c, net, st, &batches[bi], lr)
+			if c.Rank() == c.Size()-1 {
+				out = append(out, loss)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: "pipeline", P: p, Losses: losses}, nil
+}
+
+// balanceStages splits the G layers into p contiguous groups via the
+// oracle's own bottleneck-minimizing pipeline partition (§5.3.3), with
+// per-layer FW+BW FLOPs standing in for profiled times so the executed
+// stage boundaries cannot drift from the projected ones.
+func balanceStages(m *nn.Model, p int) []strategy.Range {
+	g := m.G()
+	times := &profile.LayerTimes{FW: make([]float64, g), BW: make([]float64, g)}
+	for l := range m.Layers {
+		times.FW[l] = float64(m.Layers[l].FwdFLOPs())
+		times.BW[l] = float64(m.Layers[l].BwdFLOPs())
+	}
+	groups := core.PartitionPipeline(times, p)
+	bounds := make([]strategy.Range, len(groups))
+	for i, gr := range groups {
+		bounds[i] = strategy.Range{Start: gr.Start, End: gr.End}
+	}
+	return bounds
+}
+
+// pipelineStep pushes one batch through the pipeline as microbatches and
+// applies this stage's SGD step. It returns the batch loss on the last
+// stage (0 elsewhere).
+func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch, lr float64) float64 {
+	rank, p := c.Rank(), c.Size()
+	total := b.X.Dim(0)
+	nm := min(p, total)
+	sizes := tensor.SplitSizes(total, nm)
+	offs := tensor.SplitOffsets(total, nm)
+
+	// Forward: stream every microbatch through this stage's layers.
+	states := make([][]*nn.LayerState, nm)
+	logits := make([]*tensor.Tensor, nm)
+	for mb := 0; mb < nm; mb++ {
+		var x *tensor.Tensor
+		if rank == 0 {
+			x = b.X.Narrow(0, offs[mb], sizes[mb])
+		} else {
+			x = c.Recv(rank - 1)
+		}
+		states[mb] = make([]*nn.LayerState, st.End-st.Start)
+		for l := st.Start; l < st.End; l++ {
+			x, states[mb][l-st.Start] = net.ForwardLayer(l, x)
+		}
+		if rank < p-1 {
+			c.Send(rank+1, x)
+		} else {
+			logits[mb] = x
+		}
+	}
+
+	// Backward flush in reverse microbatch order, accumulating this
+	// stage's gradients across microbatches.
+	acc := make([]nn.Grads, st.End-st.Start)
+	loss := 0.0
+	for mb := nm - 1; mb >= 0; mb-- {
+		var dy *tensor.Tensor
+		if rank == p-1 {
+			lbl := b.Labels[offs[mb] : offs[mb]+sizes[mb]]
+			mbLoss, dl := tensor.SoftmaxCrossEntropy(logits[mb], lbl)
+			weight := float64(sizes[mb]) / float64(total)
+			loss += mbLoss * weight
+			dl.Scale(weight)
+			dy = dl
+		} else {
+			dy = c.Recv(rank + 1)
+		}
+		for l := st.End - 1; l >= st.Start; l-- {
+			var g nn.Grads
+			dy, g = net.BackwardLayer(l, dy, states[mb][l-st.Start])
+			accumulateGrads(&acc[l-st.Start], g)
+		}
+		if rank > 0 {
+			c.Send(rank-1, dy)
+		}
+	}
+
+	// This stage owns its layers exclusively: step them locally.
+	grads := make([]nn.Grads, net.Model.G())
+	copy(grads[st.Start:st.End], acc)
+	net.Step(grads, lr)
+	return loss
+}

@@ -1,0 +1,348 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"paradl/internal/nn"
+	"paradl/internal/strategy"
+	"paradl/internal/tensor"
+)
+
+// spatialAxis is the tensor axis of the first spatial dimension in the
+// [N, C, spatial...] layout — the axis the spatial strategy decomposes
+// (internal/strategy splits height only, preserving the halo pattern).
+const spatialAxis = 2
+
+// rowSpan is a half-open interval [Lo, Hi) of global rows along the
+// split axis.
+type rowSpan struct{ Lo, Hi int }
+
+func (s rowSpan) len() int { return s.Hi - s.Lo }
+
+func spanOf(r strategy.Range) rowSpan { return rowSpan{r.Start, r.End} }
+
+func intersect(a, b rowSpan) rowSpan {
+	lo, hi := max(a.Lo, b.Lo), min(a.Hi, b.Hi)
+	if hi < lo {
+		hi = lo
+	}
+	return rowSpan{lo, hi}
+}
+
+// layerPlan precomputes, for one windowed (Conv/Pool) layer, every PE's
+// owned rows of the input and output activations plus the real input
+// rows [need) and synthetic edge-padding rows each PE must assemble to
+// compute exactly its output shard. It is shared read-only by all PEs,
+// so sender and receiver agree on every halo message without any
+// negotiation round.
+type layerPlan struct {
+	in, out      []strategy.Range
+	need         []rowSpan
+	padLo, padHi []int
+}
+
+// planLayer derives the halo-exchange plan of layer l at width p. For a
+// window of size k, stride s, padding pd, PE i's output rows [oS, oE)
+// require global input rows [oS·s − pd, (oE−1)·s − pd + k); rows below 0
+// or past the input extent are synthesized as edge padding, the rest are
+// fetched from whoever owns them.
+func planLayer(l *nn.Layer, p int) (*layerPlan, error) {
+	out, err := strategy.SpatialShards(l.Out[0], p)
+	if err != nil {
+		return nil, err
+	}
+	in, err := strategy.SpatialShards(l.In[0], p)
+	if err != nil {
+		return nil, err
+	}
+	pl := &layerPlan{
+		in: in, out: out,
+		need:  make([]rowSpan, p),
+		padLo: make([]int, p),
+		padHi: make([]int, p),
+	}
+	k, s, pd := l.Kernel[0], l.Stride[0], l.Pad[0]
+	for i := 0; i < p; i++ {
+		needLo := out[i].Start*s - pd
+		needHi := (out[i].End-1)*s - pd + k
+		realLo, realHi := max(needLo, 0), min(needHi, l.In[0])
+		pl.need[i] = rowSpan{realLo, realHi}
+		pl.padLo[i] = realLo - needLo
+		pl.padHi[i] = needHi - realHi
+	}
+	return pl, nil
+}
+
+// haloExchange assembles this PE's windowed-layer input block: its own
+// rows plus halo rows fetched point-to-point from the PEs owning them
+// (§3.2), with padVal rows synthesized on the outer edges. padVal is 0
+// for convolution and average pooling; max pooling uses −Inf because
+// the sequential kernel skips padded positions, which a −Inf row can
+// never beat.
+func haloExchange(c *Comm, x *tensor.Tensor, pl *layerPlan, padVal float64) *tensor.Tensor {
+	rank, p := c.Rank(), c.Size()
+	own := spanOf(pl.in[rank])
+	for dst := 0; dst < p; dst++ {
+		if dst == rank {
+			continue
+		}
+		if ov := intersect(pl.need[dst], own); ov.len() > 0 {
+			c.Send(dst, x.Narrow(spatialAxis, ov.Lo-own.Lo, ov.len()))
+		}
+	}
+	need := pl.need[rank]
+	shape := x.Shape()
+	shape[spatialAxis] = pl.padLo[rank] + need.len() + pl.padHi[rank]
+	block := tensor.New(shape...)
+	if padVal != 0 {
+		block.Fill(padVal)
+	}
+	for src := 0; src < p; src++ {
+		ov := intersect(need, spanOf(pl.in[src]))
+		if ov.len() == 0 {
+			continue
+		}
+		var piece *tensor.Tensor
+		if src == rank {
+			piece = x.Narrow(spatialAxis, ov.Lo-own.Lo, ov.len())
+		} else {
+			piece = c.Recv(src)
+		}
+		block.CopyInto(piece, spatialAxis, pl.padLo[rank]+ov.Lo-need.Lo)
+	}
+	return block
+}
+
+// haloScatter is the backward counterpart of haloExchange: it strips the
+// synthetic padding off dxBlock, ships halo-row gradient contributions
+// back to their owners, and accumulates incoming pieces in ascending PE
+// order so every replica reduces deterministically.
+func haloScatter(c *Comm, dxBlock *tensor.Tensor, pl *layerPlan) *tensor.Tensor {
+	rank, p := c.Rank(), c.Size()
+	need := pl.need[rank]
+	real := dxBlock.Narrow(spatialAxis, pl.padLo[rank], need.len())
+	own := spanOf(pl.in[rank])
+	for dst := 0; dst < p; dst++ {
+		if dst == rank {
+			continue
+		}
+		if ov := intersect(need, spanOf(pl.in[dst])); ov.len() > 0 {
+			c.Send(dst, real.Narrow(spatialAxis, ov.Lo-need.Lo, ov.len()))
+		}
+	}
+	shape := dxBlock.Shape()
+	shape[spatialAxis] = own.len()
+	acc := tensor.New(shape...)
+	for src := 0; src < p; src++ {
+		ov := intersect(pl.need[src], own)
+		if ov.len() == 0 {
+			continue
+		}
+		var piece *tensor.Tensor
+		if src == rank {
+			piece = real.Narrow(spatialAxis, ov.Lo-need.Lo, ov.len())
+		} else {
+			piece = c.Recv(src)
+		}
+		addRegion(acc, piece, spatialAxis, ov.Lo-own.Lo)
+	}
+	return acc
+}
+
+// addRegion accumulates src into dst at offset start along axis — the
+// additive counterpart of Tensor.CopyInto, touching only the O(region)
+// elements of the halo rows rather than the whole slab. dst and src
+// must agree on every dimension except axis.
+func addRegion(dst, src *tensor.Tensor, axis, start int) {
+	inner := 1
+	for i := axis + 1; i < src.Rank(); i++ {
+		inner *= src.Dim(i)
+	}
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= src.Dim(i)
+	}
+	srcAxis, dstAxis := src.Dim(axis), dst.Dim(axis)
+	sd, dd := src.Data(), dst.Data()
+	for o := 0; o < outer; o++ {
+		srcBase := o * srcAxis * inner
+		dstBase := (o*dstAxis + start) * inner
+		for i := 0; i < srcAxis*inner; i++ {
+			dd[dstBase+i] += sd[srcBase+i]
+		}
+	}
+}
+
+// zeroAxis returns pad with the split-axis entry cleared: the halo block
+// already carries the synthetic edge rows, so the kernel itself must not
+// pad that axis again.
+func zeroAxis(pad []int) []int {
+	out := append([]int(nil), pad...)
+	out[0] = 0
+	return out
+}
+
+// RunSpatial executes spatial parallelism (§3.2): every PE owns a
+// contiguous slab of the first spatial dimension of every activation,
+// convolutions and poolings exchange halo rows with their neighbours,
+// and the slabs are aggregated (Allgather) before the classifier head,
+// which runs replicated — the aggregation point of §4.5.1. Trunk weight
+// gradients are partial sums over each PE's output rows and are
+// Allreduced before the identical SGD step; trunk batch norm is
+// synchronized across slabs.
+func RunSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: spatial parallelism needs p >= 1, got %d", p)
+	}
+	if err := checkBatches(m, batches); err != nil {
+		return nil, err
+	}
+	fcStart := m.G()
+	for l := range m.Layers {
+		if m.Layers[l].Kind == nn.FC {
+			fcStart = l
+			break
+		}
+	}
+	if fcStart == m.G() {
+		return nil, fmt.Errorf("dist: spatial runtime requires a fully-connected head to aggregate into (model %q has none)", m.Name)
+	}
+	limit := m.InputDims[0]
+	for l := 0; l < fcStart; l++ {
+		limit = min(limit, m.Layers[l].In[0], m.Layers[l].Out[0])
+	}
+	if p > limit {
+		return nil, fmt.Errorf("dist: model %q supports spatial width <= %d (Table 3), got p=%d", m.Name, limit, p)
+	}
+	// Shared read-only exchange plans for every windowed trunk layer.
+	plans := make([]*layerPlan, fcStart)
+	for l := 0; l < fcStart; l++ {
+		spec := &m.Layers[l]
+		if spec.Kind != nn.Conv && spec.Kind != nn.Pool {
+			continue
+		}
+		pl, err := planLayer(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		plans[l] = pl
+	}
+	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
+		net := newReplica(m, seed)
+		out := make([]float64, 0, len(batches))
+		for bi := range batches {
+			out = append(out, spatialStep(c, net, &batches[bi], plans, fcStart, lr))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: "spatial", P: p, Losses: losses}, nil
+}
+
+// spatialStep runs one spatially-partitioned SGD iteration.
+func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart int, lr float64) float64 {
+	model := net.Model
+	rank, p := c.Rank(), c.Size()
+	layers := model.Layers
+	g := len(layers)
+
+	inParts := strategy.PartitionDim(model.InputDims[0], p)
+	cur := b.X.Narrow(spatialAxis, inParts[rank].Start, inParts[rank].Size())
+	states := make([]*nn.LayerState, g)
+	bnSync := make([]bool, g)
+
+	// Partitioned trunk forward: halo-assembled windowed layers,
+	// slab-local element-wise layers, slab-synchronized batch norm.
+	for l := 0; l < fcStart; l++ {
+		spec := &layers[l]
+		switch spec.Kind {
+		case nn.Conv:
+			block := haloExchange(c, cur, plans[l], 0)
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+			states[l] = &nn.LayerState{X: block}
+			cur = tensor.ConvForward(block, net.Params[l].W, net.Params[l].B, cs)
+		case nn.Pool:
+			padVal := 0.0
+			if spec.PoolKind == tensor.MaxPool {
+				padVal = math.Inf(-1)
+			}
+			block := haloExchange(c, cur, plans[l], padVal)
+			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+			y, arg := tensor.PoolForward(block, ps)
+			states[l] = &nn.LayerState{X: block, Argmax: arg}
+			cur = y
+		case nn.ReLU:
+			states[l] = &nn.LayerState{X: cur}
+			cur = tensor.ReLUForward(cur)
+		case nn.BatchNorm:
+			if p > 1 {
+				y, st := syncBNForward(c, cur, net.Params[l].Gamma, net.Params[l].Beta)
+				states[l] = &nn.LayerState{X: cur, BN: st}
+				bnSync[l] = true
+				cur = y
+			} else {
+				cur, states[l] = net.ForwardLayer(l, cur)
+			}
+		default:
+			panic(fmt.Sprintf("dist: layer kind %v in spatial trunk", spec.Kind))
+		}
+	}
+
+	// Aggregate the slabs, then run the replicated head on the full
+	// batch (§4.5.1) — every PE computes identical logits and loss.
+	cur = c.AllGather(cur, spatialAxis)
+	for l := fcStart; l < g; l++ {
+		cur, states[l] = net.ForwardLayer(l, cur)
+	}
+	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+
+	grads := make([]nn.Grads, g)
+	for l := g - 1; l >= fcStart; l-- {
+		dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+	}
+
+	// Back into the trunk: keep only the gradient rows of this PE's slab.
+	bParts := strategy.PartitionDim(layers[fcStart].In[0], p)
+	dy = dy.Narrow(spatialAxis, bParts[rank].Start, bParts[rank].Size())
+	for l := fcStart - 1; l >= 0; l-- {
+		spec := &layers[l]
+		switch spec.Kind {
+		case nn.Conv:
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+			block := states[l].X
+			dxBlock := tensor.ConvBackwardData(dy, net.Params[l].W, block.Shape(), cs)
+			dw, db := tensor.ConvBackwardWeight(dy, block, net.Params[l].W.Shape(), cs)
+			grads[l] = nn.Grads{W: dw, B: db}
+			dy = haloScatter(c, dxBlock, plans[l])
+		case nn.Pool:
+			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+			dxBlock := tensor.PoolBackward(dy, states[l].X.Shape(), ps, states[l].Argmax)
+			dy = haloScatter(c, dxBlock, plans[l])
+		case nn.ReLU:
+			dy = tensor.ReLUBackward(dy, states[l].X)
+		case nn.BatchNorm:
+			if bnSync[l] {
+				dx, dgamma, dbeta := syncBNBackward(c, dy, net.Params[l].Gamma, states[l].BN)
+				grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
+				dy = dx
+			} else {
+				dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+			}
+		}
+	}
+
+	// Trunk convolution gradients are partial sums over this PE's output
+	// rows; head and sync-BN gradients are already global.
+	for l := 0; l < fcStart; l++ {
+		if layers[l].Kind != nn.Conv {
+			continue
+		}
+		grads[l].W = c.AllReduceSum(grads[l].W)
+		grads[l].B = c.AllReduceSum(grads[l].B)
+	}
+	net.Step(grads, lr)
+	return loss
+}

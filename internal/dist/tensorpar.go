@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"fmt"
+
+	"paradl/internal/nn"
+	"paradl/internal/strategy"
+	"paradl/internal/tensor"
+)
+
+// weightShard is one PE's slice of a weighted layer's parameters.
+type weightShard struct {
+	w, b *tensor.Tensor
+	rng  strategy.Range
+}
+
+// RunFilter executes filter parallelism (§3.4): every weighted layer's
+// output channels (filters) are sharded across the PEs. Each PE holds
+// the full input activation, computes its output-channel slice, and the
+// slices are Allgathered so the next layer again sees the full tensor.
+// Backward, the input gradient is the Allreduced sum of per-shard
+// contributions, while each PE's weight gradients are exact for its own
+// filters — no gradient exchange at all, the selling point of the
+// strategy in Table 3.
+func RunFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: filter parallelism needs p >= 1, got %d", p)
+	}
+	if mf := m.MinFilters(); p > 1 && p > mf {
+		return nil, fmt.Errorf("dist: model %q supports filter width <= min F_l = %d (Table 3), got p=%d", m.Name, mf, p)
+	}
+	if err := checkBatches(m, batches); err != nil {
+		return nil, err
+	}
+	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
+		net := newReplica(m, seed)
+		shards, err := filterShards(net, c.Rank(), p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, len(batches))
+		for bi := range batches {
+			out = append(out, filterStep(c, net, shards, &batches[bi], lr))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: "filter", P: p, Losses: losses}, nil
+}
+
+// filterShards carves rank's output-channel slice out of every weighted
+// layer of an (identically seeded) full replica. The slices are the
+// PE's authoritative parameters from here on; the replica keeps only
+// the replicated BN parameters live.
+func filterShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
+	layers := net.Model.Layers
+	shards := make([]*weightShard, len(layers))
+	for l := range layers {
+		spec := &layers[l]
+		if spec.Kind != nn.Conv && spec.Kind != nn.FC {
+			continue
+		}
+		rngs, err := strategy.FilterShards(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		rng := rngs[rank]
+		shards[l] = &weightShard{
+			w:   net.Params[l].W.Narrow(0, rng.Start, rng.Size()),
+			b:   net.Params[l].B.Narrow(0, rng.Start, rng.Size()),
+			rng: rng,
+		}
+	}
+	return shards, nil
+}
+
+// filterStep runs one filter-parallel SGD iteration.
+func filterStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr float64) float64 {
+	layers := net.Model.Layers
+	g := len(layers)
+	states := make([]*nn.LayerState, g)
+	cur := b.X
+	for l := 0; l < g; l++ {
+		spec := &layers[l]
+		sh := shards[l]
+		switch spec.Kind {
+		case nn.Conv:
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
+			states[l] = &nn.LayerState{X: cur}
+			cur = c.AllGather(tensor.ConvForward(cur, sh.w, sh.b, cs), 1)
+		case nn.FC:
+			n := cur.Dim(0)
+			flat := cur.Reshape(n, cur.Len()/n)
+			states[l] = &nn.LayerState{X: cur}
+			cur = c.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
+		default:
+			// Channel-wise layers run replicated on the full activation
+			// and stay bit-identical across PEs.
+			cur, states[l] = net.ForwardLayer(l, cur)
+		}
+	}
+	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+
+	grads := make([]nn.Grads, g)
+	shardGrads := make([]weightShard, g)
+	for l := g - 1; l >= 0; l-- {
+		spec := &layers[l]
+		sh := shards[l]
+		switch spec.Kind {
+		case nn.Conv:
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
+			x := states[l].X
+			dySh := dy.Narrow(1, sh.rng.Start, sh.rng.Size())
+			dxPart := tensor.ConvBackwardData(dySh, sh.w, x.Shape(), cs)
+			dw, db := tensor.ConvBackwardWeight(dySh, x, sh.w.Shape(), cs)
+			shardGrads[l] = weightShard{w: dw, b: db}
+			dy = c.AllReduceSum(dxPart)
+		case nn.FC:
+			x := states[l].X
+			n := x.Dim(0)
+			flat := x.Reshape(n, x.Len()/n)
+			dySh := dy.Narrow(1, sh.rng.Start, sh.rng.Size())
+			dxPart, dw, db := tensor.FCBackward(dySh, flat, sh.w, x.Shape())
+			shardGrads[l] = weightShard{w: dw, b: db}
+			dy = c.AllReduceSum(dxPart)
+		default:
+			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+		}
+	}
+
+	// Shard parameters step on exact local gradients; replicated BN
+	// parameters step on identical global gradients — no exchange.
+	net.Step(grads, lr)
+	for l := range shards {
+		if shards[l] == nil {
+			continue
+		}
+		tensor.SGDStep(shards[l].w, shardGrads[l].w, lr)
+		tensor.SGDStep(shards[l].b, shardGrads[l].b, lr)
+	}
+	return loss
+}
+
+// RunChannel executes channel parallelism (§3.5): every weighted layer's
+// input channels are sharded, each PE convolves its channel slice with
+// its weight slice, and the partial outputs are summed by Allreduce
+// before the bias is applied exactly once. Layers with fewer channels
+// than PEs — in practice the first layer, which the paper also leaves
+// unsplit (§4.2) — run replicated.
+func RunChannel(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: channel parallelism needs p >= 1, got %d", p)
+	}
+	if mc := m.MinChannels(); p > 1 && p > mc {
+		return nil, fmt.Errorf("dist: model %q supports channel width <= min C_l = %d (Table 3), got p=%d", m.Name, mc, p)
+	}
+	if err := checkBatches(m, batches); err != nil {
+		return nil, err
+	}
+	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
+		net := newReplica(m, seed)
+		shards, err := channelShards(net, c.Rank(), p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, len(batches))
+		for bi := range batches {
+			out = append(out, channelStep(c, net, shards, &batches[bi], lr))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: "channel", P: p, Losses: losses}, nil
+}
+
+// channelShards carves rank's input-channel slice of every weighted
+// layer wide enough to split; narrower layers keep shards[l] == nil and
+// run replicated. FC weights are sliced by channel blocks of the
+// flattened input (the layer is the paper's kernel-equals-input
+// convolution, so a channel is a contiguous run of vol(In) columns).
+func channelShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
+	layers := net.Model.Layers
+	shards := make([]*weightShard, len(layers))
+	if p == 1 {
+		return shards, nil // degenerate width: run every layer replicated
+	}
+	for l := range layers {
+		spec := &layers[l]
+		if (spec.Kind != nn.Conv && spec.Kind != nn.FC) || spec.C < p {
+			continue
+		}
+		rngs, err := strategy.ChannelShards(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		rng := rngs[rank]
+		sh := &weightShard{rng: rng}
+		switch spec.Kind {
+		case nn.Conv:
+			sh.w = net.Params[l].W.Narrow(1, rng.Start, rng.Size())
+		case nn.FC:
+			vol := int(spec.InSize()) / spec.C
+			sh.w = net.Params[l].W.Narrow(1, rng.Start*vol, rng.Size()*vol)
+		}
+		shards[l] = sh
+	}
+	return shards, nil
+}
+
+// channelStep runs one channel-parallel SGD iteration.
+func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr float64) float64 {
+	layers := net.Model.Layers
+	g := len(layers)
+	states := make([]*nn.LayerState, g)
+	cur := b.X
+	for l := 0; l < g; l++ {
+		spec := &layers[l]
+		sh := shards[l]
+		switch {
+		case spec.Kind == nn.Conv && sh != nil:
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
+			xSh := cur.Narrow(1, sh.rng.Start, sh.rng.Size())
+			states[l] = &nn.LayerState{X: xSh}
+			y := c.AllReduceSum(tensor.ConvForward(xSh, sh.w, nil, cs))
+			tensor.AddBias(y, net.Params[l].B)
+			cur = y
+		case spec.Kind == nn.FC && sh != nil:
+			xSh := cur.Narrow(1, sh.rng.Start, sh.rng.Size())
+			n := xSh.Dim(0)
+			flat := xSh.Reshape(n, xSh.Len()/n)
+			states[l] = &nn.LayerState{X: xSh}
+			y := c.AllReduceSum(tensor.FCForward(flat, sh.w, nil))
+			tensor.AddBias(y, net.Params[l].B)
+			cur = y
+		default:
+			// Replicated layer (channel-wise, or too narrow to split):
+			// full activation, identical on every PE.
+			cur, states[l] = net.ForwardLayer(l, cur)
+		}
+	}
+	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+
+	grads := make([]nn.Grads, g)
+	shardGrads := make([]weightShard, g)
+	for l := g - 1; l >= 0; l-- {
+		spec := &layers[l]
+		sh := shards[l]
+		switch {
+		case spec.Kind == nn.Conv && sh != nil:
+			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
+			xSh := states[l].X
+			dxSh := tensor.ConvBackwardData(dy, sh.w, xSh.Shape(), cs)
+			dw, db := tensor.ConvBackwardWeight(dy, xSh, sh.w.Shape(), cs)
+			shardGrads[l] = weightShard{w: dw, b: db}
+			dy = c.AllGather(dxSh, 1)
+		case spec.Kind == nn.FC && sh != nil:
+			xSh := states[l].X
+			n := xSh.Dim(0)
+			flat := xSh.Reshape(n, xSh.Len()/n)
+			dxSh, dw, db := tensor.FCBackward(dy, flat, sh.w, xSh.Shape())
+			shardGrads[l] = weightShard{w: dw, b: db}
+			dy = c.AllGather(dxSh, 1)
+		default:
+			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+		}
+	}
+
+	// Weight-shard gradients are exact (dy was global); the bias
+	// gradient Σdy is identical on every PE, so the replicated bias
+	// steps in lockstep without any exchange.
+	net.Step(grads, lr)
+	for l := range shards {
+		if shards[l] == nil {
+			continue
+		}
+		tensor.SGDStep(shards[l].w, shardGrads[l].w, lr)
+		tensor.SGDStep(net.Params[l].B, shardGrads[l].b, lr)
+	}
+	return loss
+}

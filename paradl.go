@@ -27,6 +27,7 @@ import (
 	"paradl/internal/cluster"
 	"paradl/internal/core"
 	"paradl/internal/data"
+	"paradl/internal/dist"
 	"paradl/internal/measure"
 	"paradl/internal/model"
 	"paradl/internal/nn"
@@ -118,6 +119,43 @@ func Best(cfg Config) (*Projection, error) { return core.Best(cfg) }
 // Measure runs the simulated "measured" side for validation studies.
 func Measure(cfg Config, s Strategy) (*measure.Result, error) {
 	return measure.Measure(measure.NewEngine(cfg.Sys), cfg, s)
+}
+
+// TrainBatch re-exports one real-execution training step's input.
+type TrainBatch = dist.Batch
+
+// TrainResult re-exports a real-execution run: strategy, width, and
+// per-iteration losses.
+type TrainResult = dist.Result
+
+// TrainSequential runs real single-PE SGD — the value-parity baseline.
+func TrainSequential(m *NetModel, seed int64, batches []TrainBatch, lr float64) *TrainResult {
+	return dist.RunSequential(m, seed, batches, lr)
+}
+
+// TrainData runs real data-parallel training over p replicas.
+func TrainData(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
+	return dist.RunData(m, seed, batches, lr, p)
+}
+
+// TrainSpatial runs real spatially-partitioned training over p PEs.
+func TrainSpatial(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
+	return dist.RunSpatial(m, seed, batches, lr, p)
+}
+
+// TrainFilter runs real filter-parallel training over p PEs.
+func TrainFilter(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
+	return dist.RunFilter(m, seed, batches, lr, p)
+}
+
+// TrainChannel runs real channel-parallel training over p PEs.
+func TrainChannel(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
+	return dist.RunChannel(m, seed, batches, lr, p)
+}
+
+// TrainPipeline runs real pipeline-parallel training over p stages.
+func TrainPipeline(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
+	return dist.RunPipeline(m, seed, batches, lr, p)
 }
 
 // Strategies lists all projectable strategies.

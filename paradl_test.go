@@ -1,9 +1,12 @@
 package paradl_test
 
 import (
+	"math"
 	"testing"
 
 	"paradl"
+	"paradl/internal/data"
+	"paradl/internal/model"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
@@ -83,5 +86,20 @@ func TestFacadeParse(t *testing.T) {
 	s, err := paradl.ParseStrategy("df")
 	if err != nil || s != paradl.DataFilter {
 		t.Fatalf("ParseStrategy(df) = %v, %v", s, err)
+	}
+}
+
+func TestFacadeRealTraining(t *testing.T) {
+	m := model.Tiny3D()
+	batches := data.Toy(m, 32).Batches(2, 4)
+	seq := paradl.TrainSequential(m, 7, batches, 0.05)
+	par, err := paradl.TrainData(m, 7, batches, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Losses {
+		if d := math.Abs(par.Losses[i] - seq.Losses[i]); d > 1e-6 {
+			t.Fatalf("iter %d: facade data-parallel loss off by %.3e", i, d)
+		}
 	}
 }
