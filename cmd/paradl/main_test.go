@@ -20,6 +20,16 @@ func TestRunHybridWithSplit(t *testing.T) {
 	}
 }
 
+func TestRunHybridDerivesMissingAxis(t *testing.T) {
+	// The doc-comment example: -strategy ds -gpus 64 -p2 4 (no -p1).
+	if err := run("cosmoflow", "ds", 64, 0, 16, 0, 4, 4, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("resnet50", "df", 64, 8, 0, 16, 0, 4, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunStrongScalingFilter(t *testing.T) {
 	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false); err != nil {
 		t.Fatal(err)

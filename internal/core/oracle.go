@@ -181,6 +181,20 @@ func validate(cfg *Config, s Strategy) error {
 			}
 			cfg.P1 = cfg.P / cfg.P2
 		}
+		// One axis given: derive the other from P (e.g. P=64, P2=4 is a
+		// 16×4 grid).
+		if cfg.P1 > 0 && cfg.P2 == 0 {
+			if cfg.P%cfg.P1 != 0 {
+				return fmt.Errorf("core: P1=%d does not divide P=%d", cfg.P1, cfg.P)
+			}
+			cfg.P2 = cfg.P / cfg.P1
+		}
+		if cfg.P2 > 0 && cfg.P1 == 0 {
+			if cfg.P%cfg.P2 != 0 {
+				return fmt.Errorf("core: P2=%d does not divide P=%d", cfg.P2, cfg.P)
+			}
+			cfg.P1 = cfg.P / cfg.P2
+		}
 		if cfg.P1*cfg.P2 != cfg.P {
 			return fmt.Errorf("core: P1·P2 = %d·%d ≠ P = %d", cfg.P1, cfg.P2, cfg.P)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -118,6 +119,25 @@ func TestHaloSubstantialVsGE(t *testing.T) {
 	ratio := pr.Epoch.Halo / pr.Epoch.GE
 	if ratio < 0.15 || ratio > 1.2 {
 		t.Fatalf("halo/GE ratio %.2f outside the paper's observed regime (~0.6)", ratio)
+	}
+}
+
+func TestHybridDerivesMissingGridAxis(t *testing.T) {
+	// One grid axis given: validate derives the other from P (the CLI's
+	// documented `-gpus 64 -p2 4` usage).
+	cfg := testConfig(t, model.ResNet50(), 64, 8)
+	cfg.P2 = 4
+	pr, err := Project(cfg, DataSpatial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Config.P1 != 16 || pr.Config.P2 != 4 {
+		t.Fatalf("derived grid %d×%d, want 16×4", pr.Config.P1, pr.Config.P2)
+	}
+	cfg = testConfig(t, model.ResNet50(), 64, 8)
+	cfg.P1 = 5 // does not divide 64: a diagnosis, not the opaque P1·P2 ≠ P
+	if _, err := Project(cfg, DataFilter); err == nil || !strings.Contains(err.Error(), "divide") {
+		t.Fatalf("want non-dividing axis error, got %v", err)
 	}
 }
 

@@ -1,0 +1,61 @@
+package dist_test
+
+import (
+	"testing"
+
+	"paradl/internal/data"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+	"paradl/internal/nn"
+)
+
+// Benchmarks compare the real per-iteration cost of every runner on the
+// same model and batches, making strategy-vs-strategy runtime overhead
+// (collectives, halo traffic, grid choreography) measurable:
+//
+//	go test ./internal/dist -bench . -benchtime 10x
+
+func benchBatches(b *testing.B, m *nn.Model, size int) []dist.Batch {
+	b.Helper()
+	return data.Toy(m, int64(2*size)).Batches(2, size)
+}
+
+func BenchmarkRunSequential(b *testing.B) {
+	m := model.TinyCNNNoBN()
+	batches := benchBatches(b, m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.RunSequential(m, seed, batches, lr)
+	}
+}
+
+func benchStrategy(b *testing.B, run func(*nn.Model, int64, []dist.Batch, float64, int) (*dist.Result, error), p int) {
+	m := model.TinyCNNNoBN()
+	batches := benchBatches(b, m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(m, seed, batches, lr, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunData(b *testing.B)     { benchStrategy(b, dist.RunData, 2) }
+func BenchmarkRunSpatial(b *testing.B)  { benchStrategy(b, dist.RunSpatial, 2) }
+func BenchmarkRunFilter(b *testing.B)   { benchStrategy(b, dist.RunFilter, 2) }
+func BenchmarkRunChannel(b *testing.B)  { benchStrategy(b, dist.RunChannel, 2) }
+func BenchmarkRunPipeline(b *testing.B) { benchStrategy(b, dist.RunPipeline, 2) }
+
+func benchHybrid(b *testing.B, run func(*nn.Model, int64, []dist.Batch, float64, int, int) (*dist.Result, error)) {
+	m := model.TinyCNNNoBN()
+	batches := benchBatches(b, m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(m, seed, batches, lr, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunDataFilter(b *testing.B)  { benchHybrid(b, dist.RunDataFilter) }
+func BenchmarkRunDataSpatial(b *testing.B) { benchHybrid(b, dist.RunDataSpatial) }

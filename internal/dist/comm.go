@@ -56,13 +56,17 @@ func (w *World) fail(err error) {
 	})
 }
 
-// Comm is one PE's handle onto the world.
+// Comm is one PE's handle onto a communicator: the whole world, or a
+// sub-communicator over a subset of its ranks (Sub). Rank and Size are
+// always relative to the communicator; members maps communicator ranks
+// to world ranks (nil for the world itself).
 type Comm struct {
-	w    *World
-	rank int
+	w       *World
+	rank    int
+	members []int
 }
 
-// Comm returns the handle of the given rank.
+// Comm returns the world communicator handle of the given rank.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.p {
 		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, w.p))
@@ -70,18 +74,66 @@ func (w *World) Comm(rank int) *Comm {
 	return &Comm{w: w, rank: rank}
 }
 
-// Rank returns this PE's id in [0, Size).
+// worldRank translates a communicator rank to its world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.members == nil {
+		return r
+	}
+	return c.members[r]
+}
+
+// Sub returns a sub-communicator over the given ranks OF THIS
+// communicator, in the given order: new rank i speaks as members[i].
+// The caller must appear in members. Collectives on the result involve
+// only its members, so disjoint groups — e.g. the model-parallel groups
+// and segmented cross-groups of the §3.6 hybrids — proceed
+// independently over the same world. Message matching between
+// overlapping communicators relies on the SPMD discipline the runtime
+// already assumes: every PE issues its communication calls in the same
+// program order.
+func (c *Comm) Sub(members []int) *Comm {
+	if len(members) == 0 {
+		panic("dist: empty sub-communicator")
+	}
+	world := make([]int, len(members))
+	seen := make(map[int]bool, len(members))
+	me := -1
+	for i, r := range members {
+		if r < 0 || r >= c.Size() {
+			panic(fmt.Sprintf("dist: sub-communicator member %d out of range [0,%d)", r, c.Size()))
+		}
+		if seen[r] {
+			panic(fmt.Sprintf("dist: duplicate sub-communicator member %d", r))
+		}
+		seen[r] = true
+		world[i] = c.worldRank(r)
+		if r == c.rank {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("dist: rank %d is not a member of the sub-communicator %v", c.rank, members))
+	}
+	return &Comm{w: c.w, rank: me, members: world}
+}
+
+// Rank returns this PE's id in [0, Size) within the communicator.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the world size p.
-func (c *Comm) Size() int { return c.w.p }
+// Size returns the communicator size.
+func (c *Comm) Size() int {
+	if c.members == nil {
+		return c.w.p
+	}
+	return len(c.members)
+}
 
 // Send delivers a deep copy of t to dst's mailbox. Payloads are copied
 // at the sender so a message is immutable in flight, like a buffer
 // handed to a real interconnect.
 func (c *Comm) Send(dst int, t *tensor.Tensor) {
 	select {
-	case c.w.ch[c.rank][dst] <- t.Clone():
+	case c.w.ch[c.worldRank(c.rank)][c.worldRank(dst)] <- t.Clone():
 	case <-c.w.abort:
 		panic(errAborted)
 	}
@@ -90,7 +142,7 @@ func (c *Comm) Send(dst int, t *tensor.Tensor) {
 // Recv blocks until a message from src arrives (or the world aborts).
 func (c *Comm) Recv(src int) *tensor.Tensor {
 	select {
-	case t := <-c.w.ch[src][c.rank]:
+	case t := <-c.w.ch[c.worldRank(src)][c.worldRank(c.rank)]:
 		return t
 	case <-c.w.abort:
 		panic(errAborted)
@@ -135,10 +187,12 @@ func (c *Comm) AllReduceScalar(v float64) float64 {
 // AllGather concatenates every PE's shard along axis in rank order —
 // the activation aggregation of filter parallelism and of the spatial
 // trunk/classifier boundary (§4.5.1). All PEs receive identical bits.
+// A singleton communicator returns t itself, like AllReduceSum, so the
+// degenerate grid edges (p1=1 or p2=1) pay no copy.
 func (c *Comm) AllGather(t *tensor.Tensor, axis int) *tensor.Tensor {
 	p := c.Size()
 	if p == 1 {
-		return t.Clone()
+		return t
 	}
 	for dst := 0; dst < p; dst++ {
 		if dst != c.rank {

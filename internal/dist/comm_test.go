@@ -62,6 +62,106 @@ func TestAllGatherOrder(t *testing.T) {
 	}
 }
 
+// TestSubCommIsolation: the §3.6 grid layout — two groups {0,1} and
+// {2,3} plus two segments {0,2} and {1,3} — runs group allreduces and
+// segment allgathers concurrently over one world, and every collective
+// sees only its own members.
+func TestSubCommIsolation(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	sums := make([]*tensor.Tensor, p)
+	gathers := make([]*tensor.Tensor, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			group := c.Sub([]int{rank / 2 * 2, rank/2*2 + 1})
+			seg := c.Sub([]int{rank % 2, rank%2 + 2})
+			if group.Size() != 2 || seg.Size() != 2 {
+				t.Errorf("rank %d: group size %d, segment size %d, want 2, 2", rank, group.Size(), seg.Size())
+				return
+			}
+			if got, want := group.Rank(), rank%2; got != want {
+				t.Errorf("rank %d: group rank %d, want %d", rank, got, want)
+				return
+			}
+			if got, want := seg.Rank(), rank/2; got != want {
+				t.Errorf("rank %d: segment rank %d, want %d", rank, got, want)
+				return
+			}
+			x := tensor.New(2)
+			x.Fill(float64(rank + 1))
+			sums[rank] = group.AllReduceSum(x.Clone())
+			gathers[rank] = seg.AllGather(x, 0)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		wantSum := float64(1 + 2)
+		if r >= 2 {
+			wantSum = 3 + 4
+		}
+		if got := sums[r].At(0); got != wantSum {
+			t.Fatalf("rank %d: group sum %g, want %g", r, got, wantSum)
+		}
+		// Segment gather concatenates {k+1, k+3} for segment k = r%2.
+		k := r % 2
+		for g := 0; g < 2; g++ {
+			if got, want := gathers[r].At(g*2), float64(g*2+k+1); got != want {
+				t.Fatalf("rank %d: segment gather[%d] = %g, want %g", r, g*2, got, want)
+			}
+		}
+	}
+}
+
+// TestSubValidation: malformed memberships panic before any traffic.
+func TestSubValidation(t *testing.T) {
+	w := NewWorld(3)
+	c := w.Comm(0)
+	for name, members := range map[string][]int{
+		"empty":      {},
+		"duplicate":  {0, 0},
+		"out-range":  {0, 3},
+		"non-member": {1, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s membership %v must panic", name, members)
+				}
+			}()
+			c.Sub(members)
+		}()
+	}
+}
+
+// TestSubOfSub: membership composes through nested sub-communicators —
+// Sub's members are always ranks of the communicator it is called on.
+func TestSubOfSub(t *testing.T) {
+	w := NewWorld(4)
+	results := make([]*tensor.Tensor, 4)
+	var wg sync.WaitGroup
+	for _, r := range []int{1, 2} {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			upper := w.Comm(rank).Sub([]int{1, 2, 3}) // world ranks 1..3
+			duo := upper.Sub([]int{0, 1})             // upper ranks 0,1 = world ranks 1,2
+			x := tensor.New(1)
+			x.Set(float64(rank), 0)
+			results[rank] = duo.AllReduceSum(x)
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range []int{1, 2} {
+		if got := results[r].At(0); got != 3 {
+			t.Fatalf("rank %d: nested sum %g, want 3", r, got)
+		}
+	}
+}
+
 // TestWorldAbortOnFailure: one failing PE tears the world down instead
 // of deadlocking peers blocked in Recv.
 func TestWorldAbortOnFailure(t *testing.T) {

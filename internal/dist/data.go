@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"paradl/internal/nn"
-	"paradl/internal/strategy"
-	"paradl/internal/tensor"
 )
 
 // RunData executes data parallelism (§3.1): p full replicas, each
@@ -14,102 +12,12 @@ import (
 // steps, so they stay bit-synchronized. Batch normalization is
 // synchronized (global statistics) so runs match the sequential
 // baseline even on BN models — the paper's framework comparison point
-// of §4.5.2.
+// of §4.5.2. It is the p2=1 edge of the data×filter grid: groups of
+// one, so every filter shard spans its whole layer and the segmented
+// cross-group exchange is the classic gradient allreduce.
 func RunData(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("dist: data parallelism needs p >= 1, got %d", p)
 	}
-	if err := checkBatches(m, batches); err != nil {
-		return nil, err
-	}
-	for i := range batches {
-		if _, err := strategy.MicroBatches(batches[i].X.Dim(0), p); err != nil {
-			return nil, fmt.Errorf("dist: batch %d: %w", i, err)
-		}
-	}
-	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
-		net := newReplica(m, seed)
-		out := make([]float64, 0, len(batches))
-		for bi := range batches {
-			b := &batches[bi]
-			total := b.X.Dim(0)
-			sizes, err := strategy.MicroBatches(total, p)
-			if err != nil {
-				return nil, err
-			}
-			off := 0
-			for r := 0; r < c.Rank(); r++ {
-				off += sizes[r]
-			}
-			n := sizes[c.Rank()]
-			x := b.X.Narrow(0, off, n)
-			labels := b.Labels[off : off+n]
-			weight := float64(n) / float64(total)
-			loss := replicaStep(c, net, x, labels, weight, lr)
-			out = append(out, c.AllReduceScalar(loss*weight))
-		}
-		return out, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Strategy: "data", P: p, Losses: losses}, nil
-}
-
-// replicaStep runs one data-parallel SGD iteration on this PE's batch
-// shard. Scaling the loss gradient by n_local/B up front makes every
-// downstream local gradient exactly this shard's contribution to the
-// full-batch mean gradient, so the exchange is a plain sum.
-func replicaStep(c *Comm, net *nn.Network, x *tensor.Tensor, labels []int, dlScale, lr float64) float64 {
-	layers := net.Model.Layers
-	states := make([]*nn.LayerState, len(layers))
-	bnSync := make([]bool, len(layers))
-	cur := x
-	for l := range layers {
-		if layers[l].Kind == nn.BatchNorm && c.Size() > 1 {
-			y, st := syncBNForward(c, cur, net.Params[l].Gamma, net.Params[l].Beta)
-			states[l] = &nn.LayerState{X: cur, BN: st}
-			bnSync[l] = true
-			cur = y
-			continue
-		}
-		cur, states[l] = net.ForwardLayer(l, cur)
-	}
-	loss, dy := tensor.SoftmaxCrossEntropy(cur, labels)
-	dy.Scale(dlScale)
-
-	grads := make([]nn.Grads, len(layers))
-	for l := len(layers) - 1; l >= 0; l-- {
-		if bnSync[l] {
-			dx, dgamma, dbeta := syncBNBackward(c, dy, net.Params[l].Gamma, states[l].BN)
-			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
-			dy = dx
-			continue
-		}
-		dy, grads[l] = net.BackwardLayer(l, dy, states[l])
-	}
-
-	// Gradient exchange: every partial sum becomes the global mean
-	// gradient. Synchronized-BN gamma/beta gradients are already global
-	// (syncBNBackward Allreduced their channel sums) and are skipped.
-	for l := range grads {
-		if bnSync[l] {
-			continue
-		}
-		g := &grads[l]
-		if g.W != nil {
-			g.W = c.AllReduceSum(g.W)
-		}
-		if g.B != nil {
-			g.B = c.AllReduceSum(g.B)
-		}
-		if g.Gamma != nil {
-			g.Gamma = c.AllReduceSum(g.Gamma)
-		}
-		if g.Beta != nil {
-			g.Beta = c.AllReduceSum(g.Beta)
-		}
-	}
-	net.Step(grads, lr)
-	return loss
+	return runDataFilter(m, seed, batches, lr, p, 1, "data")
 }

@@ -15,12 +15,14 @@
 // so the oracle's projections and the executable semantics can never
 // drift apart. Entry points:
 //
-//	RunSequential — single-PE SGD, the baseline every strategy must match
-//	RunData       — batch sharded over replicas, gradient Allreduce
-//	RunSpatial    — sample domain sharded, neighbour halo exchange (§3.2)
-//	RunFilter     — output channels sharded, activation Allgather (§3.4)
-//	RunChannel    — input channels sharded, activation Allreduce (§3.5)
-//	RunPipeline   — contiguous layer stages, GPipe-style microbatching (§3.3)
+//	RunSequential  — single-PE SGD, the baseline every strategy must match
+//	RunData        — batch sharded over replicas, gradient Allreduce
+//	RunSpatial     — sample domain sharded, neighbour halo exchange (§3.2)
+//	RunFilter      — output channels sharded, activation Allgather (§3.4)
+//	RunChannel     — input channels sharded, activation Allreduce (§3.5)
+//	RunPipeline    — contiguous layer stages, GPipe-style microbatching (§3.3)
+//	RunDataFilter  — df hybrid: p1 filter-parallel groups × segmented exchange (§3.6)
+//	RunDataSpatial — ds hybrid: p1 spatial-parallel groups × segmented exchange (§3.6)
 package dist
 
 import (
@@ -41,10 +43,14 @@ type Batch struct {
 
 // Result reports one training run: the strategy executed, its width,
 // and the loss of every iteration — the series the value-parity
-// methodology compares across strategies.
+// methodology compares across strategies. For grid-scheduled runs
+// (data, filter, spatial, and the §3.6 hybrids) P1×P2 is the grid
+// shape — P1 data-parallel groups of P2 model-parallel PEs, P = P1·P2;
+// other strategies leave the pair zero.
 type Result struct {
 	Strategy string
 	P        int
+	P1, P2   int
 	Losses   []float64
 }
 
@@ -160,4 +166,22 @@ func accumulateGrads(dst *nn.Grads, g nn.Grads) {
 	dst.B = addInto(dst.B, g.B)
 	dst.Gamma = addInto(dst.Gamma, g.Gamma)
 	dst.Beta = addInto(dst.Beta, g.Beta)
+}
+
+// allReduceGrads sums every present field of a replicated layer's
+// gradient across the communicator — the cross-group exchange of both
+// grid steps.
+func allReduceGrads(c *Comm, gr *nn.Grads) {
+	if gr.W != nil {
+		gr.W = c.AllReduceSum(gr.W)
+	}
+	if gr.B != nil {
+		gr.B = c.AllReduceSum(gr.B)
+	}
+	if gr.Gamma != nil {
+		gr.Gamma = c.AllReduceSum(gr.Gamma)
+	}
+	if gr.Beta != nil {
+		gr.Beta = c.AllReduceSum(gr.Beta)
+	}
 }

@@ -99,6 +99,115 @@ func TestSyncBNParity(t *testing.T) {
 	assertParity(t, seq, gotSpatial, err)
 }
 
+// TestHybridsMatchSequential is the §3.6 acceptance criterion: both
+// hybrids on a 2×2 grid reproduce sequential SGD on the BN-free CNN and
+// the 3-D (CosmoFlow-like) model over 4 iterations.
+func TestHybridsMatchSequential(t *testing.T) {
+	for _, m := range []*nn.Model{model.TinyCNNNoBN(), model.Tiny3D()} {
+		batches := toyBatches(t, m, 4, 4)
+		seq := dist.RunSequential(m, seed, batches, lr)
+		df, err := dist.RunDataFilter(m, seed, batches, lr, 2, 2)
+		assertParity(t, seq, df, err)
+		ds, err := dist.RunDataSpatial(m, seed, batches, lr, 2, 2)
+		assertParity(t, seq, ds, err)
+		if df.P != 4 || df.P1 != 2 || df.P2 != 2 {
+			t.Fatalf("%s: df grid %d=%d×%d, want 4=2×2", m.Name, df.P, df.P1, df.P2)
+		}
+	}
+}
+
+// TestHybridSyncBNParity: hybrids synchronize batch norm over the
+// correct cover — segments for data+filter (one PE per group spans the
+// global batch), the world for data+spatial — so even BN models match
+// the sequential baseline.
+func TestHybridSyncBNParity(t *testing.T) {
+	m := model.TinyCNN()
+	batches := toyBatches(t, m, 3, 4)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	df, err := dist.RunDataFilter(m, seed, batches, lr, 2, 2)
+	assertParity(t, seq, df, err)
+	ds, err := dist.RunDataSpatial(m, seed, batches, lr, 2, 2)
+	assertParity(t, seq, ds, err)
+}
+
+// TestHybridDegenerateEdges: the pure strategies are the p1=1 / p2=1
+// edges of the grid and must agree with the hybrid entry points
+// bit-for-bit. Today the pure runners delegate to the grid engines, so
+// this is a determinism check plus a delegation canary — it becomes
+// load-bearing the day a pure runner is specialized (e.g. for
+// performance) and starts drifting from its grid edge.
+func TestHybridDegenerateEdges(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4)
+	type edge struct {
+		name       string
+		hybrid     *dist.Result
+		pure       *dist.Result
+		hErr, pErr error
+	}
+	df21, e1 := dist.RunDataFilter(m, seed, batches, lr, 2, 1)
+	data2, e2 := dist.RunData(m, seed, batches, lr, 2)
+	df12, e3 := dist.RunDataFilter(m, seed, batches, lr, 1, 2)
+	filter2, e4 := dist.RunFilter(m, seed, batches, lr, 2)
+	ds12, e5 := dist.RunDataSpatial(m, seed, batches, lr, 1, 2)
+	spatial2, e6 := dist.RunSpatial(m, seed, batches, lr, 2)
+	for _, e := range []edge{
+		{"df(2,1)=data(2)", df21, data2, e1, e2},
+		{"df(1,2)=filter(2)", df12, filter2, e3, e4},
+		{"ds(1,2)=spatial(2)", ds12, spatial2, e5, e6},
+	} {
+		if e.hErr != nil || e.pErr != nil {
+			t.Fatalf("%s: %v / %v", e.name, e.hErr, e.pErr)
+		}
+		for i := range e.pure.Losses {
+			if e.hybrid.Losses[i] != e.pure.Losses[i] {
+				t.Fatalf("%s iter %d: %.17g != %.17g", e.name, i, e.hybrid.Losses[i], e.pure.Losses[i])
+			}
+		}
+	}
+}
+
+// TestHybridUnevenGrid: remainder-bearing shards on both grid axes —
+// p1 not dividing the batch and p2 not dividing every filter count.
+func TestHybridUnevenGrid(t *testing.T) {
+	m := model.Tiny3D() // min F_l = 4, filters 4 and 8: p2=3 is uneven
+	batches := toyBatches(t, m, 3, 5)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	df, err := dist.RunDataFilter(m, seed, batches, lr, 2, 3) // batch 5 → 3,2
+	assertParity(t, seq, df, err)
+	ds, err := dist.RunDataSpatial(m, seed, batches, lr, 3, 2) // batch 5 → 2,2,1
+	assertParity(t, seq, ds, err)
+
+	// Synchronized BN over UNEVEN group shards: the count-weighted
+	// statistics and n_g/B-scaled gradients must still combine to the
+	// sequential arithmetic when the shards differ in size.
+	bn := model.TinyCNN()
+	bnBatches := toyBatches(t, bn, 3, 5) // batch 5 over 2 groups → 3,2
+	bnSeq := dist.RunSequential(bn, seed, bnBatches, lr)
+	bnDf, err := dist.RunDataFilter(bn, seed, bnBatches, lr, 2, 2)
+	assertParity(t, bnSeq, bnDf, err)
+	bnDs, err := dist.RunDataSpatial(bn, seed, bnBatches, lr, 2, 2)
+	assertParity(t, bnSeq, bnDs, err)
+}
+
+// TestHybridScalingLimits: the Table 3 bounds hold per grid axis.
+func TestHybridScalingLimits(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 1, 2)
+	if _, err := dist.RunDataFilter(m, seed, batches, lr, 3, 2); err == nil {
+		t.Fatal("df: batch 2 over 3 groups must fail")
+	}
+	if _, err := dist.RunDataFilter(m, seed, batches, lr, 2, 5); err == nil {
+		t.Fatal("df: p2=5 > min F_l=4 must fail")
+	}
+	if _, err := dist.RunDataSpatial(m, seed, batches, lr, 2, 3); err == nil {
+		t.Fatal("ds: extent-2 activation over 3 slabs must fail")
+	}
+	if _, err := dist.RunDataSpatial(m, seed, batches, lr, 0, 2); err == nil {
+		t.Fatal("ds: p1=0 must fail")
+	}
+}
+
 // TestUnevenPartitions exercises remainder-bearing shards (p that does
 // not divide the batch, filter counts, or layer count).
 func TestUnevenPartitions(t *testing.T) {

@@ -190,12 +190,21 @@ func zeroAxis(pad []int) []int {
 // which runs replicated — the aggregation point of §4.5.1. Trunk weight
 // gradients are partial sums over each PE's output rows and are
 // Allreduced before the identical SGD step; trunk batch norm is
-// synchronized across slabs.
+// synchronized across slabs. It is the p1=1 edge of the data×spatial
+// grid.
 func RunSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("dist: spatial parallelism needs p >= 1, got %d", p)
 	}
-	if err := checkBatches(m, batches); err != nil {
+	return runDataSpatial(m, seed, batches, lr, 1, p, "spatial")
+}
+
+// runDataSpatial is the shared engine behind RunSpatial (p1=1) and
+// RunDataSpatial: a p1×p2 grid where each group spatially decomposes
+// its own batch shard over p2 slabs, joined by world-wide trunk and
+// segmented head gradient exchange.
+func runDataSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 int, label string) (*Result, error) {
+	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
 	fcStart := m.G()
@@ -212,55 +221,61 @@ func RunSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*R
 	for l := 0; l < fcStart; l++ {
 		limit = min(limit, m.Layers[l].In[0], m.Layers[l].Out[0])
 	}
-	if p > limit {
-		return nil, fmt.Errorf("dist: model %q supports spatial width <= %d (Table 3), got p=%d", m.Name, limit, p)
+	if p2 > limit {
+		return nil, fmt.Errorf("dist: model %q supports spatial width <= %d (Table 3), got %d", m.Name, limit, p2)
 	}
-	// Shared read-only exchange plans for every windowed trunk layer.
+	// Shared read-only exchange plans for every windowed trunk layer;
+	// slabs split within a group, so plans depend only on p2.
 	plans := make([]*layerPlan, fcStart)
 	for l := 0; l < fcStart; l++ {
 		spec := &m.Layers[l]
 		if spec.Kind != nn.Conv && spec.Kind != nn.Pool {
 			continue
 		}
-		pl, err := planLayer(spec, p)
+		pl, err := planLayer(spec, p2)
 		if err != nil {
 			return nil, err
 		}
 		plans[l] = pl
 	}
-	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
+	losses, err := runGrid(p1, p2, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, seed)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
-			out = append(out, spatialStep(c, net, &batches[bi], plans, fcStart, lr))
+			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
+			out = append(out, dataSpatialStep(world, group, seg, net, x, labels, weight, plans, fcStart, lr))
 		}
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Strategy: "spatial", P: p, Losses: losses}, nil
+	return &Result{Strategy: label, P: p1 * p2, P1: p1, P2: p2, Losses: losses}, nil
 }
 
-// spatialStep runs one spatially-partitioned SGD iteration.
-func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart int, lr float64) float64 {
+// dataSpatialStep runs one SGD iteration of the data×spatial grid on
+// this group's batch shard x, weighted n_g/B in the global loss. Halo
+// exchange and slab aggregation stay inside the group; trunk batch norm
+// synchronizes over the whole world, because the (group, slab) pairs
+// tile the global batch × spatial domain exactly once.
+func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, lr float64) float64 {
 	model := net.Model
-	rank, p := c.Rank(), c.Size()
+	rank, p := group.Rank(), group.Size()
 	layers := model.Layers
 	g := len(layers)
 
 	inParts := strategy.PartitionDim(model.InputDims[0], p)
-	cur := b.X.Narrow(spatialAxis, inParts[rank].Start, inParts[rank].Size())
+	cur := x.Narrow(spatialAxis, inParts[rank].Start, inParts[rank].Size())
 	states := make([]*nn.LayerState, g)
 	bnSync := make([]bool, g)
 
 	// Partitioned trunk forward: halo-assembled windowed layers,
-	// slab-local element-wise layers, slab-synchronized batch norm.
+	// slab-local element-wise layers, world-synchronized batch norm.
 	for l := 0; l < fcStart; l++ {
 		spec := &layers[l]
 		switch spec.Kind {
 		case nn.Conv:
-			block := haloExchange(c, cur, plans[l], 0)
+			block := haloExchange(group, cur, plans[l], 0)
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 			states[l] = &nn.LayerState{X: block}
 			cur = tensor.ConvForward(block, net.Params[l].W, net.Params[l].B, cs)
@@ -269,7 +284,7 @@ func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart
 			if spec.PoolKind == tensor.MaxPool {
 				padVal = math.Inf(-1)
 			}
-			block := haloExchange(c, cur, plans[l], padVal)
+			block := haloExchange(group, cur, plans[l], padVal)
 			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 			y, arg := tensor.PoolForward(block, ps)
 			states[l] = &nn.LayerState{X: block, Argmax: arg}
@@ -278,8 +293,8 @@ func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart
 			states[l] = &nn.LayerState{X: cur}
 			cur = tensor.ReLUForward(cur)
 		case nn.BatchNorm:
-			if p > 1 {
-				y, st := syncBNForward(c, cur, net.Params[l].Gamma, net.Params[l].Beta)
+			if world.Size() > 1 {
+				y, st := syncBNForward(world, cur, net.Params[l].Gamma, net.Params[l].Beta)
 				states[l] = &nn.LayerState{X: cur, BN: st}
 				bnSync[l] = true
 				cur = y
@@ -291,16 +306,34 @@ func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart
 		}
 	}
 
-	// Aggregate the slabs, then run the replicated head on the full
-	// batch (§4.5.1) — every PE computes identical logits and loss.
-	cur = c.AllGather(cur, spatialAxis)
+	// Aggregate the group's slabs, then run the replicated head on the
+	// group's batch shard (§4.5.1) — every PE of the group computes
+	// identical logits and loss. Head batch norm sees only this group's
+	// shard and synchronizes across the segment.
+	cur = group.AllGather(cur, spatialAxis)
 	for l := fcStart; l < g; l++ {
+		if layers[l].Kind == nn.BatchNorm && seg.Size() > 1 {
+			y, st := syncBNForward(seg, cur, net.Params[l].Gamma, net.Params[l].Beta)
+			states[l] = &nn.LayerState{X: cur, BN: st}
+			bnSync[l] = true
+			cur = y
+			continue
+		}
 		cur, states[l] = net.ForwardLayer(l, cur)
 	}
-	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+	loss, dy := tensor.SoftmaxCrossEntropy(cur, labels)
+	if weight != 1 {
+		dy.Scale(weight)
+	}
 
 	grads := make([]nn.Grads, g)
 	for l := g - 1; l >= fcStart; l-- {
+		if bnSync[l] {
+			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
+			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
+			dy = dx
+			continue
+		}
 		dy, grads[l] = net.BackwardLayer(l, dy, states[l])
 	}
 
@@ -316,16 +349,16 @@ func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart
 			dxBlock := tensor.ConvBackwardData(dy, net.Params[l].W, block.Shape(), cs)
 			dw, db := tensor.ConvBackwardWeight(dy, block, net.Params[l].W.Shape(), cs)
 			grads[l] = nn.Grads{W: dw, B: db}
-			dy = haloScatter(c, dxBlock, plans[l])
+			dy = haloScatter(group, dxBlock, plans[l])
 		case nn.Pool:
 			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 			dxBlock := tensor.PoolBackward(dy, states[l].X.Shape(), ps, states[l].Argmax)
-			dy = haloScatter(c, dxBlock, plans[l])
+			dy = haloScatter(group, dxBlock, plans[l])
 		case nn.ReLU:
 			dy = tensor.ReLUBackward(dy, states[l].X)
 		case nn.BatchNorm:
 			if bnSync[l] {
-				dx, dgamma, dbeta := syncBNBackward(c, dy, net.Params[l].Gamma, states[l].BN)
+				dx, dgamma, dbeta := syncBNBackward(world, dy, net.Params[l].Gamma, states[l].BN)
 				grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 				dy = dx
 			} else {
@@ -334,15 +367,23 @@ func spatialStep(c *Comm, net *nn.Network, b *Batch, plans []*layerPlan, fcStart
 		}
 	}
 
-	// Trunk convolution gradients are partial sums over this PE's output
-	// rows; head and sync-BN gradients are already global.
+	// Gradient exchange: trunk convolution gradients are partial sums
+	// over this PE's (batch shard, output rows) block and sum across
+	// the whole world; head gradients are identical within a group and
+	// sum across the segment; sync-BN gradients are already global.
 	for l := 0; l < fcStart; l++ {
 		if layers[l].Kind != nn.Conv {
 			continue
 		}
-		grads[l].W = c.AllReduceSum(grads[l].W)
-		grads[l].B = c.AllReduceSum(grads[l].B)
+		grads[l].W = world.AllReduceSum(grads[l].W)
+		grads[l].B = world.AllReduceSum(grads[l].B)
+	}
+	for l := fcStart; l < g; l++ {
+		if bnSync[l] {
+			continue
+		}
+		allReduceGrads(seg, &grads[l])
 	}
 	net.Step(grads, lr)
-	return loss
+	return seg.AllReduceScalar(loss * weight)
 }

@@ -21,33 +21,41 @@ type weightShard struct {
 // Backward, the input gradient is the Allreduced sum of per-shard
 // contributions, while each PE's weight gradients are exact for its own
 // filters — no gradient exchange at all, the selling point of the
-// strategy in Table 3.
+// strategy in Table 3. It is the p1=1 edge of the data×filter grid.
 func RunFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("dist: filter parallelism needs p >= 1, got %d", p)
 	}
-	if mf := m.MinFilters(); p > 1 && p > mf {
-		return nil, fmt.Errorf("dist: model %q supports filter width <= min F_l = %d (Table 3), got p=%d", m.Name, mf, p)
-	}
-	if err := checkBatches(m, batches); err != nil {
+	return runDataFilter(m, seed, batches, lr, 1, p, "filter")
+}
+
+// runDataFilter is the shared engine behind RunData (p2=1), RunFilter
+// (p1=1), and RunDataFilter: a p1×p2 grid of filter-parallel groups
+// joined by segmented cross-group gradient exchange.
+func runDataFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 int, label string) (*Result, error) {
+	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
-	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
+	if mf := m.MinFilters(); p2 > 1 && p2 > mf {
+		return nil, fmt.Errorf("dist: model %q supports filter width <= min F_l = %d (Table 3), got %d", m.Name, mf, p2)
+	}
+	losses, err := runGrid(p1, p2, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, seed)
-		shards, err := filterShards(net, c.Rank(), p)
+		shards, err := filterShards(net, group.Rank(), p2)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
-			out = append(out, filterStep(c, net, shards, &batches[bi], lr))
+			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
+			out = append(out, dataFilterStep(group, seg, net, shards, x, labels, weight, lr))
 		}
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Strategy: "filter", P: p, Losses: losses}, nil
+	return &Result{Strategy: label, P: p1 * p2, P1: p1, P2: p2, Losses: losses}, nil
 }
 
 // filterShards carves rank's output-channel slice out of every weighted
@@ -67,6 +75,13 @@ func filterShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
 			return nil, err
 		}
 		rng := rngs[rank]
+		if p == 1 {
+			// Degenerate width (the data-parallel grid edge): the shard
+			// IS the whole parameter — alias it instead of Narrow-copying
+			// every weight tensor per replica.
+			shards[l] = &weightShard{w: net.Params[l].W, b: net.Params[l].B, rng: rng}
+			continue
+		}
 		shards[l] = &weightShard{
 			w:   net.Params[l].W.Narrow(0, rng.Start, rng.Size()),
 			b:   net.Params[l].B.Narrow(0, rng.Start, rng.Size()),
@@ -76,62 +91,107 @@ func filterShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
 	return shards, nil
 }
 
-// filterStep runs one filter-parallel SGD iteration.
-func filterStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr float64) float64 {
+// shardGrad returns this PE's output-channel slice of the loss
+// gradient — the whole tensor when the group is singleton (the
+// data-parallel grid edge), avoiding a full-width Narrow copy.
+func shardGrad(dy *tensor.Tensor, sh *weightShard, group *Comm) *tensor.Tensor {
+	if group.Size() == 1 {
+		return dy
+	}
+	return dy.Narrow(1, sh.rng.Start, sh.rng.Size())
+}
+
+// dataFilterStep runs one SGD iteration of the data×filter grid on this
+// group's batch shard x, weighted n_g/B in the global loss. Scaling the
+// loss gradient by the weight up front makes every local gradient
+// exactly this group's contribution to the full-batch mean gradient, so
+// the cross-group exchange is a plain segmented sum. Batch norm, whose
+// full activation is replicated within the group, synchronizes across
+// the segment — one PE per group covers the global batch exactly once,
+// and every segment reduces in the same group order, so all PEs agree
+// bit-for-bit.
+func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x *tensor.Tensor, labels []int, weight, lr float64) float64 {
 	layers := net.Model.Layers
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
-	cur := b.X
+	bnSync := make([]bool, g)
+	cur := x
 	for l := 0; l < g; l++ {
 		spec := &layers[l]
 		sh := shards[l]
-		switch spec.Kind {
-		case nn.Conv:
+		switch {
+		case spec.Kind == nn.Conv:
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
 			states[l] = &nn.LayerState{X: cur}
-			cur = c.AllGather(tensor.ConvForward(cur, sh.w, sh.b, cs), 1)
-		case nn.FC:
+			cur = group.AllGather(tensor.ConvForward(cur, sh.w, sh.b, cs), 1)
+		case spec.Kind == nn.FC:
 			n := cur.Dim(0)
 			flat := cur.Reshape(n, cur.Len()/n)
 			states[l] = &nn.LayerState{X: cur}
-			cur = c.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
+			cur = group.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
+		case spec.Kind == nn.BatchNorm && seg.Size() > 1:
+			y, st := syncBNForward(seg, cur, net.Params[l].Gamma, net.Params[l].Beta)
+			states[l] = &nn.LayerState{X: cur, BN: st}
+			bnSync[l] = true
+			cur = y
 		default:
-			// Channel-wise layers run replicated on the full activation
-			// and stay bit-identical across PEs.
+			// Channel-wise layers run replicated on the group's full
+			// activation and stay bit-identical across the group.
 			cur, states[l] = net.ForwardLayer(l, cur)
 		}
 	}
-	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+	loss, dy := tensor.SoftmaxCrossEntropy(cur, labels)
+	if weight != 1 {
+		dy.Scale(weight)
+	}
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
 	for l := g - 1; l >= 0; l-- {
 		spec := &layers[l]
 		sh := shards[l]
-		switch spec.Kind {
-		case nn.Conv:
+		switch {
+		case spec.Kind == nn.Conv:
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
-			x := states[l].X
-			dySh := dy.Narrow(1, sh.rng.Start, sh.rng.Size())
-			dxPart := tensor.ConvBackwardData(dySh, sh.w, x.Shape(), cs)
-			dw, db := tensor.ConvBackwardWeight(dySh, x, sh.w.Shape(), cs)
+			xl := states[l].X
+			dySh := shardGrad(dy, sh, group)
+			dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
+			dw, db := tensor.ConvBackwardWeight(dySh, xl, sh.w.Shape(), cs)
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = c.AllReduceSum(dxPart)
-		case nn.FC:
-			x := states[l].X
-			n := x.Dim(0)
-			flat := x.Reshape(n, x.Len()/n)
-			dySh := dy.Narrow(1, sh.rng.Start, sh.rng.Size())
-			dxPart, dw, db := tensor.FCBackward(dySh, flat, sh.w, x.Shape())
+			dy = group.AllReduceSum(dxPart)
+		case spec.Kind == nn.FC:
+			xl := states[l].X
+			n := xl.Dim(0)
+			flat := xl.Reshape(n, xl.Len()/n)
+			dxPart, dw, db := tensor.FCBackward(shardGrad(dy, sh, group), flat, sh.w, xl.Shape())
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = c.AllReduceSum(dxPart)
+			dy = group.AllReduceSum(dxPart)
+		case bnSync[l]:
+			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
+			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
+			dy = dx
 		default:
 			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
 		}
 	}
 
-	// Shard parameters step on exact local gradients; replicated BN
-	// parameters step on identical global gradients — no exchange.
+	// Cross-group gradient exchange (§4.5.1, segmented): every shard
+	// gradient is this group's batch-shard contribution to the global
+	// mean gradient and sums over the segment; within a group the
+	// exchange is free (filter shards are exact for their own filters).
+	// No other parameters need traffic: every Conv/FC is sharded, the
+	// parameterless layers contribute empty grads, and BN — the only
+	// replicated parameterized layer — is segment-synchronized whenever
+	// the segment is wider than one, so its gradients are already
+	// global. With p1=1 — pure filter — even the segment allreduce
+	// degenerates to the identity.
+	for l := range shards {
+		if shards[l] == nil {
+			continue
+		}
+		shardGrads[l].w = seg.AllReduceSum(shardGrads[l].w)
+		shardGrads[l].b = seg.AllReduceSum(shardGrads[l].b)
+	}
 	net.Step(grads, lr)
 	for l := range shards {
 		if shards[l] == nil {
@@ -140,7 +200,7 @@ func filterStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr fl
 		tensor.SGDStep(shards[l].w, shardGrads[l].w, lr)
 		tensor.SGDStep(shards[l].b, shardGrads[l].b, lr)
 	}
-	return loss
+	return seg.AllReduceScalar(loss * weight)
 }
 
 // RunChannel executes channel parallelism (§3.5): every weighted layer's

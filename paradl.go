@@ -153,6 +153,20 @@ func TrainChannel(m *NetModel, seed int64, batches []TrainBatch, lr float64, p i
 	return dist.RunChannel(m, seed, batches, lr, p)
 }
 
+// TrainDataFilter runs real df-hybrid training (§3.6): p1 data-parallel
+// groups, each applying filter parallelism over p2 PEs to its batch
+// shard, with segmented cross-group gradient exchange.
+func TrainDataFilter(m *NetModel, seed int64, batches []TrainBatch, lr float64, p1, p2 int) (*TrainResult, error) {
+	return dist.RunDataFilter(m, seed, batches, lr, p1, p2)
+}
+
+// TrainDataSpatial runs real ds-hybrid training (§3.6): p1 data-parallel
+// groups, each spatially decomposing its batch shard over p2 PEs — the
+// paper's CosmoFlow configuration (Fig. 5).
+func TrainDataSpatial(m *NetModel, seed int64, batches []TrainBatch, lr float64, p1, p2 int) (*TrainResult, error) {
+	return dist.RunDataSpatial(m, seed, batches, lr, p1, p2)
+}
+
 // TrainPipeline runs real pipeline-parallel training over p stages.
 func TrainPipeline(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunPipeline(m, seed, batches, lr, p)

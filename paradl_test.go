@@ -103,3 +103,25 @@ func TestFacadeRealTraining(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeHybridTraining(t *testing.T) {
+	m := model.Tiny3D()
+	batches := data.Toy(m, 32).Batches(2, 4)
+	seq := paradl.TrainSequential(m, 7, batches, 0.05)
+	df, err := paradl.TrainDataFilter(m, 7, batches, 0.05, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := paradl.TrainDataSpatial(m, 7, batches, 0.05, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Losses {
+		if d := math.Abs(df.Losses[i] - seq.Losses[i]); d > 1e-6 {
+			t.Fatalf("iter %d: facade df-hybrid loss off by %.3e", i, d)
+		}
+		if d := math.Abs(ds.Losses[i] - seq.Losses[i]); d > 1e-6 {
+			t.Fatalf("iter %d: facade ds-hybrid loss off by %.3e", i, d)
+		}
+	}
+}
