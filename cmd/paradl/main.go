@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"paradl/internal/cluster"
@@ -22,6 +23,7 @@ import (
 	"paradl/internal/data"
 	"paradl/internal/model"
 	"paradl/internal/profile"
+	"paradl/internal/report"
 )
 
 func main() {
@@ -38,18 +40,43 @@ func main() {
 		advise      = flag.Bool("advise", false, "rank all strategies instead of projecting one")
 		findings    = flag.Bool("findings", false, "report detected limitations/bottlenecks (Table 6)")
 		calibrate   = flag.Bool("calibrate", false, "re-derive α/β from fabric benchmarks before projecting")
+		measured    = flag.Bool("measured", false, "run the REAL toy-scale runtime (internal/dist) at -gpus PEs and print measured vs projected strategy overhead")
 	)
 	flag.Parse()
 
+	if *measured {
+		// -measured runs a FIXED toy workload (tinycnn-nobn, global
+		// batch 8, every feasible strategy); silently dropping
+		// projection flags would let a user believe they measured the
+		// model they named.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model", "strategy", "batch", "batch-global", "p1", "p2", "segments", "phi", "advise", "findings", "calibrate":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "paradl: -measured runs the fixed toy workload and is incompatible with %s (only -gpus selects the width)\n",
+				strings.Join(conflict, ", "))
+			os.Exit(1)
+		}
+	}
+
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate); err != nil {
+		*segments, *phi, *advise, *findings, *calibrate, *measured); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
-	phi float64, advise, findings, calibrate bool) error {
+	phi float64, advise, findings, calibrate, measured bool) error {
+	if measured {
+		// The real runtime executes on this host, so widths stay toy
+		// scale; RuntimeOverhead validates the bound.
+		return report.NewEnv().WriteRuntimeOverhead(os.Stdout, gpus)
+	}
 	m, err := model.ByName(modelName)
 	if err != nil {
 		return err

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"paradl/internal/data"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+)
+
+// The benchdist experiment measures the REAL partitioned-execution
+// runtime (internal/dist) — wall time and allocation cost per training
+// run for every case of dist.BenchMatrix, the same strategy×width
+// matrix `go test ./internal/dist -bench .` sweeps — and emits a
+// machine-readable snapshot. Committing snapshots (BENCH_dist.json at
+// the repo root) gives the collective/runtime work a perf trajectory
+// across PRs instead of anecdotal before/after numbers:
+//
+//	paraexp -exp benchdist -bench-iters 10 > BENCH_dist.json
+
+// BenchCase is one runner×width measurement. P1/P2 are zero except for
+// grid (hybrid) runs.
+type BenchCase struct {
+	Name        string `json:"name"`
+	P           int    `json:"p"`
+	P1          int    `json:"p1,omitempty"`
+	P2          int    `json:"p2,omitempty"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// BenchSnapshot is the benchdist output: environment provenance plus
+// every measured case. One "op" is a full training run of `Batches`
+// iterations on `Model` at batch size `BatchSize` — the workload pinned
+// by dist.BenchBatchSize/BenchBatches.
+type BenchSnapshot struct {
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Model      string      `json:"model"`
+	BatchSize  int         `json:"batch_size"`
+	Batches    int         `json:"batches"`
+	Cases      []BenchCase `json:"cases"`
+}
+
+// measure times fn over iters runs after one warm-up, reading allocator
+// deltas the same way testing.Benchmark does.
+func measure(iters int, fn func() error) (BenchCase, error) {
+	if err := fn(); err != nil { // warm-up, and surfaces infeasible widths
+		return BenchCase{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return BenchCase{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(iters)
+	return BenchCase{
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}, nil
+}
+
+// writeBenchDist runs the shared dist benchmark matrix and writes the
+// JSON snapshot.
+func writeBenchDist(w io.Writer, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("benchdist needs at least one iteration, got %d", iters)
+	}
+	const seed, lr = 42, 0.05
+	m := model.TinyCNNNoBN()
+	batches := data.Toy(m, int64(dist.BenchBatches*dist.BenchBatchSize)).Batches(dist.BenchBatches, dist.BenchBatchSize)
+
+	snap := &BenchSnapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Model:      m.Name,
+		BatchSize:  dist.BenchBatchSize,
+		Batches:    dist.BenchBatches,
+	}
+	for _, spec := range dist.BenchMatrix() {
+		spec := spec
+		bc, err := measure(iters, func() error {
+			_, err := spec.Run(m, seed, batches, lr)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s p=%d: %w", spec.Name, spec.P, err)
+		}
+		bc.Name, bc.P, bc.P1, bc.P2 = spec.Name, spec.P, spec.P1, spec.P2
+		snap.Cases = append(snap.Cases, bc)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"table5", "fig7", "fig8"} {
 		var buf bytes.Buffer
-		if err := run(&buf, exp, 2, 0.5, 1, false); err != nil {
+		if err := run(&buf, exp, 2, 0.5, 1, false, 1); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if buf.Len() == 0 {
@@ -20,18 +21,47 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", 2, 0.5, 1, false); err == nil {
+	if err := run(&buf, "fig99", 2, 0.5, 1, false, 1); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig6", 2, 0.5, 1, true); err != nil {
+	if err := run(&buf, "fig6", 2, 0.5, 1, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.HasPrefix(out, "series,bytes,") {
 		t.Fatalf("csv output missing header: %q", out[:40])
+	}
+}
+
+// TestBenchDistSnapshot: the perf snapshot decodes, covers every
+// strategy, and carries positive measurements — one timed iteration to
+// keep the test quick.
+func TestBenchDistSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "benchdist", 2, 0.5, 1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"sequential": false, "data": false, "spatial": false, "filter": false,
+		"channel": false, "pipeline": false, "data+filter": false, "data+spatial": false,
+	}
+	for _, c := range snap.Cases {
+		want[c.Name] = true
+		if c.NsPerOp <= 0 || c.AllocsPerOp <= 0 {
+			t.Fatalf("%s p=%d: non-positive measurement %+v", c.Name, c.P, c)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("snapshot is missing strategy %q", name)
+		}
 	}
 }

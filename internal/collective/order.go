@@ -1,0 +1,66 @@
+package collective
+
+// This file defines the canonical chunking and the deterministic,
+// seed-independent association order of the ring collectives, shared by
+// the analytic schedules (analytic.go, schedule.go) and the executable
+// runtime (internal/dist/comm.go). Keeping the schedule arithmetic here
+// means the oracle prices exactly the communication pattern the runtime
+// executes, and the runtime inherits the fixed association order the
+// value-parity methodology (§4.5.2) depends on:
+//
+//   - Reduce-scatter: chunk c is first contributed by rank (c+1) mod p
+//     and travels the ring (c+1) → (c+2) → … → c; each hop adds the
+//     local contribution to the accumulated prefix, so chunk c's sum is
+//     associated as (((x_{c+1} + x_{c+2}) + …) + x_c), independent of
+//     seeds, goroutine scheduling, and buffer contents.
+//   - Allgather: fully-reduced chunks circulate unchanged, so every
+//     rank ends with the identical bytes for every chunk.
+//
+// Two runs of any width therefore reduce in the same order, and all
+// ranks of one run agree bit-for-bit — the property synchronized batch
+// norm and lock-stepped SGD replicas rely on.
+
+// Chunks partitions n items into p contiguous chunks whose sizes differ
+// by at most one, the remainder spread over the leading chunks. It
+// restates tensor.SplitSizes so this package stays free of tensor
+// dependencies while both sides agree on chunk boundaries.
+func Chunks(n, p int) (offs, sizes []int) {
+	q, r := n/p, n%p
+	offs = make([]int, p)
+	sizes = make([]int, p)
+	o := 0
+	for i := 0; i < p; i++ {
+		sizes[i] = q
+		if i < r {
+			sizes[i]++
+		}
+		offs[i] = o
+		o += sizes[i]
+	}
+	return offs, sizes
+}
+
+// mod is the arithmetic (always non-negative) remainder.
+func mod(a, p int) int {
+	a %= p
+	if a < 0 {
+		a += p
+	}
+	return a
+}
+
+// RingReduceScatterStep returns the chunk indices rank sends to its ring
+// successor and receives (and reduces) from its predecessor at the given
+// step of the (p−1)-step reduce-scatter. After the last step rank owns
+// the fully reduced chunk `rank`.
+func RingReduceScatterStep(rank, step, p int) (send, recv int) {
+	return mod(rank-1-step, p), mod(rank-2-step, p)
+}
+
+// RingAllGatherStep returns the chunk indices rank sends and receives at
+// the given step of the (p−1)-step ring allgather that follows a
+// reduce-scatter: rank starts owning chunk `rank` and forwards what it
+// received the step before.
+func RingAllGatherStep(rank, step, p int) (send, recv int) {
+	return mod(rank-step, p), mod(rank-1-step, p)
+}

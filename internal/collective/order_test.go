@@ -1,0 +1,102 @@
+package collective
+
+import "testing"
+
+// TestChunksCanonical: chunk sizes differ by at most one, remainder
+// leads, offsets tile [0, n) exactly — the tensor.SplitSizes contract
+// restated here.
+func TestChunksCanonical(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 4}, {7, 7}, {9, 2}, {5, 5}, {16, 8}} {
+		offs, sizes := Chunks(tc.n, tc.p)
+		total, next := 0, 0
+		for i := 0; i < tc.p; i++ {
+			if offs[i] != next {
+				t.Fatalf("n=%d p=%d: chunk %d offset %d, want %d", tc.n, tc.p, i, offs[i], next)
+			}
+			if d := sizes[0] - sizes[i]; d < 0 || d > 1 {
+				t.Fatalf("n=%d p=%d: chunk sizes %v not near-equal", tc.n, tc.p, sizes)
+			}
+			total += sizes[i]
+			next += sizes[i]
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d p=%d: sizes sum to %d", tc.n, tc.p, total)
+		}
+	}
+}
+
+// TestRingScheduleRoutesEveryChunk simulates the two ring phases on
+// symbolic chunk sets: after the reduce-scatter every rank holds the
+// complete sum of exactly its own chunk, and after the allgather every
+// rank holds every chunk — for even, odd, and power-of-two widths.
+func TestRingScheduleRoutesEveryChunk(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 8} {
+		// contrib[r][c] = set of ranks whose contribution to chunk c rank
+		// r's in-flight buffer has absorbed, as a bitmask.
+		hold := make([]uint64, p) // mask of contributions in rank r's circulating buffer
+		for r := 0; r < p; r++ {
+			hold[r] = 1 << r
+		}
+		for s := 0; s < p-1; s++ {
+			next := make([]uint64, p)
+			for r := 0; r < p; r++ {
+				sc, _ := RingReduceScatterStep(r, s, p)
+				// Rank r's buffer (carrying chunk sc) goes to r+1, which
+				// adds its own contribution to the chunk it receives (rc of
+				// the receiver's schedule must equal sc of the sender's).
+				recvRank := (r + 1) % p
+				_, rcOfRecv := RingReduceScatterStep(recvRank, s, p)
+				if rcOfRecv != sc {
+					t.Fatalf("p=%d s=%d: rank %d sends chunk %d but rank %d expects chunk %d", p, s, r, sc, recvRank, rcOfRecv)
+				}
+				next[recvRank] = hold[r] | 1<<recvRank
+			}
+			hold = next
+		}
+		full := uint64(1)<<p - 1
+		for r := 0; r < p; r++ {
+			// After the last step rank r's buffer must carry chunk r with
+			// every rank's contribution.
+			_, rc := RingReduceScatterStep(r, p-2, p)
+			if rc != r {
+				t.Fatalf("p=%d: rank %d ends owning chunk %d, want %d", p, r, rc, r)
+			}
+			if hold[r] != full {
+				t.Fatalf("p=%d: rank %d's chunk misses contributions (mask %b, want %b)", p, r, hold[r], full)
+			}
+		}
+
+		// Allgather phase: track which chunks each rank has written home.
+		have := make([][]bool, p)
+		carry := make([]int, p) // chunk id in rank r's circulating buffer
+		for r := 0; r < p; r++ {
+			have[r] = make([]bool, p)
+			have[r][r] = true
+			carry[r] = r
+		}
+		for s := 0; s < p-1; s++ {
+			nextCarry := make([]int, p)
+			for r := 0; r < p; r++ {
+				sc, _ := RingAllGatherStep(r, s, p)
+				if carry[r] != sc {
+					t.Fatalf("p=%d s=%d: rank %d carries chunk %d but schedule says %d", p, s, r, carry[r], sc)
+				}
+				recvRank := (r + 1) % p
+				_, rcOfRecv := RingAllGatherStep(recvRank, s, p)
+				if rcOfRecv != sc {
+					t.Fatalf("p=%d s=%d: allgather mismatch %d vs %d", p, s, sc, rcOfRecv)
+				}
+				have[recvRank][sc] = true
+				nextCarry[recvRank] = sc
+			}
+			carry = nextCarry
+		}
+		for r := 0; r < p; r++ {
+			for ch := 0; ch < p; ch++ {
+				if !have[r][ch] {
+					t.Fatalf("p=%d: rank %d never received chunk %d", p, r, ch)
+				}
+			}
+		}
+	}
+}

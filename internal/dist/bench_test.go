@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"fmt"
 	"testing"
 
 	"paradl/internal/data"
@@ -14,48 +15,59 @@ import (
 // (collectives, halo traffic, grid choreography) measurable:
 //
 //	go test ./internal/dist -bench . -benchtime 10x
+//
+// The strategy×width matrix comes from dist.BenchMatrix — shared with
+// `paraexp -exp benchdist`, whose committed BENCH_dist.json snapshots
+// must stay comparable with these benchmarks. Widths sweep p∈{2,4,8}
+// where the Table 3 limits allow, so collective scaling (hub O(p) vs
+// ring O(1) per-PE traffic) is visible, not just the p=2 constant
+// factor.
 
-func benchBatches(b *testing.B, m *nn.Model, size int) []dist.Batch {
+func benchBatches(b *testing.B, m *nn.Model) []dist.Batch {
 	b.Helper()
-	return data.Toy(m, int64(2*size)).Batches(2, size)
+	return data.Toy(m, int64(dist.BenchBatches*dist.BenchBatchSize)).Batches(dist.BenchBatches, dist.BenchBatchSize)
+}
+
+// benchMatrix runs every matrix case of one strategy as a sub-benchmark.
+func benchMatrix(b *testing.B, name string) {
+	m := model.TinyCNNNoBN()
+	batches := benchBatches(b, m)
+	ran := false
+	for _, spec := range dist.BenchMatrix() {
+		if spec.Name != name {
+			continue
+		}
+		ran = true
+		label := fmt.Sprintf("p=%d", spec.P)
+		if spec.P1 > 0 {
+			label = fmt.Sprintf("p=%dx%d", spec.P1, spec.P2)
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Run(m, seed, batches, lr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	if !ran {
+		b.Fatalf("no %q cases in dist.BenchMatrix", name)
+	}
 }
 
 func BenchmarkRunSequential(b *testing.B) {
 	m := model.TinyCNNNoBN()
-	batches := benchBatches(b, m, 4)
+	batches := benchBatches(b, m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dist.RunSequential(m, seed, batches, lr)
 	}
 }
 
-func benchStrategy(b *testing.B, run func(*nn.Model, int64, []dist.Batch, float64, int) (*dist.Result, error), p int) {
-	m := model.TinyCNNNoBN()
-	batches := benchBatches(b, m, 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := run(m, seed, batches, lr, p); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkRunData(b *testing.B)     { benchStrategy(b, dist.RunData, 2) }
-func BenchmarkRunSpatial(b *testing.B)  { benchStrategy(b, dist.RunSpatial, 2) }
-func BenchmarkRunFilter(b *testing.B)   { benchStrategy(b, dist.RunFilter, 2) }
-func BenchmarkRunChannel(b *testing.B)  { benchStrategy(b, dist.RunChannel, 2) }
-func BenchmarkRunPipeline(b *testing.B) { benchStrategy(b, dist.RunPipeline, 2) }
-
-func benchHybrid(b *testing.B, run func(*nn.Model, int64, []dist.Batch, float64, int, int) (*dist.Result, error)) {
-	m := model.TinyCNNNoBN()
-	batches := benchBatches(b, m, 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := run(m, seed, batches, lr, 2, 2); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkRunDataFilter(b *testing.B)  { benchHybrid(b, dist.RunDataFilter) }
-func BenchmarkRunDataSpatial(b *testing.B) { benchHybrid(b, dist.RunDataSpatial) }
+func BenchmarkRunData(b *testing.B)        { benchMatrix(b, "data") }
+func BenchmarkRunSpatial(b *testing.B)     { benchMatrix(b, "spatial") }
+func BenchmarkRunFilter(b *testing.B)      { benchMatrix(b, "filter") }
+func BenchmarkRunChannel(b *testing.B)     { benchMatrix(b, "channel") }
+func BenchmarkRunPipeline(b *testing.B)    { benchMatrix(b, "pipeline") }
+func BenchmarkRunDataFilter(b *testing.B)  { benchMatrix(b, "data+filter") }
+func BenchmarkRunDataSpatial(b *testing.B) { benchMatrix(b, "data+spatial") }

@@ -1,0 +1,69 @@
+package dist
+
+import "paradl/internal/nn"
+
+// The canonical benchmark workload, shared by the in-repo benchmarks
+// (bench_test.go) and the machine-readable perf snapshot
+// (cmd/paraexp -exp benchdist) so that committed BENCH_dist.json
+// snapshots stay comparable with `go test ./internal/dist -bench .`
+// across PRs: both sides consume BenchMatrix and these constants, and
+// widening the matrix widens both at once.
+const (
+	// BenchBatchSize is the global batch per iteration; 8 admits every
+	// width of the matrix (data needs batch ≥ p).
+	BenchBatchSize = 8
+	// BenchBatches is the number of training iterations per measured op.
+	BenchBatches = 2
+)
+
+// BenchSpec is one strategy×width case of the benchmark matrix. P1/P2
+// are zero except for grid (hybrid) cases.
+type BenchSpec struct {
+	Name   string
+	P      int
+	P1, P2 int
+	Run    func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error)
+}
+
+// BenchMatrix returns the strategy×width matrix the benchmarks sweep:
+// every runner at the widths model.TinyCNNNoBN admits, p∈{2,4,8} where
+// Table 3 allows (spatial extent caps at 4, channel stays at its
+// cheap widths, pipeline at ≤ G stages).
+func BenchMatrix() []BenchSpec {
+	specs := []BenchSpec{{
+		Name: "sequential", P: 1,
+		Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
+			return RunSequential(m, seed, batches, lr), nil
+		},
+	}}
+	pure := func(name string, run func(*nn.Model, int64, []Batch, float64, int) (*Result, error), ps ...int) {
+		for _, p := range ps {
+			p := p
+			specs = append(specs, BenchSpec{
+				Name: name, P: p,
+				Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
+					return run(m, seed, batches, lr, p)
+				},
+			})
+		}
+	}
+	hybrid := func(name string, run func(*nn.Model, int64, []Batch, float64, int, int) (*Result, error), grids ...[2]int) {
+		for _, g := range grids {
+			g := g
+			specs = append(specs, BenchSpec{
+				Name: name, P: g[0] * g[1], P1: g[0], P2: g[1],
+				Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
+					return run(m, seed, batches, lr, g[0], g[1])
+				},
+			})
+		}
+	}
+	pure("data", RunData, 2, 4, 8)
+	pure("spatial", RunSpatial, 2, 4)
+	pure("filter", RunFilter, 2, 4, 8)
+	pure("channel", RunChannel, 2, 3)
+	pure("pipeline", RunPipeline, 2, 4)
+	hybrid("data+filter", RunDataFilter, [2]int{2, 2}, [2]int{4, 2})
+	hybrid("data+spatial", RunDataSpatial, [2]int{2, 2}, [2]int{4, 2})
+	return specs
+}

@@ -1,0 +1,226 @@
+package dist
+
+// Determinism and parity suite for the ring/tree collectives: the
+// value-parity methodology (§4.5.2) needs every collective to be
+// (a) bit-identical across repeated runs and across ranks of one run,
+// (b) within reassociation distance of the reference ascending-rank
+// (hub) summation order, at every width — power-of-two or not — and on
+// sub-communicators.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"paradl/internal/tensor"
+)
+
+// collectiveWidths spans the shapes that exercise every code path:
+// even/odd, power-of-two and not, and the widths the grid runners use.
+var collectiveWidths = []int{2, 3, 4, 5, 8}
+
+// ringSize comfortably exceeds ringMinElems; treeSize stays below it.
+const (
+	ringSize = 4 * ringMinElems
+	treeSize = 16
+)
+
+// rankInput builds rank's deterministic pseudo-random contribution.
+func rankInput(rank, n int) *tensor.Tensor {
+	t := tensor.New(n)
+	rng := rand.New(rand.NewSource(int64(rank + 1)))
+	d := t.Data()
+	for i := range d {
+		d[i] = rng.Float64() - 0.5
+	}
+	return t
+}
+
+// eachRank runs body on every rank of a fresh world and returns the
+// per-rank results.
+func eachRank(t *testing.T, p int, body func(c *Comm) *tensor.Tensor) []*tensor.Tensor {
+	t.Helper()
+	w := NewWorld(p)
+	out := make([]*tensor.Tensor, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			out[rank] = body(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+// hubSum is the reference reduction: ascending rank order, the
+// association the old rank-0 hub used and the sequential baseline's
+// natural order.
+func hubSum(p, n int) *tensor.Tensor {
+	sum := rankInput(0, n)
+	for r := 1; r < p; r++ {
+		sum.Add(rankInput(r, n))
+	}
+	return sum
+}
+
+// TestAllReduceDeterministicRepeatedRuns: at every width and on both
+// the ring (large buffer) and tree (small buffer) paths, repeated runs
+// produce bit-identical results, and all ranks of one run agree
+// bit-for-bit.
+func TestAllReduceDeterministicRepeatedRuns(t *testing.T) {
+	for _, p := range collectiveWidths {
+		for _, n := range []int{treeSize, ringSize} {
+			first := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.AllReduceSum(rankInput(c.Rank(), n))
+			})
+			for rank := 1; rank < p; rank++ {
+				if !first[rank].AllClose(first[0], 0) {
+					t.Fatalf("p=%d n=%d: rank %d diverged from rank 0 within one run", p, n, rank)
+				}
+			}
+			second := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.AllReduceSum(rankInput(c.Rank(), n))
+			})
+			for rank := 0; rank < p; rank++ {
+				if !first[rank].AllClose(second[rank], 0) {
+					t.Fatalf("p=%d n=%d: rank %d not bit-identical across runs", p, n, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestAllReduceHubParity pins the ring/tree association orders to the
+// reference ascending-rank order: for p ≤ 8 unit-scale inputs the
+// difference is pure summation reassociation, orders of magnitude
+// below the 1e-6 the value-parity tests tolerate.
+func TestAllReduceHubParity(t *testing.T) {
+	const reassocTol = 1e-12
+	for _, p := range collectiveWidths {
+		for _, n := range []int{treeSize, ringSize} {
+			want := hubSum(p, n)
+			got := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.AllReduceSum(rankInput(c.Rank(), n))
+			})
+			if d := got[0].MaxDiff(want); d > reassocTol || math.IsNaN(d) {
+				t.Fatalf("p=%d n=%d: ring/tree vs hub order differs by %.3e > %g", p, n, d, reassocTol)
+			}
+		}
+	}
+}
+
+// TestSubCommRingAllReduce: the ring path works over a non-contiguous
+// sub-communicator (the segments of the §3.6 grids), with members that
+// are neither rank-ordered world prefixes nor the whole world.
+func TestSubCommRingAllReduce(t *testing.T) {
+	const p = 6
+	members := []int{1, 3, 5}
+	results := make([]*tensor.Tensor, p)
+	w := NewWorld(p)
+	var wg sync.WaitGroup
+	for _, r := range members {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			sub := w.Comm(rank).Sub(members)
+			results[rank] = sub.AllReduceSum(rankInput(sub.Rank(), ringSize))
+		}(r)
+	}
+	wg.Wait()
+	want := hubSum(len(members), ringSize)
+	for _, r := range members {
+		if d := results[r].MaxDiff(want); d > 1e-12 {
+			t.Fatalf("world rank %d: sub-communicator ring allreduce off by %.3e", r, d)
+		}
+		if !results[r].AllClose(results[members[0]], 0) {
+			t.Fatalf("world rank %d diverged from rank %d", r, members[0])
+		}
+	}
+}
+
+// TestReduceScatterSum: every rank receives exactly its canonical
+// (SplitSizes) chunk of the full sum, including uneven splits.
+func TestReduceScatterSum(t *testing.T) {
+	for _, p := range collectiveWidths {
+		rows := p + 2 // uneven whenever p does not divide p+2
+		cols := 3
+		n := rows * cols
+		want := hubSum(p, n).Reshape(rows, cols)
+		got := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+			return c.ReduceScatterSum(rankInput(c.Rank(), n).Reshape(rows, cols), 0)
+		})
+		offs := tensor.SplitOffsets(rows, p)
+		sizes := tensor.SplitSizes(rows, p)
+		for rank := 0; rank < p; rank++ {
+			wantChunk := want.Narrow(0, offs[rank], sizes[rank])
+			if d := got[rank].MaxDiff(wantChunk); d > 1e-12 {
+				t.Fatalf("p=%d rank %d: reduce-scatter chunk off by %.3e", p, rank, d)
+			}
+		}
+	}
+}
+
+// TestReduceScatterSingleton: p=1 returns the input itself, the same
+// degenerate-edge contract as AllReduceSum and AllGather.
+func TestReduceScatterSingleton(t *testing.T) {
+	w := NewWorld(1)
+	x := rankInput(0, 12).Reshape(4, 3)
+	if got := w.Comm(0).ReduceScatterSum(x, 0); got != x {
+		t.Fatal("singleton reduce-scatter must return the input tensor unchanged")
+	}
+}
+
+// TestAllGatherUnevenShards: the ring allgather preserves rank order
+// when shard extents differ (remainder-bearing splits).
+func TestAllGatherUnevenShards(t *testing.T) {
+	const p = 3
+	sizes := []int{2, 2, 1} // SplitSizes(5, 3)
+	got := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+		sh := tensor.New(sizes[c.Rank()], 2)
+		sh.Fill(float64(c.Rank() + 1))
+		return c.AllGather(sh, 0)
+	})
+	for rank := 0; rank < p; rank++ {
+		g := got[rank]
+		if g.Dim(0) != 5 || g.Dim(1) != 2 {
+			t.Fatalf("rank %d: gathered shape %v, want [5 2]", rank, g.Shape())
+		}
+		row := 0
+		for src := 0; src < p; src++ {
+			for i := 0; i < sizes[src]; i++ {
+				if g.At(row, 0) != float64(src+1) {
+					t.Fatalf("rank %d row %d: %g, want %d", rank, row, g.At(row, 0), src+1)
+				}
+				row++
+			}
+		}
+	}
+}
+
+// TestAllReduceScalarWidths: the scalar tree path sums exactly at every
+// width (integer inputs are associativity-proof, so any order must give
+// the closed form) and agrees across ranks.
+func TestAllReduceScalarWidths(t *testing.T) {
+	for _, p := range collectiveWidths {
+		vals := make([]float64, p)
+		w := NewWorld(p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				vals[rank] = w.Comm(rank).AllReduceScalar(float64(rank + 1))
+			}(r)
+		}
+		wg.Wait()
+		want := float64(p*(p+1)) / 2
+		for r := 0; r < p; r++ {
+			if vals[r] != want {
+				t.Fatalf("p=%d rank %d: scalar sum %g, want %g", p, r, vals[r], want)
+			}
+		}
+	}
+}

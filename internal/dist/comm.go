@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"paradl/internal/collective"
 	"paradl/internal/tensor"
 )
 
@@ -13,16 +15,36 @@ import (
 // whole world down instead of deadlocking it.
 var errAborted = errors.New("dist: world aborted by peer failure")
 
+// ringMinElems is the buffer size above which AllReduceSum switches from
+// the binomial tree (log p rounds of whole-buffer messages, best for
+// latency-bound small tensors like BN statistics) to the ring
+// reduce-scatter + allgather (2(p−1) rounds of m/p-sized chunks,
+// bandwidth-optimal for gradient-sized buffers) — the same crossover the
+// analytic side models with Hockney α–β terms in internal/collective.
+const ringMinElems = 256
+
+// message is one mailbox payload: a tensor, or (t == nil) a bare
+// scalar, so scalar reductions never allocate a 1-element tensor.
+type message struct {
+	t *tensor.Tensor
+	v float64
+}
+
 // World wires p in-process PEs together with buffered point-to-point
-// channels — one mailbox per (sender, receiver) pair. Every collective
-// of the runtime (allreduce, allgather, halo exchange, pipeline stage
-// transfer) is built from these two-sided messages, mirroring the
-// message-passing structure of the MPI/NCCL execution the paper
-// validates against (§5.1).
+// channels — one mailbox per (sender, receiver) pair, created lazily on
+// first use. Ring and tree collectives touch only O(p) of the p² pairs,
+// so lazy creation keeps world setup O(p) instead of letting the
+// mailbox matrix dominate at larger p. Every collective of the runtime
+// (allreduce, allgather, halo exchange, pipeline stage transfer) is
+// built from these two-sided messages, mirroring the message-passing
+// structure of the MPI/NCCL execution the paper validates against
+// (§5.1).
 type World struct {
-	p    int
-	ch   [][]chan *tensor.Tensor
-	once sync.Once
+	p     int
+	depth int
+	mail  []atomic.Pointer[chan message] // p×p cells, row-major [src][dst]
+	mu    sync.Mutex                     // serializes mailbox creation
+	once  sync.Once
 	// abort is closed on the first failure; err records its cause.
 	abort chan struct{}
 	err   error
@@ -37,15 +59,29 @@ func NewWorld(p int) *World {
 	if depth < 64 {
 		depth = 64
 	}
-	w := &World{p: p, abort: make(chan struct{})}
-	w.ch = make([][]chan *tensor.Tensor, p)
-	for s := range w.ch {
-		w.ch[s] = make([]chan *tensor.Tensor, p)
-		for d := range w.ch[s] {
-			w.ch[s][d] = make(chan *tensor.Tensor, depth)
-		}
+	return &World{
+		p:     p,
+		depth: depth,
+		mail:  make([]atomic.Pointer[chan message], p*p),
+		abort: make(chan struct{}),
 	}
-	return w
+}
+
+// mailbox returns the src→dst channel, creating it on first use. The
+// double-checked atomic keeps the hot path lock-free.
+func (w *World) mailbox(src, dst int) chan message {
+	cell := &w.mail[src*w.p+dst]
+	if ch := cell.Load(); ch != nil {
+		return *ch
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ch := cell.Load(); ch != nil {
+		return *ch
+	}
+	ch := make(chan message, w.depth)
+	cell.Store(&ch)
+	return ch
 }
 
 // fail records the first error and wakes every blocked PE.
@@ -128,83 +164,274 @@ func (c *Comm) Size() int {
 	return len(c.members)
 }
 
+// send enqueues a message (or aborts with the world).
+func (c *Comm) send(dst int, m message) {
+	select {
+	case c.w.mailbox(c.worldRank(c.rank), c.worldRank(dst)) <- m:
+	case <-c.w.abort:
+		panic(errAborted)
+	}
+}
+
 // Send delivers a deep copy of t to dst's mailbox. Payloads are copied
 // at the sender so a message is immutable in flight, like a buffer
-// handed to a real interconnect.
+// handed to a real interconnect. Use sendOwned when the sender
+// relinquishes the buffer anyway — the copy discipline of the
+// collectives below.
 func (c *Comm) Send(dst int, t *tensor.Tensor) {
-	select {
-	case c.w.ch[c.worldRank(c.rank)][c.worldRank(dst)] <- t.Clone():
-	case <-c.w.abort:
-		panic(errAborted)
-	}
+	c.send(dst, message{t: t.Clone()})
 }
 
-// Recv blocks until a message from src arrives (or the world aborts).
+// sendOwned delivers t itself, transferring ownership: the caller must
+// not read or write t afterwards, and the receiver must treat it as
+// immutable if it may still be aliased (ring forwarding). This is the
+// zero-copy path every collective and halo/pipeline transfer uses for
+// buffers that are handed off anyway — cloning is reserved for true
+// aliasing boundaries (public Send, tree broadcast fan-out).
+func (c *Comm) sendOwned(dst int, t *tensor.Tensor) {
+	c.send(dst, message{t: t})
+}
+
+// sendScalar delivers a bare float64 with no tensor allocation.
+func (c *Comm) sendScalar(dst int, v float64) {
+	c.send(dst, message{v: v})
+}
+
+// Recv blocks until a tensor from src arrives (or the world aborts).
 func (c *Comm) Recv(src int) *tensor.Tensor {
 	select {
-	case t := <-c.w.ch[c.worldRank(src)][c.worldRank(c.rank)]:
-		return t
+	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank)):
+		if m.t == nil {
+			panic(fmt.Sprintf("dist: world rank %d received a scalar where a tensor was expected (collective program order diverged)", c.worldRank(c.rank)))
+		}
+		return m.t
 	case <-c.w.abort:
 		panic(errAborted)
 	}
 }
 
-// AllReduceSum returns the element-wise sum of t across all PEs. Rank 0
-// acts as the hub: it accumulates partial buffers in ascending rank
-// order and broadcasts the result, so every PE ends with bit-identical
-// values and the reduction order is deterministic — the property the
-// value-parity methodology (§4.5.2) depends on. (The analytic side
-// models the bandwidth-optimal ring instead; see internal/collective.)
+// recvScalar blocks until a scalar from src arrives.
+func (c *Comm) recvScalar(src int) float64 {
+	select {
+	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank)):
+		if m.t != nil {
+			panic(fmt.Sprintf("dist: world rank %d received a tensor where a scalar was expected (collective program order diverged)", c.worldRank(c.rank)))
+		}
+		return m.v
+	case <-c.w.abort:
+		panic(errAborted)
+	}
+}
+
+// AllReduceSum returns the element-wise sum of t across all PEs, every
+// PE receiving bit-identical values. It takes ownership of t: the
+// buffer may be reduced in place and returned, so the caller must use
+// only the returned tensor.
+//
+// Large buffers run the bandwidth-optimal ring reduce-scatter +
+// allgather (2(p−1) chunk hops, the algorithm the analytic oracle
+// prices); small ones run a binomial reduce + broadcast tree (2⌈log p⌉
+// latency-bound hops). Both have a fixed, documented association order
+// (internal/collective/order.go) independent of seeds and scheduling,
+// so repeated runs are bit-identical and value parity vs the sequential
+// baseline holds within the reassociation tolerance (§4.5.2).
 func (c *Comm) AllReduceSum(t *tensor.Tensor) *tensor.Tensor {
 	p := c.Size()
 	if p == 1 {
 		return t
 	}
-	if c.rank == 0 {
-		sum := t.Clone()
-		for src := 1; src < p; src++ {
-			sum.Add(c.Recv(src))
-		}
-		for dst := 1; dst < p; dst++ {
-			c.Send(dst, sum)
-		}
-		return sum
+	if n := t.Len(); n >= ringMinElems && n >= p {
+		return c.ringAllReduce(t)
 	}
-	c.Send(0, t)
-	return c.Recv(0)
+	return c.treeAllReduce(t)
 }
 
-// AllReduceScalar sums one float64 across all PEs.
+// ringAllReduce reduces t in place over the flat element range: a
+// (p−1)-step ring reduce-scatter leaves rank owning the fully reduced
+// chunk `rank`, then a (p−1)-step ring allgather circulates the reduced
+// chunks and writes them into place. Per PE it moves 2(p−1)·n/p
+// elements — the bandwidth-optimal schedule — versus the O(p·n) the
+// serialized rank-0 hub shipped.
+//
+// Buffer discipline: exactly one chunk buffer is allocated per PE
+// (chunkCopy below); every hop hands the received buffer onward after
+// accumulating into it, so p buffers circulate for the whole collective
+// instead of one allocation per hop.
+func (c *Comm) ringAllReduce(t *tensor.Tensor) *tensor.Tensor {
+	p := c.Size()
+	data := t.Data()
+	offs, sizes := collective.Chunks(len(data), p)
+	next, prev := (c.rank+1)%p, (c.rank+p-1)%p
+	sc0, _ := collective.RingReduceScatterStep(c.rank, 0, p)
+	cur := chunkCopy(data, offs[sc0], sizes[sc0])
+	for s := 0; s < p-1; s++ {
+		_, rc := collective.RingReduceScatterStep(c.rank, s, p)
+		c.sendOwned(next, cur)
+		cur = c.Recv(prev)
+		in := cur.Data()
+		for i, v := range data[offs[rc] : offs[rc]+sizes[rc]] {
+			in[i] += v
+		}
+	}
+	// cur is the fully reduced chunk `rank`; the allgather ring forwards
+	// the reduced chunks unchanged (read-only from here on).
+	copy(data[offs[c.rank]:offs[c.rank]+sizes[c.rank]], cur.Data())
+	for s := 0; s < p-1; s++ {
+		_, rc := collective.RingAllGatherStep(c.rank, s, p)
+		c.sendOwned(next, cur)
+		cur = c.Recv(prev)
+		copy(data[offs[rc]:offs[rc]+sizes[rc]], cur.Data())
+	}
+	return t
+}
+
+// chunkCopy snapshots [off, off+n) of data as a rank-1 tensor — the one
+// buffer this PE contributes to the circulating ring.
+func chunkCopy(data []float64, off, n int) *tensor.Tensor {
+	buf := make([]float64, n)
+	copy(buf, data[off:off+n])
+	return tensor.FromSlice(buf, n)
+}
+
+// treeAllReduce reduces small buffers up a binomial tree rooted at rank
+// 0 and broadcasts the result back down it. The upward sends transfer
+// ownership (partials are dead after the send); the downward hops clone
+// so every PE returns a buffer it exclusively owns. Association order at
+// the root: ((x₀+x₁) + (x₂+x₃)) + … — fixed by the tree shape alone.
+func (c *Comm) treeAllReduce(t *tensor.Tensor) *tensor.Tensor {
+	p := c.Size()
+	acc := t
+reduce:
+	for d := 1; d < p; d *= 2 {
+		switch {
+		case c.rank%(2*d) == d:
+			c.sendOwned(c.rank-d, acc)
+			break reduce
+		case c.rank%(2*d) == 0 && c.rank+d < p:
+			acc.Add(c.Recv(c.rank + d))
+		}
+	}
+	top := 1
+	for top < p {
+		top *= 2
+	}
+	for d := top / 2; d >= 1; d /= 2 {
+		switch {
+		case c.rank%(2*d) == 0 && c.rank+d < p:
+			c.Send(c.rank+d, acc)
+		case c.rank%(2*d) == d:
+			acc = c.Recv(c.rank - d)
+		}
+	}
+	return acc
+}
+
+// AllReduceScalar sums one float64 across all PEs on the binomial tree,
+// exchanging bare scalars — no tensor allocation on any PE. The
+// association order is the tree's, identical for every run.
 func (c *Comm) AllReduceScalar(v float64) float64 {
-	if c.Size() == 1 {
+	p := c.Size()
+	if p == 1 {
 		return v
 	}
-	s := tensor.New(1)
-	s.Set(v, 0)
-	return c.AllReduceSum(s).At(0)
+reduce:
+	for d := 1; d < p; d *= 2 {
+		switch {
+		case c.rank%(2*d) == d:
+			c.sendScalar(c.rank-d, v)
+			break reduce
+		case c.rank%(2*d) == 0 && c.rank+d < p:
+			v += c.recvScalar(c.rank + d)
+		}
+	}
+	top := 1
+	for top < p {
+		top *= 2
+	}
+	for d := top / 2; d >= 1; d /= 2 {
+		switch {
+		case c.rank%(2*d) == 0 && c.rank+d < p:
+			c.sendScalar(c.rank+d, v)
+		case c.rank%(2*d) == d:
+			v = c.recvScalar(c.rank - d)
+		}
+	}
+	return v
+}
+
+// ReduceScatterSum sums t element-wise across all PEs and returns only
+// this rank's chunk of the result, split along axis in rank order with
+// the canonical near-equal sizes (tensor.SplitSizes). It is the
+// reduce-scatter half of the ring allreduce — the primitive the paper's
+// footnote-2 filter-parallel optimization aggregates input gradients
+// with — at (p−1) chunk hops per PE. Takes ownership of t; a singleton
+// communicator returns t itself.
+func (c *Comm) ReduceScatterSum(t *tensor.Tensor, axis int) *tensor.Tensor {
+	p := c.Size()
+	if p == 1 {
+		return t
+	}
+	offs := tensor.SplitOffsets(t.Dim(axis), p)
+	sizes := tensor.SplitSizes(t.Dim(axis), p)
+	next, prev := (c.rank+1)%p, (c.rank+p-1)%p
+	sc0, _ := collective.RingReduceScatterStep(c.rank, 0, p)
+	cur := t.Narrow(axis, offs[sc0], sizes[sc0])
+	for s := 0; s < p-1; s++ {
+		_, rc := collective.RingReduceScatterStep(c.rank, s, p)
+		c.sendOwned(next, cur)
+		cur = c.Recv(prev)
+		addFromRegion(cur, t, axis, offs[rc])
+	}
+	return cur
+}
+
+// addFromRegion accumulates the [start, start+dst.Dim(axis)) slice of
+// src along axis into dst without materializing the slice — the
+// gather-side counterpart of addRegion. All dimensions except axis must
+// match.
+func addFromRegion(dst, src *tensor.Tensor, axis, start int) {
+	inner := 1
+	for i := axis + 1; i < src.Rank(); i++ {
+		inner *= src.Dim(i)
+	}
+	outer := 1
+	for i := 0; i < axis; i++ {
+		outer *= src.Dim(i)
+	}
+	n, srcAxis := dst.Dim(axis), src.Dim(axis)
+	sd, dd := src.Data(), dst.Data()
+	for o := 0; o < outer; o++ {
+		srcBase := (o*srcAxis + start) * inner
+		dstBase := o * n * inner
+		for i := 0; i < n*inner; i++ {
+			dd[dstBase+i] += sd[srcBase+i]
+		}
+	}
 }
 
 // AllGather concatenates every PE's shard along axis in rank order —
 // the activation aggregation of filter parallelism and of the spatial
 // trunk/classifier boundary (§4.5.1). All PEs receive identical bits.
-// A singleton communicator returns t itself, like AllReduceSum, so the
-// degenerate grid edges (p1=1 or p2=1) pay no copy.
+// Shards circulate the ring unchanged — p−1 shard hops per PE instead
+// of the p−1 full fan-out sends (each cloned) per PE of the old
+// implementation. Takes ownership of t: the shard is forwarded without
+// copying and must not be mutated after the call; the returned
+// concatenation is freshly allocated. A singleton communicator returns
+// t itself, so the degenerate grid edges (p1=1 or p2=1) pay no copy.
 func (c *Comm) AllGather(t *tensor.Tensor, axis int) *tensor.Tensor {
 	p := c.Size()
 	if p == 1 {
 		return t
 	}
-	for dst := 0; dst < p; dst++ {
-		if dst != c.rank {
-			c.Send(dst, t)
-		}
-	}
 	parts := make([]*tensor.Tensor, p)
 	parts[c.rank] = t
-	for src := 0; src < p; src++ {
-		if src != c.rank {
-			parts[src] = c.Recv(src)
-		}
+	next, prev := (c.rank+1)%p, (c.rank+p-1)%p
+	cur := t
+	for s := 0; s < p-1; s++ {
+		_, rc := collective.RingAllGatherStep(c.rank, s, p)
+		c.sendOwned(next, cur)
+		cur = c.Recv(prev)
+		parts[rc] = cur
 	}
 	return tensor.Concat(axis, parts...)
 }

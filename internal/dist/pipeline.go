@@ -95,7 +95,9 @@ func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch,
 			x, states[mb][l-st.Start] = net.ForwardLayer(l, x)
 		}
 		if rank < p-1 {
-			c.Send(rank+1, x)
+			// The stage output is dead here (states keep layer inputs,
+			// not outputs), so ownership transfers without a copy.
+			c.sendOwned(rank+1, x)
 		} else {
 			logits[mb] = x
 		}
@@ -123,7 +125,7 @@ func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch,
 			accumulateGrads(&acc[l-st.Start], g)
 		}
 		if rank > 0 {
-			c.Send(rank-1, dy)
+			c.sendOwned(rank-1, dy)
 		}
 	}
 

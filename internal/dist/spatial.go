@@ -88,7 +88,9 @@ func haloExchange(c *Comm, x *tensor.Tensor, pl *layerPlan, padVal float64) *ten
 			continue
 		}
 		if ov := intersect(pl.need[dst], own); ov.len() > 0 {
-			c.Send(dst, x.Narrow(spatialAxis, ov.Lo-own.Lo, ov.len()))
+			// Narrow already snapshots the halo rows; hand that copy over
+			// instead of paying Send's second deep copy.
+			c.sendOwned(dst, x.Narrow(spatialAxis, ov.Lo-own.Lo, ov.len()))
 		}
 	}
 	need := pl.need[rank]
@@ -128,7 +130,7 @@ func haloScatter(c *Comm, dxBlock *tensor.Tensor, pl *layerPlan) *tensor.Tensor 
 			continue
 		}
 		if ov := intersect(need, spanOf(pl.in[dst])); ov.len() > 0 {
-			c.Send(dst, real.Narrow(spatialAxis, ov.Lo-need.Lo, ov.len()))
+			c.sendOwned(dst, real.Narrow(spatialAxis, ov.Lo-need.Lo, ov.len()))
 		}
 	}
 	shape := dxBlock.Shape()
