@@ -1,7 +1,9 @@
 // Command paradl is the oracle CLI: it projects computation time,
 // communication time and per-PE memory for a CNN model under any of the
-// paper's parallelization strategies, or ranks all strategies for a
-// resource budget (ParaDL's "suggesting the best strategy" use, §4.1).
+// paper's parallelization strategies, ranks all strategies for a
+// resource budget (ParaDL's "suggesting the best strategy" use, §4.1),
+// or — with -train — executes a plan for real on the tiny zoo and
+// prints the value-parity table against sequential SGD.
 //
 // Examples:
 //
@@ -9,11 +11,15 @@
 //	paradl -model vgg16 -advise -gpus 256 -batch 8
 //	paradl -model cosmoflow -strategy ds -gpus 64 -p2 4 -batch-global 16
 //	paradl -calibrate
+//	paradl -train ds:2x2
+//	paradl -train dp:2x3
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -21,6 +27,7 @@ import (
 	"paradl/internal/cluster"
 	"paradl/internal/core"
 	"paradl/internal/data"
+	"paradl/internal/dist"
 	"paradl/internal/model"
 	"paradl/internal/profile"
 	"paradl/internal/report"
@@ -41,37 +48,48 @@ func main() {
 		findings    = flag.Bool("findings", false, "report detected limitations/bottlenecks (Table 6)")
 		calibrate   = flag.Bool("calibrate", false, "re-derive α/β from fabric benchmarks before projecting")
 		measured    = flag.Bool("measured", false, "run the REAL toy-scale runtime (internal/dist) at -gpus PEs and print measured vs projected strategy overhead")
+		train       = flag.String("train", "", "execute a plan (e.g. data:4, ds:2x2, dp:2x3) for REAL on the tiny zoo and print the value-parity table vs sequential SGD")
 	)
 	flag.Parse()
 
-	if *measured {
-		// -measured runs a FIXED toy workload (tinycnn-nobn, global
-		// batch 8, every feasible strategy); silently dropping
-		// projection flags would let a user believe they measured the
-		// model they named.
+	if *measured || *train != "" {
+		// -measured and -train run FIXED toy workloads (tinycnn-nobn,
+		// global batch 8); silently dropping projection flags would let
+		// a user believe they measured the model they named.
+		mode, keep := "-measured", " (only -gpus selects the width)"
+		if *train != "" {
+			mode, keep = "-train", " (the plan selects strategy and widths)"
+		}
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "model", "strategy", "batch", "batch-global", "p1", "p2", "segments", "phi", "advise", "findings", "calibrate":
 				conflict = append(conflict, "-"+f.Name)
+			case "gpus", "measured":
+				if *train != "" {
+					conflict = append(conflict, "-"+f.Name)
+				}
 			}
 		})
 		if len(conflict) > 0 {
-			fmt.Fprintf(os.Stderr, "paradl: -measured runs the fixed toy workload and is incompatible with %s (only -gpus selects the width)\n",
-				strings.Join(conflict, ", "))
+			fmt.Fprintf(os.Stderr, "paradl: %s runs the fixed toy workload and is incompatible with %s%s\n",
+				mode, strings.Join(conflict, ", "), keep)
 			os.Exit(1)
 		}
 	}
 
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate, *measured); err != nil {
+		*segments, *phi, *advise, *findings, *calibrate, *measured, *train); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
-	phi float64, advise, findings, calibrate, measured bool) error {
+	phi float64, advise, findings, calibrate, measured bool, train string) error {
+	if train != "" {
+		return runTrain(os.Stdout, train)
+	}
 	if measured {
 		// The real runtime executes on this host, so widths stay toy
 		// scale; RuntimeOverhead validates the bound.
@@ -192,6 +210,60 @@ func printFindings(pr *core.Projection) {
 	for _, f := range fs {
 		fmt.Printf("  [%s] %s — %s: %s\n", f.Kind, f.Category, f.Remark, f.Detail)
 	}
+}
+
+// The fixed -train workload: the tiny zoo model every strategy admits,
+// at toy scale so the run finishes in milliseconds on one host.
+const (
+	trainBatch = 8
+	trainIters = 4
+	trainSeed  = 42
+	trainLR    = 0.05
+	trainTol   = 1e-6
+)
+
+// runTrain executes planStr for real (internal/dist) on the tiny zoo
+// and prints the per-iteration value-parity table vs sequential SGD —
+// the §4.5.2 methodology as a CLI one-liner. A parity violation is an
+// error: the command doubles as a runtime smoke test.
+func runTrain(w io.Writer, planStr string) error {
+	pl, err := dist.ParsePlan(planStr)
+	if err != nil {
+		return err
+	}
+	m := model.TinyCNNNoBN()
+	batches := data.Toy(m, int64(trainIters*trainBatch)).Batches(trainIters, trainBatch)
+	opts := []dist.Option{dist.WithSeed(trainSeed), dist.WithLR(trainLR)}
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
+	if err != nil {
+		return err
+	}
+	res := seq // -train serial: the baseline IS the run
+	if pl.Strategy != core.Serial {
+		if res, err = dist.Run(m, batches, pl, opts...); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "real training parity — %s, plan %s (%d PEs), global batch %d, %d iterations\n",
+		m.Name, pl, pl.P(), trainBatch, trainIters)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "iter\tsequential\t%s\tΔ\n", pl)
+	worst := 0.0
+	for i := range batches {
+		d := res.Losses[i] - seq.Losses[i]
+		if a := math.Abs(d); a > worst || math.IsNaN(a) {
+			worst = a
+		}
+		fmt.Fprintf(tw, "%d\t%.6f\t%.6f\t%.1e\n", i, seq.Losses[i], res.Losses[i], d)
+	}
+	tw.Flush()
+	if worst > trainTol || math.IsNaN(worst) {
+		return fmt.Errorf("plan %s diverged from sequential SGD: max |Δ| = %.3e > %g", pl, worst, trainTol)
+	}
+	fmt.Fprintf(w, "plan %s reproduces sequential SGD value-by-value (max |Δ| = %.1e ≤ %g, §4.5.2)\n",
+		pl, worst, trainTol)
+	return nil
 }
 
 func maxInt(a, b int) int {

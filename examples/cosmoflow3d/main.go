@@ -15,7 +15,6 @@ import (
 
 	"paradl"
 	"paradl/internal/data"
-	"paradl/internal/dist"
 	"paradl/internal/model"
 )
 
@@ -65,22 +64,30 @@ func realTraining() {
 	m := model.Tiny3D()
 	ds := data.Toy(m, 64)
 	batches := ds.Batches(4, 4)
-	const seed, lr = 42, 0.05
+	opts := []paradl.TrainOption{paradl.WithSeed(42), paradl.WithLR(0.05)}
 
-	// Sequential baseline.
-	seq := dist.RunSequential(m, seed, batches, lr)
+	// Every run goes through the one plan-driven entry point; the
+	// strategy is a runtime value, so the oracle's pick could be
+	// executed directly.
+	train := func(plan string) *paradl.TrainResult {
+		pl, err := paradl.ParsePlan(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := paradl.Train(m, batches, pl, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
-	// Spatial over 2 PEs on the same batches, and the paper's actual
-	// CosmoFlow configuration — Data+Spatial (§3.6) — on a 2×2 grid:
-	// 2 data-parallel groups, each spatially split over 2 PEs.
-	spatial, err := dist.RunSpatial(m, seed, batches, lr, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	hybrid, err := dist.RunDataSpatial(m, seed, batches, lr, 2, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Sequential baseline, spatial over 2 PEs on the same batches, and
+	// the paper's actual CosmoFlow configuration — Data+Spatial (§3.6) —
+	// on a 2×2 grid: 2 data-parallel groups, each spatially split over
+	// 2 PEs.
+	seq := train("serial")
+	spatial := train("spatial:2")
+	hybrid := train("ds:2x2")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  iter\tsequential\tspatial p=2\tΔ\tdata+spatial 2×2\tΔ")
 	for i := range batches {

@@ -33,6 +33,11 @@ const (
 	// DataSpatial is the ds hybrid: spatial parallelism inside nodes,
 	// data parallelism between nodes.
 	DataSpatial
+	// DataPipeline is the dp hybrid: pipeline parallelism inside groups,
+	// data parallelism between groups (§3.6 grid recipe). It is
+	// executable (internal/dist) but has no analytic Table 3 entry yet,
+	// so it is absent from Strategies() and Project rejects it.
+	DataPipeline
 )
 
 // String implements fmt.Stringer using the paper's names.
@@ -54,6 +59,8 @@ func (s Strategy) String() string {
 		return "data+filter"
 	case DataSpatial:
 		return "data+spatial"
+	case DataPipeline:
+		return "data+pipeline"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -78,6 +85,8 @@ func ParseStrategy(name string) (Strategy, error) {
 		return DataFilter, nil
 	case "data+spatial", "ds":
 		return DataSpatial, nil
+	case "data+pipeline", "dp":
+		return DataPipeline, nil
 	default:
 		return Serial, fmt.Errorf("core: unknown strategy %q", name)
 	}

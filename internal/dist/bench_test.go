@@ -71,3 +71,5 @@ func BenchmarkRunChannel(b *testing.B)     { benchMatrix(b, "channel") }
 func BenchmarkRunPipeline(b *testing.B)    { benchMatrix(b, "pipeline") }
 func BenchmarkRunDataFilter(b *testing.B)  { benchMatrix(b, "data+filter") }
 func BenchmarkRunDataSpatial(b *testing.B) { benchMatrix(b, "data+spatial") }
+
+func BenchmarkRunDataPipeline(b *testing.B) { benchMatrix(b, "data+pipeline") }

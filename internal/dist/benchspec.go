@@ -1,6 +1,9 @@
 package dist
 
-import "paradl/internal/nn"
+import (
+	"paradl/internal/core"
+	"paradl/internal/nn"
+)
 
 // The canonical benchmark workload, shared by the in-repo benchmarks
 // (bench_test.go) and the machine-readable perf snapshot
@@ -17,7 +20,9 @@ const (
 )
 
 // BenchSpec is one strategy×width case of the benchmark matrix. P1/P2
-// are zero except for grid (hybrid) cases.
+// are zero except for grid (hybrid) cases. Every case dispatches
+// through the Plan registry (Run), so the benchmarks measure the same
+// path every client takes.
 type BenchSpec struct {
 	Name   string
 	P      int
@@ -30,40 +35,33 @@ type BenchSpec struct {
 // Table 3 allows (spatial extent caps at 4, channel stays at its
 // cheap widths, pipeline at ≤ G stages).
 func BenchMatrix() []BenchSpec {
-	specs := []BenchSpec{{
-		Name: "sequential", P: 1,
-		Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
-			return RunSequential(m, seed, batches, lr), nil
-		},
-	}}
-	pure := func(name string, run func(*nn.Model, int64, []Batch, float64, int) (*Result, error), ps ...int) {
+	var specs []BenchSpec
+	add := func(name string, p, p1, p2 int, pl Plan) {
+		specs = append(specs, BenchSpec{
+			Name: name, P: p, P1: p1, P2: p2,
+			Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
+				return Run(m, batches, pl, WithSeed(seed), WithLR(lr))
+			},
+		})
+	}
+	add("sequential", 1, 0, 0, Plan{Strategy: core.Serial})
+	pure := func(name string, s core.Strategy, ps ...int) {
 		for _, p := range ps {
-			p := p
-			specs = append(specs, BenchSpec{
-				Name: name, P: p,
-				Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
-					return run(m, seed, batches, lr, p)
-				},
-			})
+			add(name, p, 0, 0, widthPlan(s, p))
 		}
 	}
-	hybrid := func(name string, run func(*nn.Model, int64, []Batch, float64, int, int) (*Result, error), grids ...[2]int) {
+	hybrid := func(name string, s core.Strategy, grids ...[2]int) {
 		for _, g := range grids {
-			g := g
-			specs = append(specs, BenchSpec{
-				Name: name, P: g[0] * g[1], P1: g[0], P2: g[1],
-				Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
-					return run(m, seed, batches, lr, g[0], g[1])
-				},
-			})
+			add(name, g[0]*g[1], g[0], g[1], Plan{Strategy: s, P1: g[0], P2: g[1]})
 		}
 	}
-	pure("data", RunData, 2, 4, 8)
-	pure("spatial", RunSpatial, 2, 4)
-	pure("filter", RunFilter, 2, 4, 8)
-	pure("channel", RunChannel, 2, 3)
-	pure("pipeline", RunPipeline, 2, 4)
-	hybrid("data+filter", RunDataFilter, [2]int{2, 2}, [2]int{4, 2})
-	hybrid("data+spatial", RunDataSpatial, [2]int{2, 2}, [2]int{4, 2})
+	pure("data", core.Data, 2, 4, 8)
+	pure("spatial", core.Spatial, 2, 4)
+	pure("filter", core.Filter, 2, 4, 8)
+	pure("channel", core.Channel, 2, 3)
+	pure("pipeline", core.Pipeline, 2, 4)
+	hybrid("data+filter", core.DataFilter, [2]int{2, 2}, [2]int{4, 2})
+	hybrid("data+spatial", core.DataSpatial, [2]int{2, 2}, [2]int{4, 2})
+	hybrid("data+pipeline", core.DataPipeline, [2]int{2, 2}, [2]int{4, 2})
 	return specs
 }

@@ -1,8 +1,7 @@
 package dist
 
 import (
-	"fmt"
-
+	"paradl/internal/core"
 	"paradl/internal/nn"
 )
 
@@ -15,9 +14,8 @@ import (
 // of §4.5.2. It is the p2=1 edge of the data×filter grid: groups of
 // one, so every filter shard spans its whole layer and the segmented
 // cross-group exchange is the classic gradient allreduce.
+//
+// Deprecated: use Run with Plan{Strategy: core.Data, P1: p}.
 func RunData(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("dist: data parallelism needs p >= 1, got %d", p)
-	}
-	return runDataFilter(m, seed, batches, lr, p, 1, "data")
+	return Run(m, batches, Plan{Strategy: core.Data, P1: p}, WithSeed(seed), WithLR(lr))
 }

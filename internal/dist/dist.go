@@ -10,19 +10,30 @@
 // transfers for the pipeline.
 //
 // The package exists to close the correctness loop of §4.5.2/§5.2:
-// every strategy's Run function must reproduce the per-iteration losses
-// of RunSequential value by value (the parity tests pin this to 1e-6),
-// so the oracle's projections and the executable semantics can never
-// drift apart. Entry points:
+// every strategy must reproduce the per-iteration losses of the serial
+// baseline value by value (the parity tests pin this to 1e-6), so the
+// oracle's projections and the executable semantics can never drift
+// apart.
 //
-//	RunSequential  — single-PE SGD, the baseline every strategy must match
-//	RunData        — batch sharded over replicas, gradient Allreduce
-//	RunSpatial     — sample domain sharded, neighbour halo exchange (§3.2)
-//	RunFilter      — output channels sharded, activation Allgather (§3.4)
-//	RunChannel     — input channels sharded, activation Allreduce (§3.5)
-//	RunPipeline    — contiguous layer stages, GPipe-style microbatching (§3.3)
-//	RunDataFilter  — df hybrid: p1 filter-parallel groups × segmented exchange (§3.6)
-//	RunDataSpatial — ds hybrid: p1 spatial-parallel groups × segmented exchange (§3.6)
+// The single entry point is plan-driven:
+//
+//	res, err := dist.Run(m, batches, dist.Plan{Strategy: core.DataFilter, P1: 4, P2: 2},
+//	        dist.WithSeed(7), dist.WithLR(0.05))
+//
+// Run dispatches through a strategy registry (registry.go) whose
+// entries are the grid engines of §3/§3.6:
+//
+//	serial        — single-PE SGD, the baseline every strategy must match
+//	data          — batch sharded over replicas, gradient Allreduce (p2=1 edge of df)
+//	spatial       — sample domain sharded, neighbour halo exchange (§3.2; p1=1 edge of ds)
+//	filter        — output channels sharded, activation Allgather (§3.4; p1=1 edge of df)
+//	channel       — input channels sharded, activation Allreduce (§3.5)
+//	pipeline      — contiguous layer stages, GPipe microbatching (§3.3; p1=1 edge of dp)
+//	df / ds / dp  — §3.6 hybrids: p1 model-parallel groups × segmented exchange
+//
+// Plans round-trip through strings ("ds:4x2" ⇄ ParsePlan/String), so
+// the advisor and the CLI can select strategies as runtime values. The
+// per-strategy Run* functions survive as deprecated shims over Run.
 package dist
 
 import (
@@ -30,6 +41,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
 )
@@ -43,10 +55,10 @@ type Batch struct {
 
 // Result reports one training run: the strategy executed, its width,
 // and the loss of every iteration — the series the value-parity
-// methodology compares across strategies. For grid-scheduled runs
-// (data, filter, spatial, and the §3.6 hybrids) P1×P2 is the grid
-// shape — P1 data-parallel groups of P2 model-parallel PEs, P = P1·P2;
-// other strategies leave the pair zero.
+// methodology compares across strategies. P1×P2 is the executed plan's
+// grid shape — P1 data-parallel groups of P2 model-parallel PEs,
+// P = P1·P2 — with the pure strategies on their degenerate edges
+// (sequential 1×1, data p×1, channel 1×p, …).
 type Result struct {
 	Strategy string
 	P        int
@@ -57,18 +69,40 @@ type Result struct {
 // RunSequential trains a fresh replica (deterministically initialized
 // from seed) with plain SGD, one iteration per batch. It is the ground
 // truth every partitioned run is validated against. It panics on models
-// the chain-execution runtime cannot represent (see supportedModel);
-// the Run* strategy variants return the same condition as an error.
+// the chain-execution runtime cannot represent (see supportedModel) and
+// on malformed batches; the Run* strategy variants return the same
+// conditions as errors.
+//
+// Deprecated: use Run with Plan{Strategy: core.Serial} (paradl.Train),
+// which reports those conditions as errors instead of panicking.
 func RunSequential(m *nn.Model, seed int64, batches []Batch, lr float64) *Result {
-	if err := supportedModel(m); err != nil {
+	res, err := Run(m, batches, Plan{Strategy: core.Serial}, WithSeed(seed), WithLR(lr))
+	if err != nil {
 		panic(err)
 	}
-	net := newReplica(m, seed)
+	return res
+}
+
+// runSequential is the serial engine behind the registry: single-PE
+// training, one optimizer step per batch.
+func runSequential(m *nn.Model, batches []Batch, cfg *runConfig) (*Result, error) {
+	if err := checkBatches(m, batches); err != nil {
+		return nil, err
+	}
+	net := newReplica(m, cfg.seed)
+	step := newStepper(cfg)
 	losses := make([]float64, len(batches))
 	for i := range batches {
-		losses[i] = net.TrainStep(batches[i].X, batches[i].Labels, lr)
+		var loss float64
+		if step.mom != nil {
+			loss = net.TrainStepWith(step.mom, batches[i].X, batches[i].Labels)
+		} else {
+			loss = net.TrainStep(batches[i].X, batches[i].Labels, cfg.lr)
+		}
+		losses[i] = loss
+		cfg.fire(i, loss)
 	}
-	return &Result{Strategy: "sequential", P: 1, Losses: losses}
+	return &Result{Strategy: "sequential", P: 1, P1: 1, P2: 1, Losses: losses}, nil
 }
 
 // newReplica instantiates the model with parameters drawn from seed.

@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"paradl/internal/core"
+	"paradl/internal/nn"
+)
+
+// SetRunnerForTest swaps strategy s's registry entry for a stub and
+// returns a restore func. The delegation tests use it to observe that
+// the deprecated Run* shims route through the registry dispatch rather
+// than calling an engine directly.
+func SetRunnerForTest(s core.Strategy, fn func(m *nn.Model, batches []Batch, pl Plan) (*Result, error)) (restore func()) {
+	old, ok := registry[s]
+	registry[s] = func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return fn(m, batches, pl)
+	}
+	return func() {
+		if ok {
+			registry[s] = old
+		} else {
+			delete(registry, s)
+		}
+	}
+}
+
+// RegistryStrategiesForTest returns the registry's key set (unordered)
+// so the invariant test can pin Strategies() against it.
+func RegistryStrategiesForTest() []core.Strategy {
+	out := make([]core.Strategy, 0, len(registry))
+	for s := range registry {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ScatterableForTest exposes the footnote-2 eligibility analysis so the
+// parity tests can assert the reduce-scatter path actually triggers.
+func ScatterableForTest(m *nn.Model, p2 int) []bool {
+	cfg := defaultConfig()
+	return scatterableInputGrads(m, p2, &cfg)
+}

@@ -23,24 +23,50 @@ import (
 // losses therefore match the sequential baseline up to summation
 // reassociation for models without batch norm; BN statistics are
 // per-microbatch (the GPipe semantics), which is a genuine semantic
-// deviation the correctness harness documents rather than hides.
+// deviation the correctness harness documents rather than hides. It is
+// the p1=1 edge of the data×pipeline grid.
+//
+// Deprecated: use Run with Plan{Strategy: core.Pipeline, P2: p}.
 func RunPipeline(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
+	return Run(m, batches, Plan{Strategy: core.Pipeline, P2: p}, WithSeed(seed), WithLR(lr))
+}
+
+// runDataPipeline is the shared engine behind the pipeline (p1=1) and
+// data+pipeline registry entries — the §3.6 grid recipe applied to
+// GPipe stages: each of p1 data-parallel groups pipelines its own batch
+// shard through p2 stages, and the p2 segmented cross-groups — {stage k
+// of every group}, which hold identical layer ranges — carry the
+// data-parallel gradient exchange. Per-microbatch gradients are
+// pre-scaled by n_mb/B (the GLOBAL batch), so each stage's accumulated
+// gradient is exactly its group's contribution to the full-batch mean
+// gradient and the segment exchange is a plain sum.
+func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, label string) (*Result, error) {
 	g := m.G()
-	if p < 1 || p > g {
-		return nil, fmt.Errorf("dist: pipeline needs 1 <= p <= G=%d stages, got p=%d", g, p)
+	if p2 < 1 || p2 > g {
+		return nil, fmt.Errorf("dist: %s needs 1 <= p2 <= G=%d stages, got p2=%d", label, g, p2)
 	}
-	if err := checkBatches(m, batches); err != nil {
+	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
-	stages := strategy.ContiguousStages(balanceStages(m, p))
-	losses, err := runWorld(p, p-1, func(c *Comm) ([]float64, error) {
-		net := newReplica(m, seed)
-		st := stages[c.Rank()]
+	stages := strategy.ContiguousStages(balanceStages(m, p2))
+	resultRank := p2 - 1 // group 0's last stage: the first PE to own a global loss
+	losses, err := runGrid(p1, p2, resultRank, func(world, group, seg *Comm) ([]float64, error) {
+		net := newReplica(m, cfg.seed)
+		step := newStepper(cfg)
+		st := stages[group.Rank()]
+		lastStage := group.Rank() == group.Size()-1
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
-			loss := pipelineStep(c, net, st, &batches[bi], lr)
-			if c.Rank() == c.Size()-1 {
+			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
+			loss := dataPipelineStep(group, seg, net, st, x, labels, weight, step)
+			if lastStage {
+				// The last-stage segment sums the per-group weighted
+				// losses into the global mean loss.
+				loss = seg.AllReduceScalar(loss)
 				out = append(out, loss)
+				if world.Rank() == resultRank {
+					cfg.fire(bi, loss)
+				}
 			}
 		}
 		return out, nil
@@ -48,7 +74,7 @@ func RunPipeline(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Strategy: "pipeline", P: p, Losses: losses}, nil
+	return &Result{Strategy: label, P: p1 * p2, P1: p1, P2: p2, Losses: losses}, nil
 }
 
 // balanceStages splits the G layers into p contiguous groups via the
@@ -70,12 +96,14 @@ func balanceStages(m *nn.Model, p int) []strategy.Range {
 	return bounds
 }
 
-// pipelineStep pushes one batch through the pipeline as microbatches and
-// applies this stage's SGD step. It returns the batch loss on the last
-// stage (0 elsewhere).
-func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch, lr float64) float64 {
+// dataPipelineStep pushes this group's batch shard x (weighted n_g/B in
+// the global loss) through the group's pipeline as microbatches,
+// exchanges the accumulated stage gradients across the segment, and
+// applies this stage's optimizer step. It returns the group's weighted
+// shard loss on the last stage (0 elsewhere).
+func dataPipelineStep(c, seg *Comm, net *nn.Network, st strategy.PipelineStage, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
 	rank, p := c.Rank(), c.Size()
-	total := b.X.Dim(0)
+	total := x.Dim(0)
 	nm := min(p, total)
 	sizes := tensor.SplitSizes(total, nm)
 	offs := tensor.SplitOffsets(total, nm)
@@ -84,22 +112,22 @@ func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch,
 	states := make([][]*nn.LayerState, nm)
 	logits := make([]*tensor.Tensor, nm)
 	for mb := 0; mb < nm; mb++ {
-		var x *tensor.Tensor
+		var xin *tensor.Tensor
 		if rank == 0 {
-			x = b.X.Narrow(0, offs[mb], sizes[mb])
+			xin = x.Narrow(0, offs[mb], sizes[mb])
 		} else {
-			x = c.Recv(rank - 1)
+			xin = c.Recv(rank - 1)
 		}
 		states[mb] = make([]*nn.LayerState, st.End-st.Start)
 		for l := st.Start; l < st.End; l++ {
-			x, states[mb][l-st.Start] = net.ForwardLayer(l, x)
+			xin, states[mb][l-st.Start] = net.ForwardLayer(l, xin)
 		}
 		if rank < p-1 {
 			// The stage output is dead here (states keep layer inputs,
 			// not outputs), so ownership transfers without a copy.
-			c.sendOwned(rank+1, x)
+			c.sendOwned(rank+1, xin)
 		} else {
-			logits[mb] = x
+			logits[mb] = xin
 		}
 	}
 
@@ -110,11 +138,11 @@ func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch,
 	for mb := nm - 1; mb >= 0; mb-- {
 		var dy *tensor.Tensor
 		if rank == p-1 {
-			lbl := b.Labels[offs[mb] : offs[mb]+sizes[mb]]
+			lbl := labels[offs[mb] : offs[mb]+sizes[mb]]
 			mbLoss, dl := tensor.SoftmaxCrossEntropy(logits[mb], lbl)
-			weight := float64(sizes[mb]) / float64(total)
-			loss += mbLoss * weight
-			dl.Scale(weight)
+			mbWeight := weight * float64(sizes[mb]) / float64(total)
+			loss += mbLoss * mbWeight
+			dl.Scale(mbWeight)
 			dy = dl
 		} else {
 			dy = c.Recv(rank + 1)
@@ -129,9 +157,19 @@ func pipelineStep(c *Comm, net *nn.Network, st strategy.PipelineStage, b *Batch,
 		}
 	}
 
-	// This stage owns its layers exclusively: step them locally.
+	// Cross-group gradient exchange (§4.5.1, segmented): stage k of
+	// every group owns the same layers, so segment k's allreduce sums
+	// the per-group contributions into the global mean gradient. With
+	// p1=1 — pure pipeline — the segment is singleton and the exchange
+	// degenerates to the identity.
+	for i := range acc {
+		allReduceGrads(seg, &acc[i])
+	}
+
+	// This stage owns its layers exclusively within the group: step them
+	// locally.
 	grads := make([]nn.Grads, net.Model.G())
 	copy(grads[st.Start:st.End], acc)
-	net.Step(grads, lr)
+	step.stepNet(net, grads)
 	return loss
 }

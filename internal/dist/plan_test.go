@@ -1,0 +1,385 @@
+// Tests for the plan-driven API: ParsePlan/String round-trips, registry
+// dispatch (every deprecated shim routes through Run), and the
+// correctness of the new plan-only capabilities — the data×pipeline
+// hybrid, momentum, per-iteration hooks, and the footnote-2
+// reduce-scatter backward.
+package dist_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"paradl/internal/core"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+	"paradl/internal/nn"
+)
+
+// planWidths returns representative valid plans for one strategy.
+func planWidths(s core.Strategy) []dist.Plan {
+	switch {
+	case s == core.Serial:
+		return []dist.Plan{{Strategy: s, P1: 1, P2: 1}}
+	case s == core.Data:
+		return []dist.Plan{{Strategy: s, P1: 1, P2: 1}, {Strategy: s, P1: 2, P2: 1}, {Strategy: s, P1: 7, P2: 1}}
+	case s == core.DataFilter, s == core.DataSpatial, s == core.DataPipeline:
+		return []dist.Plan{{Strategy: s, P1: 1, P2: 1}, {Strategy: s, P1: 4, P2: 2}, {Strategy: s, P1: 2, P2: 3}}
+	default:
+		return []dist.Plan{{Strategy: s, P1: 1, P2: 1}, {Strategy: s, P1: 1, P2: 2}, {Strategy: s, P1: 1, P2: 5}}
+	}
+}
+
+// TestPlanRoundTripParity: ParsePlan(p.String()) == p for every
+// registered strategy at several widths — the property that lets plan
+// strings travel through CLIs and configs losslessly.
+func TestPlanRoundTripParity(t *testing.T) {
+	for _, s := range dist.Strategies() {
+		for _, pl := range planWidths(s) {
+			str := pl.String()
+			got, err := dist.ParsePlan(str)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q): %v", str, err)
+			}
+			if got != pl {
+				t.Fatalf("round trip %q: got %+v, want %+v", str, got, pl)
+			}
+			if got.String() != str {
+				t.Fatalf("re-render %q: got %q", str, got.String())
+			}
+		}
+	}
+	// Long spellings parse to the same plans as the short ones.
+	long, err := dist.ParsePlan("data+filter:4x2")
+	if err != nil || long != (dist.Plan{Strategy: core.DataFilter, P1: 4, P2: 2}) {
+		t.Fatalf("long spelling: %+v, %v", long, err)
+	}
+}
+
+// TestStrategiesMatchRegistry: the curated Strategies() order and the
+// registry key set never drift apart — a strategy added to one must be
+// added to the other, or the round-trip property test above would
+// silently skip it.
+func TestStrategiesMatchRegistry(t *testing.T) {
+	listed := dist.Strategies()
+	keys := dist.RegistryStrategiesForTest()
+	if len(listed) != len(keys) {
+		t.Fatalf("Strategies() lists %d strategies, registry has %d", len(listed), len(keys))
+	}
+	seen := map[core.Strategy]bool{}
+	for _, s := range listed {
+		if seen[s] {
+			t.Fatalf("Strategies() lists %v twice", s)
+		}
+		seen[s] = true
+	}
+	for _, s := range keys {
+		if !seen[s] {
+			t.Fatalf("registry strategy %v missing from Strategies()", s)
+		}
+	}
+}
+
+func TestParsePlanRejectsInvalid(t *testing.T) {
+	for _, s := range []string{
+		"",            // no strategy
+		"quantum:2",   // unknown strategy
+		"df:3x0",      // zero grid axis
+		"df:0x3",      // zero grid axis
+		"dp:2x-1",     // negative axis
+		"df:4",        // hybrid without explicit grid
+		"data:2x2",    // pure strategy with a grid
+		"serial:2",    // serial wider than 1
+		"data:0",      // zero width
+		"data:x",      // not a number
+		"data:2.5",    // not an integer
+		"ds:2x2x2",    // malformed grid
+		"pipeline:],", // garbage width
+	} {
+		if pl, err := dist.ParsePlan(s); err == nil {
+			t.Fatalf("ParsePlan(%q) = %+v, want error", s, pl)
+		}
+	}
+	// Hand-built invalid plans fail Validate and Run.
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 1, 2)
+	for _, pl := range []dist.Plan{
+		{Strategy: core.Strategy(99), P1: 1, P2: 1}, // unregistered
+		{Strategy: core.Data, P1: 0, P2: 1},         // explicit zero width
+		{Strategy: core.Data, P1: 2, P2: 3},         // data width on the wrong axis
+		{Strategy: core.Filter, P1: 2, P2: 2},       // filter needs P1=1
+		{Strategy: core.DataFilter, P1: -2, P2: 2},  // negative axis
+	} {
+		if err := pl.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) must fail", pl)
+		}
+		if _, err := dist.Run(m, batches, pl); err == nil {
+			t.Fatalf("Run(%+v) must fail", pl)
+		}
+	}
+}
+
+// TestShimRegistryDelegation: every deprecated Run* shim must reach its
+// strategy's registry entry — swapping the entry for a stub must be
+// observable through the shim (the "single dispatch path" criterion).
+func TestShimRegistryDelegation(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 1, 4)
+	type shim struct {
+		s    core.Strategy
+		call func() (*dist.Result, error)
+	}
+	shims := []shim{
+		{core.Serial, func() (*dist.Result, error) { return dist.RunSequential(m, seed, batches, lr), nil }},
+		{core.Data, func() (*dist.Result, error) { return dist.RunData(m, seed, batches, lr, 2) }},
+		{core.Spatial, func() (*dist.Result, error) { return dist.RunSpatial(m, seed, batches, lr, 2) }},
+		{core.Filter, func() (*dist.Result, error) { return dist.RunFilter(m, seed, batches, lr, 2) }},
+		{core.Channel, func() (*dist.Result, error) { return dist.RunChannel(m, seed, batches, lr, 2) }},
+		{core.Pipeline, func() (*dist.Result, error) { return dist.RunPipeline(m, seed, batches, lr, 2) }},
+		{core.DataFilter, func() (*dist.Result, error) { return dist.RunDataFilter(m, seed, batches, lr, 2, 2) }},
+		{core.DataSpatial, func() (*dist.Result, error) { return dist.RunDataSpatial(m, seed, batches, lr, 2, 2) }},
+		{core.DataPipeline, func() (*dist.Result, error) { return dist.RunDataPipeline(m, seed, batches, lr, 2, 2) }},
+	}
+	for _, sh := range shims {
+		sentinel := fmt.Sprintf("stub:%v", sh.s)
+		restore := dist.SetRunnerForTest(sh.s, func(_ *nn.Model, _ []dist.Batch, pl dist.Plan) (*dist.Result, error) {
+			return &dist.Result{Strategy: sentinel, P: pl.P()}, nil
+		})
+		got, err := sh.call()
+		restore()
+		if err != nil {
+			t.Fatalf("%v shim: %v", sh.s, err)
+		}
+		if got.Strategy != sentinel {
+			t.Fatalf("%v shim bypassed the registry: got %q, want %q", sh.s, got.Strategy, sentinel)
+		}
+	}
+}
+
+// TestShimsMatchPlanRunBitForBit: each deprecated shim and the
+// equivalent Run(plan) call are the same computation — identical loss
+// bits, not merely within tolerance.
+func TestShimsMatchPlanRunBitForBit(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4)
+	opts := []dist.Option{dist.WithSeed(seed), dist.WithLR(lr)}
+	type pair struct {
+		name string
+		plan dist.Plan
+		shim func() (*dist.Result, error)
+	}
+	for _, pr := range []pair{
+		{"sequential", dist.Plan{Strategy: core.Serial}, func() (*dist.Result, error) { return dist.RunSequential(m, seed, batches, lr), nil }},
+		{"data", dist.Plan{Strategy: core.Data, P1: 3}, func() (*dist.Result, error) { return dist.RunData(m, seed, batches, lr, 3) }},
+		{"spatial", dist.Plan{Strategy: core.Spatial, P2: 2}, func() (*dist.Result, error) { return dist.RunSpatial(m, seed, batches, lr, 2) }},
+		{"filter", dist.Plan{Strategy: core.Filter, P2: 3}, func() (*dist.Result, error) { return dist.RunFilter(m, seed, batches, lr, 3) }},
+		{"channel", dist.Plan{Strategy: core.Channel, P2: 2}, func() (*dist.Result, error) { return dist.RunChannel(m, seed, batches, lr, 2) }},
+		{"pipeline", dist.Plan{Strategy: core.Pipeline, P2: 3}, func() (*dist.Result, error) { return dist.RunPipeline(m, seed, batches, lr, 3) }},
+		{"df", dist.Plan{Strategy: core.DataFilter, P1: 2, P2: 2}, func() (*dist.Result, error) { return dist.RunDataFilter(m, seed, batches, lr, 2, 2) }},
+		{"ds", dist.Plan{Strategy: core.DataSpatial, P1: 2, P2: 2}, func() (*dist.Result, error) { return dist.RunDataSpatial(m, seed, batches, lr, 2, 2) }},
+		{"dp", dist.Plan{Strategy: core.DataPipeline, P1: 2, P2: 2}, func() (*dist.Result, error) { return dist.RunDataPipeline(m, seed, batches, lr, 2, 2) }},
+	} {
+		want, err := dist.Run(m, batches, pr.plan, opts...)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", pr.name, err)
+		}
+		got, err := pr.shim()
+		if err != nil {
+			t.Fatalf("%s: shim: %v", pr.name, err)
+		}
+		if len(got.Losses) != len(want.Losses) {
+			t.Fatalf("%s: %d losses vs %d", pr.name, len(got.Losses), len(want.Losses))
+		}
+		for i := range want.Losses {
+			if got.Losses[i] != want.Losses[i] {
+				t.Fatalf("%s iter %d: shim %.17g != Run %.17g", pr.name, i, got.Losses[i], want.Losses[i])
+			}
+		}
+	}
+}
+
+// TestDataPipelineParity is the dp acceptance criterion: GPipe stage
+// groups under segmented gradient exchange reproduce sequential SGD at
+// ≤1e-6 on the tiny zoo for p1×p2 ∈ {2×2, 2×3}.
+func TestDataPipelineParity(t *testing.T) {
+	for _, m := range []*nn.Model{model.TinyCNNNoBN(), model.Tiny3D()} {
+		batches := toyBatches(t, m, 4, 4)
+		seq := dist.RunSequential(m, seed, batches, lr)
+		for _, grid := range [][2]int{{2, 2}, {2, 3}} {
+			pl := dist.Plan{Strategy: core.DataPipeline, P1: grid[0], P2: grid[1]}
+			got, err := dist.Run(m, batches, pl, dist.WithSeed(seed), dist.WithLR(lr))
+			assertParity(t, seq, got, err)
+			if got.P1 != grid[0] || got.P2 != grid[1] || got.P != grid[0]*grid[1] {
+				t.Fatalf("%s %v: grid %d=%d×%d", m.Name, pl, got.P, got.P1, got.P2)
+			}
+		}
+	}
+}
+
+// TestDataPipelineUnevenParity: remainder-bearing microbatches and
+// group shards on the dp grid (batch 5 over 2 groups → shards 3,2;
+// shard 3 over 3 stages → microbatches 1,1,1).
+func TestDataPipelineUnevenParity(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 5)
+	seq := dist.RunSequential(m, seed, batches, lr)
+	got, err := dist.Run(m, batches, dist.Plan{Strategy: core.DataPipeline, P1: 2, P2: 3},
+		dist.WithSeed(seed), dist.WithLR(lr))
+	assertParity(t, seq, got, err)
+}
+
+// TestDataPipelineDegenerateEdge: pure pipeline is the p1=1 edge of the
+// dp grid, bit-for-bit.
+func TestDataPipelineDegenerateEdge(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4)
+	pure, err := dist.RunPipeline(m, seed, batches, lr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := dist.Run(m, batches, dist.Plan{Strategy: core.DataPipeline, P1: 1, P2: 3},
+		dist.WithSeed(seed), dist.WithLR(lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pure.Losses {
+		if pure.Losses[i] != edge.Losses[i] {
+			t.Fatalf("iter %d: pipeline %.17g != dp(1,3) %.17g", i, pure.Losses[i], edge.Losses[i])
+		}
+	}
+}
+
+func TestDataPipelineLimits(t *testing.T) {
+	m := model.Tiny3D() // G = 7
+	batches := toyBatches(t, m, 1, 2)
+	if _, err := dist.Run(m, batches, dist.Plan{Strategy: core.DataPipeline, P1: 1, P2: 8}); err == nil {
+		t.Fatal("dp: 8 stages for 7 layers must fail")
+	}
+	if _, err := dist.Run(m, batches, dist.Plan{Strategy: core.DataPipeline, P1: 3, P2: 2}); err == nil {
+		t.Fatal("dp: batch 2 over 3 groups must fail")
+	}
+}
+
+// TestFootnote2ReduceScatterParity: the filter-parallel backward's
+// default reduce-scatter input-gradient exchange (footnote 2) matches
+// both the sequential baseline and the full Allreduce path.
+func TestFootnote2ReduceScatterParity(t *testing.T) {
+	// tinycnn has conv→relu→conv and fc→relu→fc runs, so the
+	// reduce-scatter precondition must hold somewhere.
+	m := model.TinyCNN()
+	if rs := dist.ScatterableForTest(m, 2); !anyTrue(rs) {
+		t.Fatalf("footnote-2 path never eligible on %s: %v", m.Name, rs)
+	}
+	for _, tc := range []struct {
+		name string
+		pl   dist.Plan
+	}{
+		{"filter:2", dist.Plan{Strategy: core.Filter, P2: 2}},
+		{"filter:3", dist.Plan{Strategy: core.Filter, P2: 3}},
+		{"df:2x2", dist.Plan{Strategy: core.DataFilter, P1: 2, P2: 2}},
+	} {
+		batches := toyBatches(t, m, 3, 4)
+		seq := dist.RunSequential(m, seed, batches, lr)
+		rs, err := dist.Run(m, batches, tc.pl, dist.WithSeed(seed), dist.WithLR(lr))
+		assertParity(t, seq, rs, err)
+		ar, err := dist.Run(m, batches, tc.pl, dist.WithSeed(seed), dist.WithLR(lr),
+			dist.WithInputGradAllReduce())
+		assertParity(t, seq, ar, err)
+		for i := range rs.Losses {
+			if d := math.Abs(rs.Losses[i] - ar.Losses[i]); d > tol {
+				t.Fatalf("%s iter %d: reduce-scatter %.12f vs allreduce %.12f (Δ %.3e)",
+					tc.name, i, rs.Losses[i], ar.Losses[i], d)
+			}
+		}
+	}
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMomentumParity: heavy-ball SGD stays in value parity with the
+// momentum sequential baseline under every strategy — each PE's
+// velocity shard is the matching slice of the global velocity.
+func TestMomentumParity(t *testing.T) {
+	m := model.TinyCNNNoBN()
+	batches := toyBatches(t, m, 4, 4)
+	opts := []dist.Option{dist.WithSeed(seed), dist.WithLR(lr), dist.WithMomentum(0.9)}
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := dist.RunSequential(m, seed, batches, lr)
+	same := true
+	for i := range seq.Losses {
+		if seq.Losses[i] != plain.Losses[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("momentum run identical to plain SGD: WithMomentum had no effect")
+	}
+	for _, pl := range []dist.Plan{
+		{Strategy: core.Data, P1: 2},
+		{Strategy: core.Spatial, P2: 2},
+		{Strategy: core.Filter, P2: 2},
+		{Strategy: core.Channel, P2: 2},
+		{Strategy: core.Pipeline, P2: 2},
+		{Strategy: core.DataFilter, P1: 2, P2: 2},
+		{Strategy: core.DataSpatial, P1: 2, P2: 2},
+		{Strategy: core.DataPipeline, P1: 2, P2: 2},
+	} {
+		got, err := dist.Run(m, batches, pl, opts...)
+		assertParity(t, seq, got, err)
+	}
+}
+
+// TestIterHook: the per-iteration callback reports exactly the loss
+// series the Result records, in order.
+func TestIterHook(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 3, 4)
+	for _, pl := range []dist.Plan{
+		{Strategy: core.Serial},
+		{Strategy: core.Data, P1: 2},
+		{Strategy: core.DataPipeline, P1: 2, P2: 2},
+	} {
+		var iters []int
+		var losses []float64
+		res, err := dist.Run(m, batches, pl, dist.WithSeed(seed), dist.WithLR(lr),
+			dist.WithIterHook(func(i int, loss float64) {
+				iters = append(iters, i)
+				losses = append(losses, loss)
+			}))
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if len(losses) != len(res.Losses) {
+			t.Fatalf("%v: hook fired %d times for %d iterations", pl, len(losses), len(res.Losses))
+		}
+		for i := range res.Losses {
+			if iters[i] != i || losses[i] != res.Losses[i] {
+				t.Fatalf("%v iter %d: hook (%d, %.17g) vs result %.17g", pl, i, iters[i], losses[i], res.Losses[i])
+			}
+		}
+	}
+}
+
+// TestRunDefaults: Run works with no options (documented defaults) and
+// fills the degenerate axis of hand-built pure plans.
+func TestRunDefaults(t *testing.T) {
+	m := model.Tiny3D()
+	batches := toyBatches(t, m, 2, 4)
+	res, err := dist.Run(m, batches, dist.Plan{Strategy: core.Data, P1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 2 || res.P1 != 2 || res.P2 != 1 {
+		t.Fatalf("grid %d=%d×%d, want 2=2×1", res.P, res.P1, res.P2)
+	}
+}

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"paradl/internal/core"
+	"paradl/internal/nn"
+	"paradl/internal/tensor"
+)
+
+// runConfig carries every knob of one training run. It is assembled
+// only by Run from the functional options below; the deprecated Run*
+// shims translate their positional arguments into options and delegate
+// to Run, so every entry path feeds the engines identically.
+type runConfig struct {
+	seed     int64
+	lr       float64
+	momentum float64
+	hook     func(iter int, loss float64)
+	// arInputGrad forces the filter-parallel backward to Allreduce the
+	// full input gradient instead of the default footnote-2
+	// reduce-scatter (see tensorpar.go); kept as a knob so the two
+	// exchange paths can be compared for parity.
+	arInputGrad bool
+}
+
+// Option customizes a Run call.
+type Option func(*runConfig)
+
+// defaultConfig returns the documented defaults: seed 1, plain SGD at
+// lr 0.01, no momentum, no hook, footnote-2 reduce-scatter enabled.
+func defaultConfig() runConfig {
+	return runConfig{seed: 1, lr: 0.01}
+}
+
+// WithSeed sets the parameter-initialization seed (default 1). Every PE
+// derives its replica from the same seed, so runs are reproducible.
+func WithSeed(seed int64) Option { return func(c *runConfig) { c.seed = seed } }
+
+// WithLR sets the SGD learning rate (default 0.01).
+func WithLR(lr float64) Option { return func(c *runConfig) { c.lr = lr } }
+
+// WithMomentum enables heavy-ball SGD: v ← µ·v + g, w ← w − lr·v.
+// Velocity state lives per PE on exactly the parameter shards the PE
+// owns, so momentum runs stay in value parity with the sequential
+// baseline under every strategy (each shard's gradient is already its
+// slice of the global mean gradient).
+func WithMomentum(mu float64) Option { return func(c *runConfig) { c.momentum = mu } }
+
+// WithIterHook registers a per-iteration callback receiving the
+// iteration index and its global loss — the same series Result.Losses
+// records. The hook runs on the result PE's goroutine, synchronously
+// with training, so a slow hook slows the run; it must not call back
+// into the run.
+func WithIterHook(hook func(iter int, loss float64)) Option {
+	return func(c *runConfig) { c.hook = hook }
+}
+
+// WithInputGradAllReduce restores the pre-footnote-2 filter-parallel
+// backward: the input gradient is Allreduced to full width even where
+// the next sharded layer would immediately narrow it to its own slice.
+// Default off (the reduce-scatter path runs); the option exists for
+// A/B parity checks and overhead comparisons.
+func WithInputGradAllReduce() Option { return func(c *runConfig) { c.arInputGrad = true } }
+
+// fire invokes the per-iteration hook if one is registered.
+func (c *runConfig) fire(iter int, loss float64) {
+	if c.hook != nil {
+		c.hook(iter, loss)
+	}
+}
+
+// stepper adapts the configured optimizer to the runtime's two update
+// surfaces: whole networks (stepNet) and bare parameter shards (step) —
+// filter/channel slices and pipeline stages never appear in a
+// []nn.Params. With zero momentum it is plain SGD; otherwise it wraps
+// one nn.Momentum per PE, whose identity-keyed velocities give each
+// shard its own slice of the global velocity.
+type stepper struct {
+	lr  float64
+	mom *nn.Momentum // nil for plain SGD
+}
+
+func newStepper(cfg *runConfig) *stepper {
+	s := &stepper{lr: cfg.lr}
+	if cfg.momentum != 0 {
+		s.mom = nn.NewMomentum(cfg.lr, cfg.momentum)
+	}
+	return s
+}
+
+// step updates w in place from gradient g (no-op when either is nil).
+func (s *stepper) step(w, g *tensor.Tensor) {
+	if w == nil || g == nil {
+		return
+	}
+	if s.mom != nil {
+		s.mom.Update(w, g)
+		return
+	}
+	tensor.SGDStep(w, g, s.lr)
+}
+
+// stepNet applies the update to every (param, grad) pair of the
+// network; both paths visit pairs in nn's own order, so zero-momentum
+// runs are bit-identical to Network.Step.
+func (s *stepper) stepNet(net *nn.Network, grads []nn.Grads) {
+	if s.mom != nil {
+		net.StepWith(s.mom, grads)
+		return
+	}
+	net.Step(grads, s.lr)
+}
+
+// runnerFunc executes one normalized, validated plan.
+type runnerFunc func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error)
+
+// registry maps every executable strategy to its runner. The pure
+// strategies are registered as the degenerate edges of the grid engines
+// they share with the hybrids — data is the P2=1 edge of the
+// data×filter grid, filter/spatial/pipeline the P1=1 edges of their
+// grids — so a new strategy lands as one entry here, not a new export.
+var registry = map[core.Strategy]runnerFunc{
+	core.Serial: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runSequential(m, batches, cfg)
+	},
+	core.Data: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataFilter(m, batches, cfg, pl.P1, 1, "data")
+	},
+	core.Filter: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataFilter(m, batches, cfg, 1, pl.P2, "filter")
+	},
+	core.Spatial: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataSpatial(m, batches, cfg, 1, pl.P2, "spatial")
+	},
+	core.Channel: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runChannel(m, batches, cfg, pl.P2)
+	},
+	core.Pipeline: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataPipeline(m, batches, cfg, 1, pl.P2, "pipeline")
+	},
+	core.DataFilter: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataFilter(m, batches, cfg, pl.P1, pl.P2, "data+filter")
+	},
+	core.DataSpatial: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataSpatial(m, batches, cfg, pl.P1, pl.P2, "data+spatial")
+	},
+	core.DataPipeline: func(m *nn.Model, batches []Batch, pl Plan, cfg *runConfig) (*Result, error) {
+		return runDataPipeline(m, batches, cfg, pl.P1, pl.P2, "data+pipeline")
+	},
+}
+
+// Strategies lists every strategy with a registered runner, in plan
+// order: the serial baseline, the five pure strategies, then the grid
+// hybrids. (core.Strategies lists the PROJECTABLE set; the two differ
+// exactly by {Serial, DataPipeline}, which only the runtime executes.)
+func Strategies() []core.Strategy {
+	return []core.Strategy{
+		core.Serial, core.Data, core.Spatial, core.Filter, core.Channel,
+		core.Pipeline, core.DataFilter, core.DataSpatial, core.DataPipeline,
+	}
+}
+
+// Run executes a training run described by a Plan: it validates the
+// plan, looks up the strategy's runner in the registry, and dispatches
+// with the options applied. This is the single entry point of the
+// runtime — the advisor, the CLI, and the deprecated per-strategy
+// shims all converge here, so a strategy choice can be a runtime value
+// rather than a function name.
+func Run(m *nn.Model, batches []Batch, pl Plan, opts ...Option) (*Result, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pl = pl.normalized()
+	if err := pl.Validate(); err != nil {
+		return nil, err // includes unregistered strategies
+	}
+	return registry[pl.Strategy](m, batches, pl, &cfg)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/strategy"
 	"paradl/internal/tensor"
@@ -194,18 +195,17 @@ func zeroAxis(pad []int) []int {
 // Allreduced before the identical SGD step; trunk batch norm is
 // synchronized across slabs. It is the p1=1 edge of the data×spatial
 // grid.
+//
+// Deprecated: use Run with Plan{Strategy: core.Spatial, P2: p}.
 func RunSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("dist: spatial parallelism needs p >= 1, got %d", p)
-	}
-	return runDataSpatial(m, seed, batches, lr, 1, p, "spatial")
+	return Run(m, batches, Plan{Strategy: core.Spatial, P2: p}, WithSeed(seed), WithLR(lr))
 }
 
-// runDataSpatial is the shared engine behind RunSpatial (p1=1) and
-// RunDataSpatial: a p1×p2 grid where each group spatially decomposes
-// its own batch shard over p2 slabs, joined by world-wide trunk and
-// segmented head gradient exchange.
-func runDataSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 int, label string) (*Result, error) {
+// runDataSpatial is the shared engine behind the spatial (p1=1) and
+// data+spatial registry entries: a p1×p2 grid where each group
+// spatially decomposes its own batch shard over p2 slabs, joined by
+// world-wide trunk and segmented head gradient exchange.
+func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, label string) (*Result, error) {
 	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
@@ -240,12 +240,17 @@ func runDataSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2
 		}
 		plans[l] = pl
 	}
-	losses, err := runGrid(p1, p2, func(world, group, seg *Comm) ([]float64, error) {
-		net := newReplica(m, seed)
+	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
+		net := newReplica(m, cfg.seed)
+		step := newStepper(cfg)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			out = append(out, dataSpatialStep(world, group, seg, net, x, labels, weight, plans, fcStart, lr))
+			loss := dataSpatialStep(world, group, seg, net, x, labels, weight, plans, fcStart, step)
+			if world.Rank() == 0 {
+				cfg.fire(bi, loss)
+			}
+			out = append(out, loss)
 		}
 		return out, nil
 	})
@@ -260,7 +265,7 @@ func runDataSpatial(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2
 // exchange and slab aggregation stay inside the group; trunk batch norm
 // synchronizes over the whole world, because the (group, slab) pairs
 // tile the global batch × spatial domain exactly once.
-func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, lr float64) float64 {
+func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, step *stepper) float64 {
 	model := net.Model
 	rank, p := group.Rank(), group.Size()
 	layers := model.Layers
@@ -386,6 +391,6 @@ func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor,
 		}
 		allReduceGrads(seg, &grads[l])
 	}
-	net.Step(grads, lr)
+	step.stepNet(net, grads)
 	return seg.AllReduceScalar(loss * weight)
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 
+	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/strategy"
 	"paradl/internal/tensor"
@@ -19,28 +20,32 @@ type weightShard struct {
 // the full input activation, computes its output-channel slice, and the
 // slices are Allgathered so the next layer again sees the full tensor.
 // Backward, the input gradient is the Allreduced sum of per-shard
-// contributions, while each PE's weight gradients are exact for its own
-// filters — no gradient exchange at all, the selling point of the
+// contributions — reduce-scattered instead wherever the layer below
+// immediately narrows to its own slice (the paper's footnote-2
+// optimization) — while each PE's weight gradients are exact for its
+// own filters — no gradient exchange at all, the selling point of the
 // strategy in Table 3. It is the p1=1 edge of the data×filter grid.
+//
+// Deprecated: use Run with Plan{Strategy: core.Filter, P2: p}.
 func RunFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("dist: filter parallelism needs p >= 1, got %d", p)
-	}
-	return runDataFilter(m, seed, batches, lr, 1, p, "filter")
+	return Run(m, batches, Plan{Strategy: core.Filter, P2: p}, WithSeed(seed), WithLR(lr))
 }
 
-// runDataFilter is the shared engine behind RunData (p2=1), RunFilter
-// (p1=1), and RunDataFilter: a p1×p2 grid of filter-parallel groups
-// joined by segmented cross-group gradient exchange.
-func runDataFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 int, label string) (*Result, error) {
+// runDataFilter is the shared engine behind the data (p2=1), filter
+// (p1=1), and data+filter registry entries: a p1×p2 grid of
+// filter-parallel groups joined by segmented cross-group gradient
+// exchange.
+func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, label string) (*Result, error) {
 	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
 	if mf := m.MinFilters(); p2 > 1 && p2 > mf {
 		return nil, fmt.Errorf("dist: model %q supports filter width <= min F_l = %d (Table 3), got %d", m.Name, mf, p2)
 	}
-	losses, err := runGrid(p1, p2, func(world, group, seg *Comm) ([]float64, error) {
-		net := newReplica(m, seed)
+	rsOK := scatterableInputGrads(m, p2, cfg)
+	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
+		net := newReplica(m, cfg.seed)
+		step := newStepper(cfg)
 		shards, err := filterShards(net, group.Rank(), p2)
 		if err != nil {
 			return nil, err
@@ -48,7 +53,11 @@ func runDataFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			out = append(out, dataFilterStep(group, seg, net, shards, x, labels, weight, lr))
+			loss := dataFilterStep(group, seg, net, shards, rsOK, x, labels, weight, step)
+			if world.Rank() == 0 {
+				cfg.fire(bi, loss)
+			}
+			out = append(out, loss)
 		}
 		return out, nil
 	})
@@ -56,6 +65,38 @@ func runDataFilter(m *nn.Model, seed int64, batches []Batch, lr float64, p1, p2 
 		return nil, err
 	}
 	return &Result{Strategy: label, P: p1 * p2, P1: p1, P2: p2, Losses: losses}, nil
+}
+
+// scatterableInputGrads marks the sharded layers whose backward input
+// gradient may be ReduceScattered instead of Allreduced — the paper's
+// footnote-2 filter optimization. It holds for layer l when everything
+// between l and the sharded layer below it is element-wise and
+// channel-preserving (ReLU), so each PE consumes only its own
+// output-channel slice of the gradient: the slice flows through the
+// intermediate ReLUs and arrives at the lower layer's shardGrad already
+// narrowed, and the chunking (tensor.SplitSizes over the channel axis)
+// coincides with strategy.FilterShards by construction. Windowed layers
+// (Pool) and segment-synchronized BN need the full-width gradient and
+// break the chain.
+func scatterableInputGrads(m *nn.Model, p2 int, cfg *runConfig) []bool {
+	rsOK := make([]bool, m.G())
+	if cfg.arInputGrad || p2 <= 1 {
+		return rsOK
+	}
+	prevSharded := false // a sharded layer lies below, with…
+	chainOK := false     // …only ReLUs in between
+	for l := range m.Layers {
+		switch m.Layers[l].Kind {
+		case nn.Conv, nn.FC:
+			rsOK[l] = prevSharded && chainOK
+			prevSharded, chainOK = true, true
+		case nn.ReLU:
+			// channel-preserving, element-wise: keeps the chain intact
+		default:
+			chainOK = false
+		}
+	}
+	return rsOK
 }
 
 // filterShards carves rank's output-channel slice out of every weighted
@@ -110,7 +151,14 @@ func shardGrad(dy *tensor.Tensor, sh *weightShard, group *Comm) *tensor.Tensor {
 // the segment — one PE per group covers the global batch exactly once,
 // and every segment reduces in the same group order, so all PEs agree
 // bit-for-bit.
-func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x *tensor.Tensor, labels []int, weight, lr float64) float64 {
+//
+// Backward, the input gradient is Allreduced to full width — except at
+// the rsOK layers, where it is ReduceScattered so each PE receives only
+// its own channel slice (footnote 2): the slice rides through the
+// intermediate ReLUs (sliced against the matching slice of their stored
+// input) and is consumed by the sharded layer below without ever
+// materializing the full tensor.
+func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
 	layers := net.Model.Layers
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
@@ -147,6 +195,7 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x 
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
+	dySliced := false // dy holds only this PE's channel slice
 	for l := g - 1; l >= 0; l-- {
 		spec := &layers[l]
 		sh := shards[l]
@@ -154,22 +203,43 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x 
 		case spec.Kind == nn.Conv:
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
 			xl := states[l].X
-			dySh := shardGrad(dy, sh, group)
-			dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
+			dySh := dy
+			if !dySliced {
+				dySh = shardGrad(dy, sh, group)
+			}
 			dw, db := tensor.ConvBackwardWeight(dySh, xl, sh.w.Shape(), cs)
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = group.AllReduceSum(dxPart)
+			if l > 0 {
+				// The bottom layer has no consumer for its input gradient:
+				// skip the data backward and its group-wide exchange.
+				dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
+				dy, dySliced = exchangeInputGrad(group, dxPart, rsOK[l])
+			}
 		case spec.Kind == nn.FC:
 			xl := states[l].X
 			n := xl.Dim(0)
 			flat := xl.Reshape(n, xl.Len()/n)
-			dxPart, dw, db := tensor.FCBackward(shardGrad(dy, sh, group), flat, sh.w, xl.Shape())
+			dySh := dy
+			if !dySliced {
+				dySh = shardGrad(dy, sh, group)
+			}
+			dxPart, dw, db := tensor.FCBackward(dySh, flat, sh.w, xl.Shape())
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = group.AllReduceSum(dxPart)
+			if l > 0 {
+				dy, dySliced = exchangeInputGrad(group, dxPart, rsOK[l])
+			}
 		case bnSync[l]:
 			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
 			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 			dy = dx
+		case dySliced:
+			// Only ReLU can sit inside a reduce-scatter chain
+			// (scatterableInputGrads): backpropagate the slice against
+			// the matching channel slice of the stored input.
+			if spec.Kind != nn.ReLU {
+				panic(fmt.Sprintf("dist: layer %d (%v) reached with a sliced gradient; scatterableInputGrads admitted a non-ReLU chain", l, spec.Kind))
+			}
+			dy = tensor.ReLUBackward(dy, channelChunk(states[l].X, group))
 		default:
 			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
 		}
@@ -192,15 +262,35 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x 
 		shardGrads[l].w = seg.AllReduceSum(shardGrads[l].w)
 		shardGrads[l].b = seg.AllReduceSum(shardGrads[l].b)
 	}
-	net.Step(grads, lr)
+	step.stepNet(net, grads)
 	for l := range shards {
 		if shards[l] == nil {
 			continue
 		}
-		tensor.SGDStep(shards[l].w, shardGrads[l].w, lr)
-		tensor.SGDStep(shards[l].b, shardGrads[l].b, lr)
+		step.step(shards[l].w, shardGrads[l].w)
+		step.step(shards[l].b, shardGrads[l].b)
 	}
 	return seg.AllReduceScalar(loss * weight)
+}
+
+// exchangeInputGrad performs the group-wide input-gradient exchange of
+// one sharded layer's backward pass: a full-width Allreduce by default,
+// or — when the footnote-2 precondition holds for this layer — a
+// ReduceScatter along the channel axis that leaves each PE exactly the
+// slice the layer below will consume. Both take ownership of dxPart.
+func exchangeInputGrad(group *Comm, dxPart *tensor.Tensor, rs bool) (*tensor.Tensor, bool) {
+	if rs && group.Size() > 1 {
+		return group.ReduceScatterSum(dxPart, 1), true
+	}
+	return group.AllReduceSum(dxPart), false
+}
+
+// channelChunk returns this rank's canonical chunk of x along the
+// channel axis — the region a ReduceScattered gradient corresponds to.
+func channelChunk(x *tensor.Tensor, group *Comm) *tensor.Tensor {
+	p, r := group.Size(), group.Rank()
+	off := tensor.SplitOffsets(x.Dim(1), p)[r]
+	return x.Narrow(1, off, tensor.SplitSizes(x.Dim(1), p)[r])
 }
 
 // RunChannel executes channel parallelism (§3.5): every weighted layer's
@@ -209,10 +299,15 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, x 
 // before the bias is applied exactly once. Layers with fewer channels
 // than PEs — in practice the first layer, which the paper also leaves
 // unsplit (§4.2) — run replicated.
+//
+// Deprecated: use Run with Plan{Strategy: core.Channel, P2: p}.
 func RunChannel(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*Result, error) {
-	if p < 1 {
-		return nil, fmt.Errorf("dist: channel parallelism needs p >= 1, got %d", p)
-	}
+	return Run(m, batches, Plan{Strategy: core.Channel, P2: p}, WithSeed(seed), WithLR(lr))
+}
+
+// runChannel is the channel-parallel engine behind the registry, which
+// guarantees p >= 1 via Plan.Validate.
+func runChannel(m *nn.Model, batches []Batch, cfg *runConfig, p int) (*Result, error) {
 	if mc := m.MinChannels(); p > 1 && p > mc {
 		return nil, fmt.Errorf("dist: model %q supports channel width <= min C_l = %d (Table 3), got p=%d", m.Name, mc, p)
 	}
@@ -220,21 +315,26 @@ func RunChannel(m *nn.Model, seed int64, batches []Batch, lr float64, p int) (*R
 		return nil, err
 	}
 	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
-		net := newReplica(m, seed)
+		net := newReplica(m, cfg.seed)
+		step := newStepper(cfg)
 		shards, err := channelShards(net, c.Rank(), p)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
-			out = append(out, channelStep(c, net, shards, &batches[bi], lr))
+			loss := channelStep(c, net, shards, &batches[bi], step)
+			if c.Rank() == 0 {
+				cfg.fire(bi, loss)
+			}
+			out = append(out, loss)
 		}
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Strategy: "channel", P: p, Losses: losses}, nil
+	return &Result{Strategy: "channel", P: p, P1: 1, P2: p, Losses: losses}, nil
 }
 
 // channelShards carves rank's input-channel slice of every weighted
@@ -272,7 +372,7 @@ func channelShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
 }
 
 // channelStep runs one channel-parallel SGD iteration.
-func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr float64) float64 {
+func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step *stepper) float64 {
 	layers := net.Model.Layers
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
@@ -332,13 +432,13 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, lr f
 	// Weight-shard gradients are exact (dy was global); the bias
 	// gradient Σdy is identical on every PE, so the replicated bias
 	// steps in lockstep without any exchange.
-	net.Step(grads, lr)
+	step.stepNet(net, grads)
 	for l := range shards {
 		if shards[l] == nil {
 			continue
 		}
-		tensor.SGDStep(shards[l].w, shardGrads[l].w, lr)
-		tensor.SGDStep(net.Params[l].B, shardGrads[l].b, lr)
+		step.step(shards[l].w, shardGrads[l].w)
+		step.step(net.Params[l].B, shardGrads[l].b)
 	}
 	return loss
 }

@@ -43,6 +43,54 @@ func (s *SGD) Step(params []Params, grads []Grads) {
 	}
 }
 
+// Momentum is heavy-ball SGD: v ← µ·v + g, w ← w − lr·v — the
+// one-extra-variable-per-weight point of the §5.3.3 weight-update
+// analysis. Velocities are keyed by parameter-tensor identity, so it
+// works on full replicas and on parameter shards alike (a shard's
+// velocity is the matching slice of the global velocity).
+type Momentum struct {
+	LR, Mu float64
+
+	vel map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewMomentum returns a heavy-ball SGD optimizer.
+func NewMomentum(lr, mu float64) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, vel: map[*tensor.Tensor]*tensor.Tensor{}}
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// ExtraStatePerParam implements Optimizer.
+func (m *Momentum) ExtraStatePerParam() int { return 1 }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []Params, grads []Grads) {
+	for l := range params {
+		applyPair(params[l].W, grads[l].W, m.Update)
+		applyPair(params[l].B, grads[l].B, m.Update)
+		applyPair(params[l].Gamma, grads[l].Gamma, m.Update)
+		applyPair(params[l].Beta, grads[l].Beta, m.Update)
+	}
+}
+
+// Update applies the momentum update to one (param, grad) pair. It is
+// exported because sharded runtimes (internal/dist) step parameter
+// slices that never appear in a []Params.
+func (m *Momentum) Update(w, g *tensor.Tensor) {
+	v, ok := m.vel[w]
+	if !ok {
+		v = tensor.New(w.Shape()...)
+		m.vel[w] = v
+	}
+	wd, gd, vd := w.Data(), g.Data(), v.Data()
+	for i := range wd {
+		vd[i] = m.Mu*vd[i] + gd[i]
+		wd[i] -= m.LR * vd[i]
+	}
+}
+
 // Adam is the ADAM optimizer (Kingma & Ba) with bias correction. It
 // keeps first- and second-moment estimates per parameter — the four
 // variables per weight (w, g, m, v) of §5.3.3.

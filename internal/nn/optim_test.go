@@ -29,6 +29,48 @@ func TestSGDOptimizerMatchesStep(t *testing.T) {
 	}
 }
 
+// TestMomentumUpdate: the heavy-ball recurrence v ← µv + g, w ← w − lr·v
+// against a hand-computed two-step trace, and the Update path (the one
+// sharded runtimes use) agreeing with Step.
+func TestMomentumUpdate(t *testing.T) {
+	w := tensor.FromSlice([]float64{1, 2}, 2)
+	g := tensor.FromSlice([]float64{0.5, -1}, 2)
+	opt := NewMomentum(0.1, 0.9)
+	opt.Update(w, g) // v = g → w = {1−0.05, 2+0.1}
+	opt.Update(w, g) // v = 0.9g + g = 1.9g → w −= 0.19g
+	want := []float64{1 - 0.05 - 0.095, 2 + 0.1 + 0.19}
+	for i, v := range w.Data() {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Fatalf("w[%d] = %.15f, want %.15f", i, v, want[i])
+		}
+	}
+	if opt.ExtraStatePerParam() != 1 || opt.Name() != "momentum" {
+		t.Fatalf("momentum metadata: %d state, name %q", opt.ExtraStatePerParam(), opt.Name())
+	}
+
+	m := smallModel(t)
+	rng := rand.New(rand.NewSource(53))
+	a := NewNetwork(m, rand.New(rand.NewSource(54)))
+	b := NewNetwork(m, rand.New(rand.NewSource(54)))
+	x := tensor.New(4, 3, 8, 8).RandN(rng, 1)
+	logits, states := a.Forward(x)
+	_, d := tensor.SoftmaxCrossEntropy(logits, []int{0, 1, 2, 3})
+	_, grads := a.Backward(d, states)
+	a.StepWith(NewMomentum(0.1, 0.9), grads)
+	bo := NewMomentum(0.1, 0.9)
+	for l := range b.Params {
+		applyPair(b.Params[l].W, grads[l].W, bo.Update)
+		applyPair(b.Params[l].B, grads[l].B, bo.Update)
+		applyPair(b.Params[l].Gamma, grads[l].Gamma, bo.Update)
+		applyPair(b.Params[l].Beta, grads[l].Beta, bo.Update)
+	}
+	for l := range a.Params {
+		if a.Params[l].W != nil && !a.Params[l].W.AllClose(b.Params[l].W, 0) {
+			t.Fatalf("Momentum Step diverges from per-pair Update at layer %d", l)
+		}
+	}
+}
+
 func TestAdamConverges(t *testing.T) {
 	m := smallModel(t)
 	rng := rand.New(rand.NewSource(52))

@@ -10,7 +10,6 @@ import (
 	"paradl/internal/data"
 	"paradl/internal/dist"
 	"paradl/internal/model"
-	"paradl/internal/nn"
 	"paradl/internal/profile"
 )
 
@@ -83,10 +82,13 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 	m := model.TinyCNNNoBN()
 	batches := data.Toy(m, int64(runtimeIters*runtimeBatch)).Batches(runtimeIters, runtimeBatch)
 
-	seqSec, err := timeRun(func() error {
-		dist.RunSequential(m, runtimeSeed, batches, runtimeLR)
-		return nil
-	})
+	runPlan := func(pl dist.Plan) func() error {
+		return func() error {
+			_, err := dist.Run(m, batches, pl, dist.WithSeed(runtimeSeed), dist.WithLR(runtimeLR))
+			return err
+		}
+	}
+	seqSec, err := timeRun(runPlan(dist.Plan{Strategy: core.Serial}))
 	if err != nil {
 		return nil, err
 	}
@@ -113,41 +115,27 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 	}
 	serialIter := serialProj.Iter().Total()
 
-	type cand struct {
-		s      core.Strategy
-		p1, p2 int
-		run    func() error
-	}
-	pure := func(s core.Strategy, run func(*nn.Model, int64, []dist.Batch, float64, int) (*dist.Result, error)) cand {
-		return cand{s: s, run: func() error {
-			_, err := run(m, runtimeSeed, batches, runtimeLR, p)
-			return err
-		}}
-	}
-	cands := []cand{
-		pure(core.Data, dist.RunData),
-		pure(core.Spatial, dist.RunSpatial),
-		pure(core.Filter, dist.RunFilter),
-		pure(core.Channel, dist.RunChannel),
-		pure(core.Pipeline, dist.RunPipeline),
+	// The candidate plans: every pure strategy at width p, plus the 2-D
+	// hybrids on a (p/2)×2 grid when p admits one. The measured side
+	// dispatches through the same Plan registry every other runtime
+	// client uses, so this table exercises the real entry path.
+	cands := []dist.Plan{
+		{Strategy: core.Data, P1: p},
+		{Strategy: core.Spatial, P2: p},
+		{Strategy: core.Filter, P2: p},
+		{Strategy: core.Channel, P2: p},
+		{Strategy: core.Pipeline, P2: p},
 	}
 	if p%2 == 0 && p >= 4 {
-		p1 := p / 2
 		cands = append(cands,
-			cand{s: core.DataFilter, p1: p1, p2: 2, run: func() error {
-				_, err := dist.RunDataFilter(m, runtimeSeed, batches, runtimeLR, p1, 2)
-				return err
-			}},
-			cand{s: core.DataSpatial, p1: p1, p2: 2, run: func() error {
-				_, err := dist.RunDataSpatial(m, runtimeSeed, batches, runtimeLR, p1, 2)
-				return err
-			}},
+			dist.Plan{Strategy: core.DataFilter, P1: p / 2, P2: 2},
+			dist.Plan{Strategy: core.DataSpatial, P1: p / 2, P2: 2},
 		)
 	}
 
 	rows := []RuntimeRow{{Strategy: core.Serial, P: 1, MeasuredSec: seqSec, MeasuredOverhead: 1, ProjectedOverhead: 1}}
 	for _, c := range cands {
-		sec, err := timeRun(c.run)
+		sec, err := timeRun(runPlan(c))
 		if err != nil {
 			// Only a Table 3 scaling limit legitimately drops a row; any
 			// other failure (a runtime bug, a wedged collective) must
@@ -155,17 +143,21 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 			if isWidthLimit(err) {
 				continue
 			}
-			return nil, fmt.Errorf("report: measuring %v at p=%d: %w", c.s, p, err)
+			return nil, fmt.Errorf("report: measuring %v at p=%d: %w", c.Strategy, p, err)
 		}
-		proj, err := core.Project(projCfg(p, c.p1, c.p2), c.s)
+		p1, p2 := 0, 0
+		if c.Strategy == core.DataFilter || c.Strategy == core.DataSpatial {
+			p1, p2 = c.P1, c.P2
+		}
+		proj, err := core.Project(projCfg(p, p1, p2), c.Strategy)
 		if err != nil {
-			return nil, fmt.Errorf("report: projecting %v at p=%d (the runtime executed it): %w", c.s, p, err)
+			return nil, fmt.Errorf("report: projecting %v at p=%d (the runtime executed it): %w", c.Strategy, p, err)
 		}
 		rows = append(rows, RuntimeRow{
-			Strategy:          c.s,
+			Strategy:          c.Strategy,
 			P:                 p,
-			P1:                c.p1,
-			P2:                c.p2,
+			P1:                p1,
+			P2:                p2,
 			MeasuredSec:       sec,
 			MeasuredOverhead:  sec / seqSec,
 			ProjectedOverhead: proj.Iter().Total() / serialIter,

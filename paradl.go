@@ -21,6 +21,12 @@
 //	cfg := paradl.WeakScalingConfig(m, 64, 32) // 64 GPUs, 32 samples/GPU
 //	pr, _ := paradl.Project(cfg, paradl.Data)
 //	fmt.Printf("iteration: %.1f ms\n", pr.Iter().Total()*1e3)
+//
+// Real (toy-scale) execution of any strategy goes through one
+// plan-driven entry point:
+//
+//	pl, _ := paradl.ParsePlan("df:4x2") // 4 data-parallel groups × filter width 2
+//	res, _ := paradl.Train(m, batches, pl, paradl.WithSeed(7), paradl.WithLR(0.05))
 package paradl
 
 import (
@@ -37,16 +43,18 @@ import (
 // Strategy re-exports the parallelization strategies of §3.
 type Strategy = core.Strategy
 
-// The six strategies plus the serial baseline.
+// The strategies of §3 plus the serial baseline and the executable-only
+// data×pipeline hybrid.
 const (
-	Serial      = core.Serial
-	Data        = core.Data
-	Spatial     = core.Spatial
-	Pipeline    = core.Pipeline
-	Filter      = core.Filter
-	Channel     = core.Channel
-	DataFilter  = core.DataFilter
-	DataSpatial = core.DataSpatial
+	Serial       = core.Serial
+	Data         = core.Data
+	Spatial      = core.Spatial
+	Pipeline     = core.Pipeline
+	Filter       = core.Filter
+	Channel      = core.Channel
+	DataFilter   = core.DataFilter
+	DataSpatial  = core.DataSpatial
+	DataPipeline = core.DataPipeline
 )
 
 // Config re-exports the oracle's input description.
@@ -124,31 +132,91 @@ func Measure(cfg Config, s Strategy) (*measure.Result, error) {
 // TrainBatch re-exports one real-execution training step's input.
 type TrainBatch = dist.Batch
 
-// TrainResult re-exports a real-execution run: strategy, width, and
-// per-iteration losses.
+// TrainResult re-exports a real-execution run: strategy, grid shape,
+// and per-iteration losses.
 type TrainResult = dist.Result
 
+// Plan re-exports the real runtime's execution plan: a Strategy plus
+// the P1×P2 grid shape to run it on. Plans round-trip through strings
+// ("data:4", "ds:4x2") via ParsePlan and Plan.String.
+type Plan = dist.Plan
+
+// TrainOption re-exports the functional options of Train.
+type TrainOption = dist.Option
+
+// ParsePlan parses an execution plan string — a strategy name
+// optionally followed by a width ("data:4", "pipeline:3") or an
+// explicit grid ("df:4x2").
+func ParsePlan(s string) (Plan, error) { return dist.ParsePlan(s) }
+
+// WithSeed sets the parameter-initialization seed of a Train run
+// (default 1).
+func WithSeed(seed int64) TrainOption { return dist.WithSeed(seed) }
+
+// WithLR sets the SGD learning rate of a Train run (default 0.01).
+func WithLR(lr float64) TrainOption { return dist.WithLR(lr) }
+
+// WithMomentum enables heavy-ball SGD (v ← µ·v + g, w ← w − lr·v);
+// momentum runs keep value parity with the sequential baseline under
+// every strategy.
+func WithMomentum(mu float64) TrainOption { return dist.WithMomentum(mu) }
+
+// WithIterHook registers a per-iteration callback receiving each
+// iteration's index and global loss as training progresses.
+func WithIterHook(hook func(iter int, loss float64)) TrainOption { return dist.WithIterHook(hook) }
+
+// WithInputGradAllReduce restores the pre-footnote-2 filter-parallel
+// backward (full-width input-gradient Allreduce instead of the default
+// reduce-scatter); it exists for A/B parity and overhead comparisons.
+func WithInputGradAllReduce() TrainOption { return dist.WithInputGradAllReduce() }
+
+// Train executes a real training run (actual forward/backward/SGD
+// arithmetic on in-process PEs) under the given execution plan — the
+// single entry point of the measured runtime. The strategy is a
+// runtime value, so the advisor's pick can be executed directly:
+//
+//	pl, _ := paradl.ParsePlan("df:4x2")
+//	res, err := paradl.Train(m, batches, pl, paradl.WithSeed(7), paradl.WithLR(0.05))
+//
+// Every plan reproduces the per-iteration losses of the serial plan
+// within 1e-6 on the same batches (the §4.5.2 value-parity
+// methodology), except that pipeline-family plans use per-microbatch
+// batch-norm statistics (the GPipe semantics).
+func Train(m *NetModel, batches []TrainBatch, pl Plan, opts ...TrainOption) (*TrainResult, error) {
+	return dist.Run(m, batches, pl, opts...)
+}
+
 // TrainSequential runs real single-PE SGD — the value-parity baseline.
+//
+// Deprecated: use Train with Plan{Strategy: Serial}.
 func TrainSequential(m *NetModel, seed int64, batches []TrainBatch, lr float64) *TrainResult {
 	return dist.RunSequential(m, seed, batches, lr)
 }
 
 // TrainData runs real data-parallel training over p replicas.
+//
+// Deprecated: use Train with Plan{Strategy: Data, P1: p}.
 func TrainData(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunData(m, seed, batches, lr, p)
 }
 
 // TrainSpatial runs real spatially-partitioned training over p PEs.
+//
+// Deprecated: use Train with Plan{Strategy: Spatial, P2: p}.
 func TrainSpatial(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunSpatial(m, seed, batches, lr, p)
 }
 
 // TrainFilter runs real filter-parallel training over p PEs.
+//
+// Deprecated: use Train with Plan{Strategy: Filter, P2: p}.
 func TrainFilter(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunFilter(m, seed, batches, lr, p)
 }
 
 // TrainChannel runs real channel-parallel training over p PEs.
+//
+// Deprecated: use Train with Plan{Strategy: Channel, P2: p}.
 func TrainChannel(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunChannel(m, seed, batches, lr, p)
 }
@@ -156,6 +224,8 @@ func TrainChannel(m *NetModel, seed int64, batches []TrainBatch, lr float64, p i
 // TrainDataFilter runs real df-hybrid training (§3.6): p1 data-parallel
 // groups, each applying filter parallelism over p2 PEs to its batch
 // shard, with segmented cross-group gradient exchange.
+//
+// Deprecated: use Train with Plan{Strategy: DataFilter, P1: p1, P2: p2}.
 func TrainDataFilter(m *NetModel, seed int64, batches []TrainBatch, lr float64, p1, p2 int) (*TrainResult, error) {
 	return dist.RunDataFilter(m, seed, batches, lr, p1, p2)
 }
@@ -163,17 +233,26 @@ func TrainDataFilter(m *NetModel, seed int64, batches []TrainBatch, lr float64, 
 // TrainDataSpatial runs real ds-hybrid training (§3.6): p1 data-parallel
 // groups, each spatially decomposing its batch shard over p2 PEs — the
 // paper's CosmoFlow configuration (Fig. 5).
+//
+// Deprecated: use Train with Plan{Strategy: DataSpatial, P1: p1, P2: p2}.
 func TrainDataSpatial(m *NetModel, seed int64, batches []TrainBatch, lr float64, p1, p2 int) (*TrainResult, error) {
 	return dist.RunDataSpatial(m, seed, batches, lr, p1, p2)
 }
 
 // TrainPipeline runs real pipeline-parallel training over p stages.
+//
+// Deprecated: use Train with Plan{Strategy: Pipeline, P2: p}.
 func TrainPipeline(m *NetModel, seed int64, batches []TrainBatch, lr float64, p int) (*TrainResult, error) {
 	return dist.RunPipeline(m, seed, batches, lr, p)
 }
 
 // Strategies lists all projectable strategies.
 func Strategies() []Strategy { return core.Strategies() }
+
+// TrainableStrategies lists every strategy the real runtime can
+// execute — the projectable set plus the serial baseline and the
+// executable-only data×pipeline hybrid.
+func TrainableStrategies() []Strategy { return dist.Strategies() }
 
 // ParseStrategy converts a name ("data", "df", …) into a Strategy.
 func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }

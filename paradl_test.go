@@ -104,6 +104,104 @@ func TestFacadeRealTraining(t *testing.T) {
 	}
 }
 
+// TestFacadePlanTraining: the plan-driven entry point executes every
+// trainable strategy — including the plan-only data×pipeline hybrid —
+// in value parity with the serial plan, and the deprecated Train*
+// wrappers match Train(plan) bit-for-bit.
+func TestFacadePlanTraining(t *testing.T) {
+	m := model.Tiny3D()
+	batches := data.Toy(m, 32).Batches(2, 4)
+	opts := []paradl.TrainOption{paradl.WithSeed(7), paradl.WithLR(0.05)}
+	seq, err := paradl.Train(m, batches, paradl.Plan{Strategy: paradl.Serial}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"data:2", "spatial:2", "filter:2", "channel:2", "pipeline:2", "df:2x2", "ds:2x2", "dp:2x2"} {
+		pl, err := paradl.ParsePlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := paradl.Train(m, batches, pl, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		for i := range seq.Losses {
+			if d := math.Abs(res.Losses[i] - seq.Losses[i]); d > 1e-6 {
+				t.Fatalf("%s iter %d: loss off by %.3e", s, i, d)
+			}
+		}
+	}
+	// Deprecated wrappers delegate to the same registry path: bit-for-bit.
+	viaPlan, err := paradl.Train(m, batches, paradl.Plan{Strategy: paradl.DataFilter, P1: 2, P2: 2}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaShim, err := paradl.TrainDataFilter(m, 7, batches, 0.05, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaPlan.Losses {
+		if viaPlan.Losses[i] != viaShim.Losses[i] {
+			t.Fatalf("iter %d: TrainDataFilter %.17g != Train(plan) %.17g", i, viaShim.Losses[i], viaPlan.Losses[i])
+		}
+	}
+}
+
+// TestFacadeTrainOptions: momentum changes the trajectory but keeps
+// cross-strategy parity; the iteration hook streams the loss series.
+func TestFacadeTrainOptions(t *testing.T) {
+	m := model.Tiny3D()
+	batches := data.Toy(m, 32).Batches(2, 4)
+	var hooked []float64
+	opts := []paradl.TrainOption{
+		paradl.WithSeed(7), paradl.WithLR(0.05), paradl.WithMomentum(0.9),
+		paradl.WithIterHook(func(_ int, loss float64) { hooked = append(hooked, loss) }),
+	}
+	seq, err := paradl.Train(m, batches, paradl.Plan{Strategy: paradl.Serial}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != len(seq.Losses) || hooked[1] != seq.Losses[1] {
+		t.Fatalf("hook streamed %v, result %v", hooked, seq.Losses)
+	}
+	dp, err := paradl.Train(m, batches, paradl.Plan{Strategy: paradl.DataPipeline, P1: 2, P2: 2},
+		paradl.WithSeed(7), paradl.WithLR(0.05), paradl.WithMomentum(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Losses {
+		if d := math.Abs(dp.Losses[i] - seq.Losses[i]); d > 1e-6 {
+			t.Fatalf("momentum dp iter %d: loss off by %.3e", i, d)
+		}
+	}
+	ar, err := paradl.Train(m, batches, paradl.Plan{Strategy: paradl.Filter, P2: 2},
+		paradl.WithSeed(7), paradl.WithLR(0.05), paradl.WithInputGradAllReduce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Losses {
+		if d := math.Abs(ar.Losses[i] - seq.Losses[i]); d > 1e-6 {
+			t.Fatalf("allreduce filter iter %d: loss off by %.3e", i, d)
+		}
+	}
+}
+
+func TestFacadePlanParse(t *testing.T) {
+	pl, err := paradl.ParsePlan("ds:4x2")
+	if err != nil || pl.Strategy != paradl.DataSpatial || pl.P1 != 4 || pl.P2 != 2 {
+		t.Fatalf("ParsePlan(ds:4x2) = %+v, %v", pl, err)
+	}
+	if pl.String() != "ds:4x2" {
+		t.Fatalf("String() = %q", pl.String())
+	}
+	if _, err := paradl.ParsePlan("df:3x0"); err == nil {
+		t.Fatal("df:3x0 must be rejected")
+	}
+	if n := len(paradl.TrainableStrategies()); n != len(paradl.Strategies())+2 {
+		t.Fatalf("trainable strategies: %d", n)
+	}
+}
+
 func TestFacadeHybridTraining(t *testing.T) {
 	m := model.Tiny3D()
 	batches := data.Toy(m, 32).Batches(2, 4)
