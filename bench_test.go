@@ -206,7 +206,7 @@ func BenchmarkAblationRingVsTree(b *testing.B) {
 			ringWins := 0
 			for i := 0; i < b.N; i++ {
 				ring := collective.RingAllreduce(ab, 512, tc.m)
-				tree := collective.TreeAllreduce(ab, 512, tc.m, 4)
+				tree := collective.TwoTreeAllreduce(ab, 512, tc.m, 4)
 				if ring < tree {
 					ringWins++
 				}

@@ -49,6 +49,7 @@ func main() {
 		calibrate   = flag.Bool("calibrate", false, "re-derive α/β from fabric benchmarks before projecting")
 		measured    = flag.Bool("measured", false, "run the REAL toy-scale runtime (internal/dist) at -gpus PEs and print measured vs projected strategy overhead")
 		train       = flag.String("train", "", "execute a plan (e.g. data:4, ds:2x2, dp:2x3) for REAL on the tiny zoo and print the value-parity table vs sequential SGD")
+		overlap     = flag.String("overlap", "on", "with -train: backward/communication overlap, on|off (losses are bit-identical either way; off runs the blocking A/B baseline)")
 	)
 	flag.Parse()
 
@@ -77,18 +78,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	overlapSet := false
+	flag.Visit(func(f *flag.Flag) { overlapSet = overlapSet || f.Name == "overlap" })
+	if overlapSet && *train == "" {
+		fmt.Fprintln(os.Stderr, "paradl: -overlap selects the real runtime's exchange mode and requires -train")
+		os.Exit(1)
+	}
 
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate, *measured, *train); err != nil {
+		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
-	phi float64, advise, findings, calibrate, measured bool, train string) error {
+	phi float64, advise, findings, calibrate, measured bool, train, overlap string) error {
 	if train != "" {
-		return runTrain(os.Stdout, train)
+		return runTrain(os.Stdout, train, overlap)
 	}
 	if measured {
 		// The real runtime executes on this host, so widths stay toy
@@ -225,15 +232,25 @@ const (
 // runTrain executes planStr for real (internal/dist) on the tiny zoo
 // and prints the per-iteration value-parity table vs sequential SGD —
 // the §4.5.2 methodology as a CLI one-liner. A parity violation is an
-// error: the command doubles as a runtime smoke test.
-func runTrain(w io.Writer, planStr string) error {
+// error: the command doubles as a runtime smoke test. overlap ("on" or
+// "off") selects the gradient-exchange mode, so the backward/comm
+// overlap A/B is runnable from the CLI; both modes must print the same
+// losses bit for bit.
+func runTrain(w io.Writer, planStr, overlap string) error {
+	if overlap != "on" && overlap != "off" {
+		return fmt.Errorf("-overlap must be on or off, got %q", overlap)
+	}
 	pl, err := dist.ParsePlan(planStr)
 	if err != nil {
 		return err
 	}
 	m := model.TinyCNNNoBN()
 	batches := data.Toy(m, int64(trainIters*trainBatch)).Batches(trainIters, trainBatch)
-	opts := []dist.Option{dist.WithSeed(trainSeed), dist.WithLR(trainLR)}
+	// The A/B bucket size makes -overlap a real toggle at toy scale: at
+	// the 256 KiB default the toy gradients fit one drain-time bucket
+	// and both modes would execute identically.
+	opts := []dist.Option{dist.WithSeed(trainSeed), dist.WithLR(trainLR),
+		dist.WithOverlap(overlap == "on"), dist.WithBucketBytes(dist.BenchOverlapBucketBytes)}
 	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
 	if err != nil {
 		return err
@@ -245,8 +262,8 @@ func runTrain(w io.Writer, planStr string) error {
 		}
 	}
 
-	fmt.Fprintf(w, "real training parity — %s, plan %s (%d PEs), global batch %d, %d iterations\n",
-		m.Name, pl, pl.P(), trainBatch, trainIters)
+	fmt.Fprintf(w, "real training parity — %s, plan %s (%d PEs), global batch %d, %d iterations, overlap=%s\n",
+		m.Name, pl, pl.P(), trainBatch, trainIters, overlap)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "iter\tsequential\t%s\tΔ\n", pl)
 	worst := 0.0

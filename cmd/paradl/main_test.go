@@ -3,66 +3,66 @@ package main
 import "testing"
 
 func TestRunSingleProjection(t *testing.T) {
-	if err := run("resnet50", "data", 64, 32, 0, 0, 0, 4, 0, false, false, false, false, ""); err != nil {
+	if err := run("resnet50", "data", 64, 32, 0, 0, 0, 4, 0, false, false, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAdvise(t *testing.T) {
-	if err := run("vgg16", "", 64, 8, 0, 0, 0, 4, 0, true, false, false, false, ""); err != nil {
+	if err := run("vgg16", "", 64, 8, 0, 0, 0, 4, 0, true, false, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHybridWithSplit(t *testing.T) {
-	if err := run("resnet50", "df", 64, 8, 0, 16, 4, 4, 0, false, true, false, false, ""); err != nil {
+	if err := run("resnet50", "df", 64, 8, 0, 16, 4, 4, 0, false, true, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHybridDerivesMissingAxis(t *testing.T) {
 	// The doc-comment example: -strategy ds -gpus 64 -p2 4 (no -p1).
-	if err := run("cosmoflow", "ds", 64, 0, 16, 0, 4, 4, 0, false, false, false, false, ""); err != nil {
+	if err := run("cosmoflow", "ds", 64, 0, 16, 0, 4, 4, 0, false, false, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("resnet50", "df", 64, 8, 0, 16, 0, 4, 0, false, false, false, false, ""); err != nil {
+	if err := run("resnet50", "df", 64, 8, 0, 16, 0, 4, 0, false, false, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStrongScalingFilter(t *testing.T) {
-	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false, false, ""); err != nil {
+	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCalibrated(t *testing.T) {
-	if err := run("cosmoflow", "ds", 16, 0, 4, 4, 4, 4, 0, false, false, true, false, ""); err != nil {
+	if err := run("cosmoflow", "ds", 16, 0, 4, 4, 4, 4, 0, false, false, true, false, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownModel(t *testing.T) {
-	if err := run("alexnet", "data", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, ""); err == nil {
+	if err := run("alexnet", "data", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on"); err == nil {
 		t.Fatal("unknown model must error")
 	}
 }
 
 func TestRunRejectsUnknownStrategy(t *testing.T) {
-	if err := run("resnet50", "quantum", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, ""); err == nil {
+	if err := run("resnet50", "quantum", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on"); err == nil {
 		t.Fatal("unknown strategy must error")
 	}
 }
 
 func TestRunMeasuredOverhead(t *testing.T) {
 	// -measured runs the real dist runtime; p=2 keeps it quick.
-	if err := run("resnet50", "data", 2, 4, 0, 0, 0, 4, 0, false, false, false, true, ""); err != nil {
+	if err := run("resnet50", "data", 2, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMeasuredRejectsClusterScale(t *testing.T) {
-	if err := run("resnet50", "data", 64, 4, 0, 0, 0, 4, 0, false, false, false, true, ""); err == nil {
+	if err := run("resnet50", "data", 64, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on"); err == nil {
 		t.Fatal("-measured at 64 PEs must error: the real runtime is toy-scale")
 	}
 }
@@ -72,15 +72,26 @@ func TestRunMeasuredRejectsClusterScale(t *testing.T) {
 // built-in parity gate.
 func TestRunTrainPlans(t *testing.T) {
 	for _, plan := range []string{"serial", "data:2", "filter:2", "ds:2x2", "dp:2x3"} {
-		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan); err != nil {
+		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on"); err != nil {
 			t.Fatalf("-train %s: %v", plan, err)
 		}
 	}
 }
 
+// TestRunTrainOverlapOff: the -overlap=off A/B baseline runs the same
+// parity gate on the blocking exchange; a bad mode string errors.
+func TestRunTrainOverlapOff(t *testing.T) {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "off"); err != nil {
+		t.Fatalf("-train data:4 -overlap=off: %v", err)
+	}
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "maybe"); err == nil {
+		t.Fatal("-overlap=maybe must error")
+	}
+}
+
 func TestRunTrainRejectsBadPlans(t *testing.T) {
 	for _, plan := range []string{"df:3x0", "quantum:2", "data:2x2", "pipeline:99"} {
-		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan); err == nil {
+		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on"); err == nil {
 			t.Fatalf("-train %s must error", plan)
 		}
 	}

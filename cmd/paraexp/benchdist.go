@@ -23,16 +23,29 @@ import (
 //	paraexp -exp benchdist -bench-iters 10 > BENCH_dist.json
 
 // BenchCase is one runner×width measurement. P1/P2 are zero except for
-// grid (hybrid) runs.
+// grid (hybrid) runs. The primary columns measure the default
+// configuration (the number tracked across PRs). The *_overlap and
+// *_blocking columns are the backward/comm-overlap A/B: both pin the
+// dist.BenchOverlapBucketBytes bucket size — at which buckets fill
+// mid-backward even on the toy zoo — and differ only in whether the
+// bucket exchanges launch nonblocking, so their delta isolates exactly
+// the async launches. (At the 256 KiB default the toy gradient set fits
+// one drain-time bucket and on/off would compare identical executions.)
 type BenchCase struct {
-	Name        string `json:"name"`
-	P           int    `json:"p"`
-	P1          int    `json:"p1,omitempty"`
-	P2          int    `json:"p2,omitempty"`
-	Iterations  int    `json:"iterations"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	Name                string `json:"name"`
+	P                   int    `json:"p"`
+	P1                  int    `json:"p1,omitempty"`
+	P2                  int    `json:"p2,omitempty"`
+	Iterations          int    `json:"iterations"`
+	NsPerOp             int64  `json:"ns_per_op"`
+	AllocsPerOp         int64  `json:"allocs_per_op"`
+	BytesPerOp          int64  `json:"bytes_per_op"`
+	NsPerOpOverlap      int64  `json:"ns_per_op_overlap,omitempty"`
+	AllocsPerOpOverlap  int64  `json:"allocs_per_op_overlap,omitempty"`
+	BytesPerOpOverlap   int64  `json:"bytes_per_op_overlap,omitempty"`
+	NsPerOpBlocking     int64  `json:"ns_per_op_blocking,omitempty"`
+	AllocsPerOpBlocking int64  `json:"allocs_per_op_blocking,omitempty"`
+	BytesPerOpBlocking  int64  `json:"bytes_per_op_blocking,omitempty"`
 }
 
 // BenchSnapshot is the benchdist output: environment provenance plus
@@ -103,6 +116,27 @@ func writeBenchDist(w io.Writer, iters int) error {
 			return fmt.Errorf("%s p=%d: %w", spec.Name, spec.P, err)
 		}
 		bc.Name, bc.P, bc.P1, bc.P2 = spec.Name, spec.P, spec.P1, spec.P2
+		if spec.P > 1 {
+			// The overlap A/B columns; serial has no exchange to toggle.
+			for _, on := range []bool{true, false} {
+				on := on
+				ab, err := measure(iters, func() error {
+					_, err := spec.Run(m, seed, batches, lr, dist.WithOverlap(on),
+						dist.WithBucketBytes(dist.BenchOverlapBucketBytes))
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("%s p=%d overlap=%v: %w", spec.Name, spec.P, on, err)
+				}
+				if on {
+					bc.NsPerOpOverlap, bc.AllocsPerOpOverlap, bc.BytesPerOpOverlap =
+						ab.NsPerOp, ab.AllocsPerOp, ab.BytesPerOp
+				} else {
+					bc.NsPerOpBlocking, bc.AllocsPerOpBlocking, bc.BytesPerOpBlocking =
+						ab.NsPerOp, ab.AllocsPerOp, ab.BytesPerOp
+				}
+			}
+		}
 		snap.Cases = append(snap.Cases, bc)
 	}
 

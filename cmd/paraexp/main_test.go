@@ -53,10 +53,27 @@ func TestBenchDistSnapshot(t *testing.T) {
 		"sequential": false, "data": false, "spatial": false, "filter": false,
 		"channel": false, "pipeline": false, "data+filter": false, "data+spatial": false,
 	}
+	exchanges := map[string]bool{"data": true, "spatial": true,
+		"data+filter": true, "data+spatial": true, "data+pipeline": true}
 	for _, c := range snap.Cases {
 		want[c.Name] = true
 		if c.NsPerOp <= 0 || c.AllocsPerOp <= 0 {
 			t.Fatalf("%s p=%d: non-positive measurement %+v", c.Name, c.P, c)
+		}
+		// Every partitioned case carries both overlap A/B columns;
+		// serial has no exchange to toggle.
+		if c.P > 1 && (c.NsPerOpOverlap <= 0 || c.NsPerOpBlocking <= 0) {
+			t.Fatalf("%s p=%d: missing overlap A/B columns %+v", c.Name, c.P, c)
+		}
+		// The A/B pins a bucket size at which buckets fill mid-backward,
+		// so strategies WITH a gradient exchange must actually launch
+		// nonblocking collectives in the overlap run — visible as extra
+		// allocations vs the synchronous run. (Pure filter/channel/
+		// pipeline have no cross-PE gradient exchange, so their A/B is
+		// legitimately flat.)
+		if exchanges[c.Name] && c.AllocsPerOpOverlap <= c.AllocsPerOpBlocking {
+			t.Fatalf("%s p=%d: overlap run launched nothing (allocs %d <= blocking %d)",
+				c.Name, c.P, c.AllocsPerOpOverlap, c.AllocsPerOpBlocking)
 		}
 	}
 	for name, seen := range want {

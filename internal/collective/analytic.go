@@ -44,10 +44,12 @@ func ReduceScatter(ab AB, p int, m float64) float64 {
 	return float64(p-1) * (ab.Alpha + m/float64(p)*ab.Beta)
 }
 
-// TreeAllreduce returns 2(log₂(p)+k)(α + m/(2k)·β): the pipelined
-// two-tree algorithm the paper's footnote 4 cites for small messages,
-// with the message divided into k chunks.
-func TreeAllreduce(ab AB, p int, m float64, k int) float64 {
+// TwoTreeAllreduce returns 2(log₂(p)+k)(α + m/(2k)·β): the pipelined
+// double-binary-tree algorithm the paper's footnote 4 cites for small
+// messages, with each half of the message divided into k chunks. The
+// trees themselves — the ones the executable runtime walks — are built
+// by TwoTreeParents; TwoTreeAllreduceOp is the schedule counterpart.
+func TwoTreeAllreduce(ab AB, p int, m float64, k int) float64 {
 	if p <= 1 {
 		return 0
 	}
@@ -58,16 +60,13 @@ func TreeAllreduce(ab AB, p int, m float64, k int) float64 {
 }
 
 // AllreduceAuto picks the ring algorithm for large messages and the
-// tree algorithm for small ones, as NCCL does (§4.3). The crossover is
-// where the two cost models intersect for the given α/β.
+// two-tree algorithm for small ones, as NCCL does (§4.3). The crossover
+// is where the two cost models intersect for the given α/β.
 func AllreduceAuto(ab AB, p int, m float64) float64 {
 	ring := RingAllreduce(ab, p, m)
-	tree := TreeAllreduce(ab, p, m, treeChunks)
+	tree := TwoTreeAllreduce(ab, p, m, TwoTreeChunks)
 	return math.Min(ring, tree)
 }
-
-// treeChunks is the pipelining depth used for the small-message tree.
-const treeChunks = 4
 
 // Bcast returns log₂(p)·(α + m·β): binomial-tree broadcast.
 func Bcast(ab AB, p int, m float64) float64 {

@@ -28,7 +28,13 @@ func benchBatches(b *testing.B, m *nn.Model) []dist.Batch {
 	return data.Toy(m, int64(dist.BenchBatches*dist.BenchBatchSize)).Batches(dist.BenchBatches, dist.BenchBatchSize)
 }
 
-// benchMatrix runs every matrix case of one strategy as a sub-benchmark.
+// benchMatrix runs every matrix case of one strategy as a sub-benchmark
+// pair at the BenchOverlapBucketBytes bucket size — overlap=true
+// launches nonblocking exchanges mid-backward, overlap=false runs the
+// identical buckets synchronously — so the cost (or win, with parallel
+// hardware) of the async launches is visible per strategy×width.
+// BENCH_dist.json's primary ns_per_op additionally tracks the default
+// configuration.
 func benchMatrix(b *testing.B, name string) {
 	m := model.TinyCNNNoBN()
 	batches := benchBatches(b, m)
@@ -42,13 +48,17 @@ func benchMatrix(b *testing.B, name string) {
 		if spec.P1 > 0 {
 			label = fmt.Sprintf("p=%dx%d", spec.P1, spec.P2)
 		}
-		b.Run(label, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := spec.Run(m, seed, batches, lr); err != nil {
-					b.Fatal(err)
+		for _, overlap := range []bool{true, false} {
+			spec, overlap := spec, overlap
+			b.Run(fmt.Sprintf("%s/overlap=%v", label, overlap), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := spec.Run(m, seed, batches, lr, dist.WithOverlap(overlap),
+						dist.WithBucketBytes(dist.BenchOverlapBucketBytes)); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 	if !ran {
 		b.Fatalf("no %q cases in dist.BenchMatrix", name)

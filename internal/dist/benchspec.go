@@ -17,17 +17,27 @@ const (
 	BenchBatchSize = 8
 	// BenchBatches is the number of training iterations per measured op.
 	BenchBatches = 2
+	// BenchOverlapBucketBytes is the gradient-bucket size every toy-scale
+	// overlap A/B surface pins (bench matrix, benchdist columns, the
+	// -measured table, paradl -train -overlap). The default 256 KiB
+	// bucket targets real-model-scale gradients and never fills on the
+	// toy zoo (~84 KB of gradients), so at the default the on/off pair
+	// would compare identical executions; 8 KiB forces buckets to fill
+	// mid-backward, so the A/B isolates exactly the nonblocking launch.
+	BenchOverlapBucketBytes = 8 << 10
 )
 
 // BenchSpec is one strategy×width case of the benchmark matrix. P1/P2
 // are zero except for grid (hybrid) cases. Every case dispatches
 // through the Plan registry (Run), so the benchmarks measure the same
-// path every client takes.
+// path every client takes. Extra options (the overlap A/B:
+// WithOverlap(false) for the blocking column) are appended after the
+// workload's seed and learning rate.
 type BenchSpec struct {
 	Name   string
 	P      int
 	P1, P2 int
-	Run    func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error)
+	Run    func(m *nn.Model, seed int64, batches []Batch, lr float64, opts ...Option) (*Result, error)
 }
 
 // BenchMatrix returns the strategy×width matrix the benchmarks sweep:
@@ -39,8 +49,8 @@ func BenchMatrix() []BenchSpec {
 	add := func(name string, p, p1, p2 int, pl Plan) {
 		specs = append(specs, BenchSpec{
 			Name: name, P: p, P1: p1, P2: p2,
-			Run: func(m *nn.Model, seed int64, batches []Batch, lr float64) (*Result, error) {
-				return Run(m, batches, pl, WithSeed(seed), WithLR(lr))
+			Run: func(m *nn.Model, seed int64, batches []Batch, lr float64, opts ...Option) (*Result, error) {
+				return Run(m, batches, pl, append([]Option{WithSeed(seed), WithLR(lr)}, opts...)...)
 			},
 		})
 	}

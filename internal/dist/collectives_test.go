@@ -20,11 +20,17 @@ import (
 // even/odd, power-of-two and not, and the widths the grid runners use.
 var collectiveWidths = []int{2, 3, 4, 5, 8}
 
-// ringSize comfortably exceeds ringMinElems; treeSize stays below it.
+// ringSize comfortably exceeds ringMinElems; treeSize stays below
+// twoTreeMinElems (binomial path); twoTreeSize falls in the two-tree
+// window [twoTreeMinElems, ringMinElems) with uneven chunk splits.
 const (
-	ringSize = 4 * ringMinElems
-	treeSize = 16
+	ringSize    = 4 * ringMinElems
+	twoTreeSize = 100
+	treeSize    = 16
 )
+
+// allReduceSizes exercises all three AllReduceSum algorithms.
+var allReduceSizes = []int{treeSize, twoTreeSize, ringSize}
 
 // rankInput builds rank's deterministic pseudo-random contribution.
 func rankInput(rank, n int) *tensor.Tensor {
@@ -72,7 +78,7 @@ func hubSum(p, n int) *tensor.Tensor {
 // bit-for-bit.
 func TestAllReduceDeterministicRepeatedRuns(t *testing.T) {
 	for _, p := range collectiveWidths {
-		for _, n := range []int{treeSize, ringSize} {
+		for _, n := range allReduceSizes {
 			first := eachRank(t, p, func(c *Comm) *tensor.Tensor {
 				return c.AllReduceSum(rankInput(c.Rank(), n))
 			})
@@ -100,7 +106,7 @@ func TestAllReduceDeterministicRepeatedRuns(t *testing.T) {
 func TestAllReduceHubParity(t *testing.T) {
 	const reassocTol = 1e-12
 	for _, p := range collectiveWidths {
-		for _, n := range []int{treeSize, ringSize} {
+		for _, n := range allReduceSizes {
 			want := hubSum(p, n)
 			got := eachRank(t, p, func(c *Comm) *tensor.Tensor {
 				return c.AllReduceSum(rankInput(c.Rank(), n))

@@ -3,6 +3,8 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -15,13 +17,22 @@ import (
 // whole world down instead of deadlocking it.
 var errAborted = errors.New("dist: world aborted by peer failure")
 
-// ringMinElems is the buffer size above which AllReduceSum switches from
-// the binomial tree (log p rounds of whole-buffer messages, best for
-// latency-bound small tensors like BN statistics) to the ring
-// reduce-scatter + allgather (2(p−1) rounds of m/p-sized chunks,
-// bandwidth-optimal for gradient-sized buffers) — the same crossover the
-// analytic side models with Hockney α–β terms in internal/collective.
-const ringMinElems = 256
+// AllReduceSum picks among three algorithms by buffer size, the same
+// three-regime policy the analytic side prices with Hockney α–β terms
+// in internal/collective:
+//
+//   - below twoTreeMinElems: binomial tree — ⌈log₂p⌉ whole-buffer hops,
+//     best for latency-bound tiny tensors (BN statistics, biases);
+//   - [twoTreeMinElems, ringMinElems): pipelined double binary tree —
+//     two halves streaming concurrently in TwoTreeChunks chunks, low
+//     latency AND full bandwidth for the small-but-not-tiny regime;
+//   - at and above ringMinElems: ring reduce-scatter + allgather —
+//     2(p−1) rounds of m/p chunks, bandwidth-optimal for gradient-sized
+//     buffers.
+const (
+	twoTreeMinElems = 64
+	ringMinElems    = 256
+)
 
 // message is one mailbox payload: a tensor, or (t == nil) a bare
 // scalar, so scalar reductions never allocate a 1-element tensor.
@@ -39,15 +50,35 @@ type message struct {
 // built from these two-sided messages, mirroring the message-passing
 // structure of the MPI/NCCL execution the paper validates against
 // (§5.1).
+//
+// Besides the base mailboxes there is a second, stream-tagged plane
+// (tagged): every in-flight nonblocking collective and every concurrent
+// half of the two-tree gets its own (src, dst, stream) channels, so
+// overlapped traffic can never interleave with — or be mismatched
+// against — the program-ordered blocking traffic on the base plane.
 type World struct {
 	p     int
 	depth int
-	mail  []atomic.Pointer[chan message] // p×p cells, row-major [src][dst]
-	mu    sync.Mutex                     // serializes mailbox creation
-	once  sync.Once
+	mail  []atomic.Pointer[chan message] // p×p base cells, row-major [src][dst]
+	mu    sync.Mutex                     // serializes base mailbox creation
+	// tagged holds the stream-tagged mailboxes (mailKey → chan message)
+	// of nonblocking operations; sync.Map keeps steady-state loads
+	// lock-free while concurrent first-use creation stays race-safe.
+	tagged sync.Map
+	// pending[r] counts world rank r's launched-but-unwaited nonblocking
+	// handles; runWorld fails the world if a PE finishes with a nonzero
+	// count (a dropped Handle means results were never synchronized).
+	pending []atomic.Int64
+	once    sync.Once
 	// abort is closed on the first failure; err records its cause.
 	abort chan struct{}
 	err   error
+}
+
+// mailKey addresses one stream-tagged mailbox.
+type mailKey struct {
+	src, dst int
+	stream   string
 }
 
 // NewWorld creates a world of p PEs.
@@ -60,28 +91,38 @@ func NewWorld(p int) *World {
 		depth = 64
 	}
 	return &World{
-		p:     p,
-		depth: depth,
-		mail:  make([]atomic.Pointer[chan message], p*p),
-		abort: make(chan struct{}),
+		p:       p,
+		depth:   depth,
+		mail:    make([]atomic.Pointer[chan message], p*p),
+		pending: make([]atomic.Int64, p),
+		abort:   make(chan struct{}),
 	}
 }
 
-// mailbox returns the src→dst channel, creating it on first use. The
-// double-checked atomic keeps the hot path lock-free.
-func (w *World) mailbox(src, dst int) chan message {
-	cell := &w.mail[src*w.p+dst]
-	if ch := cell.Load(); ch != nil {
-		return *ch
+// mailbox returns the src→dst channel of the given stream, creating it
+// on first use. The base stream ("") lives in the p×p array with a
+// double-checked atomic fast path; tagged streams live in the sync.Map.
+func (w *World) mailbox(src, dst int, stream string) chan message {
+	if stream == "" {
+		cell := &w.mail[src*w.p+dst]
+		if ch := cell.Load(); ch != nil {
+			return *ch
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if ch := cell.Load(); ch != nil {
+			return *ch
+		}
+		ch := make(chan message, w.depth)
+		cell.Store(&ch)
+		return ch
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if ch := cell.Load(); ch != nil {
-		return *ch
+	key := mailKey{src: src, dst: dst, stream: stream}
+	if ch, ok := w.tagged.Load(key); ok {
+		return ch.(chan message)
 	}
-	ch := make(chan message, w.depth)
-	cell.Store(&ch)
-	return ch
+	ch, _ := w.tagged.LoadOrStore(key, make(chan message, w.depth))
+	return ch.(chan message)
 }
 
 // fail records the first error and wakes every blocked PE.
@@ -96,10 +137,31 @@ func (w *World) fail(err error) {
 // sub-communicator over a subset of its ranks (Sub). Rank and Size are
 // always relative to the communicator; members maps communicator ranks
 // to world ranks (nil for the world itself).
+//
+// key is the communicator's deterministic identity — derived from its
+// world-rank membership alone, so every member computes the same key
+// without negotiation — and namespaces the mailbox streams of
+// nonblocking collectives. nseq counts the distinct stream ids minted
+// on this handle, and free recycles them: a Waited operation returns
+// its stream id for the next launch, so the tagged mailbox plane stays
+// bounded by the maximum number of operations in flight at once rather
+// than growing with every launch. Under the runtime's SPMD discipline
+// every member launches AND waits its nonblocking operations in the
+// same program order, so the id sequence — and with it the (key, id)
+// stream of one logical collective — agrees on all of its PEs, and
+// channel FIFO order keeps a recycled stream's old traffic strictly
+// ahead of its new traffic on every mailbox. Corollary: two DISTINCT
+// Comm handles with the same membership (e.g. two separate Sub calls
+// over the same ranks) must not have nonblocking operations in flight
+// concurrently.
 type Comm struct {
 	w       *World
 	rank    int
 	members []int
+	key     string
+	stream  string   // mailbox stream this handle's traffic uses ("" = base)
+	nseq    int      // distinct nonblocking stream ids minted on this handle
+	free    []string // Waited stream ids available for reuse (LIFO)
 }
 
 // Comm returns the world communicator handle of the given rank.
@@ -107,7 +169,14 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.p {
 		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, w.p))
 	}
-	return &Comm{w: w, rank: rank}
+	return &Comm{w: w, rank: rank, key: "w"}
+}
+
+// withStream returns a view of the communicator whose traffic flows on
+// the given mailbox stream — the isolation mechanism of nonblocking
+// collectives and of the two-tree's concurrently streaming halves.
+func (c *Comm) withStream(stream string) *Comm {
+	return &Comm{w: c.w, rank: c.rank, members: c.members, key: c.key, stream: stream}
 }
 
 // worldRank translates a communicator rank to its world rank.
@@ -150,7 +219,13 @@ func (c *Comm) Sub(members []int) *Comm {
 	if me < 0 {
 		panic(fmt.Sprintf("dist: rank %d is not a member of the sub-communicator %v", c.rank, members))
 	}
-	return &Comm{w: c.w, rank: me, members: world}
+	var key strings.Builder
+	key.WriteString("s")
+	for _, r := range world {
+		key.WriteByte(':')
+		key.WriteString(strconv.Itoa(r))
+	}
+	return &Comm{w: c.w, rank: me, members: world, key: key.String()}
 }
 
 // Rank returns this PE's id in [0, Size) within the communicator.
@@ -167,7 +242,7 @@ func (c *Comm) Size() int {
 // send enqueues a message (or aborts with the world).
 func (c *Comm) send(dst int, m message) {
 	select {
-	case c.w.mailbox(c.worldRank(c.rank), c.worldRank(dst)) <- m:
+	case c.w.mailbox(c.worldRank(c.rank), c.worldRank(dst), c.stream) <- m:
 	case <-c.w.abort:
 		panic(errAborted)
 	}
@@ -200,7 +275,7 @@ func (c *Comm) sendScalar(dst int, v float64) {
 // Recv blocks until a tensor from src arrives (or the world aborts).
 func (c *Comm) Recv(src int) *tensor.Tensor {
 	select {
-	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank)):
+	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank), c.stream):
 		if m.t == nil {
 			panic(fmt.Sprintf("dist: world rank %d received a scalar where a tensor was expected (collective program order diverged)", c.worldRank(c.rank)))
 		}
@@ -213,7 +288,7 @@ func (c *Comm) Recv(src int) *tensor.Tensor {
 // recvScalar blocks until a scalar from src arrives.
 func (c *Comm) recvScalar(src int) float64 {
 	select {
-	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank)):
+	case m := <-c.w.mailbox(c.worldRank(src), c.worldRank(c.rank), c.stream):
 		if m.t != nil {
 			panic(fmt.Sprintf("dist: world rank %d received a tensor where a scalar was expected (collective program order diverged)", c.worldRank(c.rank)))
 		}
@@ -230,20 +305,27 @@ func (c *Comm) recvScalar(src int) float64 {
 //
 // Large buffers run the bandwidth-optimal ring reduce-scatter +
 // allgather (2(p−1) chunk hops, the algorithm the analytic oracle
-// prices); small ones run a binomial reduce + broadcast tree (2⌈log p⌉
-// latency-bound hops). Both have a fixed, documented association order
-// (internal/collective/order.go) independent of seeds and scheduling,
-// so repeated runs are bit-identical and value parity vs the sequential
-// baseline holds within the reassociation tolerance (§4.5.2).
+// prices); small-but-not-tiny ones run the pipelined double binary tree
+// (both halves streaming concurrently at full bandwidth in O(log p + k)
+// rounds); tiny ones run a binomial reduce + broadcast tree (2⌈log p⌉
+// latency-bound hops). All three have a fixed, documented association
+// order (internal/collective/order.go, twotree.go) independent of seeds
+// and scheduling, so repeated runs are bit-identical and value parity
+// vs the sequential baseline holds within the reassociation tolerance
+// (§4.5.2).
 func (c *Comm) AllReduceSum(t *tensor.Tensor) *tensor.Tensor {
 	p := c.Size()
 	if p == 1 {
 		return t
 	}
-	if n := t.Len(); n >= ringMinElems && n >= p {
+	switch n := t.Len(); {
+	case n >= ringMinElems && n >= p:
 		return c.ringAllReduce(t)
+	case n >= twoTreeMinElems:
+		return c.twoTreeAllReduce(t)
+	default:
+		return c.treeAllReduce(t)
 	}
-	return c.treeAllReduce(t)
 }
 
 // ringAllReduce reduces t in place over the flat element range: a
@@ -324,6 +406,80 @@ reduce:
 		}
 	}
 	return acc
+}
+
+// twoTreeAllReduce reduces a small-but-not-tiny buffer over the
+// pipelined double binary tree (collective.TwoTreeParents): the flat
+// element range splits into two near-equal halves, each half streams up
+// and down its own tree in collective.TwoTreeChunks chunks, and the two
+// trees run concurrently — tree 1 on a derived mailbox stream and its
+// own goroutine — so a PE that is a leaf of one tree (doing no
+// reduction work there) is typically interior in the other. Every
+// element's sum is associated by its tree's shape alone ((own + child₀)
+// + child₁ at each interior node), so results are bit-identical across
+// runs and ranks like the ring and binomial paths.
+func (c *Comm) twoTreeAllReduce(t *tensor.Tensor) *tensor.Tensor {
+	data := t.Data()
+	half := (len(data) + 1) / 2
+	trees := collective.TwoTreeParents(c.Size())
+	done := make(chan struct{})
+	var t2panic any
+	go func() {
+		defer close(done)
+		defer func() { t2panic = recover() }()
+		c.withStream(c.stream+"/t2").treeHalfAllReduce(data[half:], trees[1])
+	}()
+	c.treeHalfAllReduce(data[:half], trees[0])
+	<-done
+	if t2panic != nil {
+		panic(t2panic)
+	}
+	return t
+}
+
+// treeHalfAllReduce reduces buf — one half of a two-tree buffer — up
+// the tree given by parents and broadcasts the result back down it, in
+// pipelined chunks. The reduction accumulates in place: after the up
+// phase an interior rank's chunk region holds its subtree sum, and the
+// down phase overwrites it with the root's total.
+func (c *Comm) treeHalfAllReduce(buf []float64, parents []int) {
+	if len(buf) == 0 {
+		return // every rank sees the same length, so all skip together
+	}
+	par := parents[c.rank]
+	kids := collective.TreeChildren(parents)[c.rank]
+	k := min(collective.TwoTreeChunks, len(buf))
+	offs, sizes := collective.Chunks(len(buf), k)
+	for ci := 0; ci < k; ci++ {
+		region := buf[offs[ci] : offs[ci]+sizes[ci]]
+		for _, kid := range kids {
+			in := c.Recv(kid).Data()
+			for i, v := range in {
+				region[i] += v
+			}
+		}
+		if par >= 0 {
+			c.sendOwned(par, chunkCopy(buf, offs[ci], sizes[ci]))
+		}
+	}
+	for ci := 0; ci < k; ci++ {
+		region := buf[offs[ci] : offs[ci]+sizes[ci]]
+		var in *tensor.Tensor
+		if par >= 0 {
+			in = c.Recv(par)
+			copy(region, in.Data())
+		}
+		for i, kid := range kids {
+			if in != nil && i == len(kids)-1 {
+				// The received buffer is dead here: forward it to the
+				// last child instead of cloning (the copy discipline of
+				// the other collectives).
+				c.sendOwned(kid, in)
+				continue
+			}
+			c.sendOwned(kid, chunkCopy(buf, offs[ci], sizes[ci]))
+		}
+	}
 }
 
 // AllReduceScalar sums one float64 across all PEs on the binomial tree,

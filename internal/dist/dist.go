@@ -135,6 +135,13 @@ func runWorld(p, resultRank int, body func(c *Comm) ([]float64, error)) ([]float
 				w.fail(fmt.Errorf("dist: PE %d: %w", rank, err))
 				return
 			}
+			// A dropped Handle means a nonblocking collective's result was
+			// never synchronized back — silently proceeding would train on
+			// unreduced gradients, so the misuse fails the world loudly.
+			if n := w.pending[rank].Load(); n != 0 {
+				w.fail(fmt.Errorf("dist: PE %d finished with %d nonblocking collective handle(s) dropped without Wait", rank, n))
+				return
+			}
 			results[rank] = losses
 		}(r)
 	}
@@ -200,22 +207,4 @@ func accumulateGrads(dst *nn.Grads, g nn.Grads) {
 	dst.B = addInto(dst.B, g.B)
 	dst.Gamma = addInto(dst.Gamma, g.Gamma)
 	dst.Beta = addInto(dst.Beta, g.Beta)
-}
-
-// allReduceGrads sums every present field of a replicated layer's
-// gradient across the communicator — the cross-group exchange of both
-// grid steps.
-func allReduceGrads(c *Comm, gr *nn.Grads) {
-	if gr.W != nil {
-		gr.W = c.AllReduceSum(gr.W)
-	}
-	if gr.B != nil {
-		gr.B = c.AllReduceSum(gr.B)
-	}
-	if gr.Gamma != nil {
-		gr.Gamma = c.AllReduceSum(gr.Gamma)
-	}
-	if gr.Beta != nil {
-		gr.Beta = c.AllReduceSum(gr.Beta)
-	}
 }

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"paradl/internal/nn"
+	"paradl/internal/tensor"
+)
+
+// defaultBucketBytes is the default gradient-bucket capacity (DDP-style
+// size bound): gradients queue as their producing layer's backward
+// completes, and a bucket's exchange launches the moment the queued
+// bytes reach this bound, overlapping the backward compute of the
+// layers below. 256 KiB coalesces the whole gradient set of the toy zoo
+// into a single ring allreduce while still splitting real-model-scale
+// exchanges into multiple in-flight buckets.
+const defaultBucketBytes = 256 << 10
+
+// gradExchanger is the bucketed gradient exchange every engine's
+// cross-group allreduce goes through. Gradients are pushed in backward
+// order (layer l's gradients as soon as its backward completes); full
+// buckets are packed into one flat buffer and summed with a single
+// allreduce — nonblocking (IAllReduceSum, overlapping the backward of
+// the layers below) when overlap is on, blocking at the same flush
+// points when it is off; the tail bucket at drain runs blocking in both
+// modes since no compute remains to hide behind. Both modes pack
+// identical buckets and run identical collectives, so their results are
+// bit-identical — the overlap A/B the determinism suite pins — and
+// drain() writes every reduced value back into the gradient tensor it
+// came from, so engine code downstream is oblivious to the bucketing.
+type gradExchanger struct {
+	c           *Comm
+	overlap     bool
+	bucketBytes int
+	queued      []*tensor.Tensor
+	queuedBytes int
+	flights     []flight
+}
+
+// flight is one launched bucket: the flat buffer in the collective (or
+// its blocking-mode result) plus the gradient tensors to unpack into.
+type flight struct {
+	flat *tensor.Tensor
+	ts   []*tensor.Tensor
+	h    *Handle // nil when the exchange already ran blocking at flush
+}
+
+// newGradExchanger returns the exchanger of one PE for the given
+// communicator, or nil when the communicator is singleton — gradients
+// are already global there, exactly as the blocking AllReduceSum's p=1
+// identity made them before.
+func newGradExchanger(c *Comm, cfg *runConfig) *gradExchanger {
+	if c.Size() == 1 {
+		return nil
+	}
+	bb := cfg.bucketBytes
+	if bb < 1 {
+		bb = 1 // flush every tensor by itself
+	}
+	return &gradExchanger{c: c, overlap: cfg.overlap, bucketBytes: bb}
+}
+
+// push queues gradient tensors for exchange, flushing the bucket
+// whenever the size bound is reached. Nil tensors (absent fields of
+// nn.Grads) are skipped. The tensors must be dead to the caller until
+// drain returns: the exchange owns their values and rewrites their data
+// in place with the reduced result.
+func (ex *gradExchanger) push(ts ...*tensor.Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		ex.queued = append(ex.queued, t)
+		ex.queuedBytes += 8 * t.Len()
+		if ex.queuedBytes >= ex.bucketBytes {
+			ex.flush(ex.overlap)
+		}
+	}
+}
+
+// pushGrads queues every present field of one layer's gradients.
+func (ex *gradExchanger) pushGrads(gr *nn.Grads) {
+	ex.push(gr.W, gr.B, gr.Gamma, gr.Beta)
+}
+
+// flush launches the exchange of the queued bucket — nonblocking when
+// async is set (a mid-backward bucket with compute left to hide
+// behind), blocking otherwise. Either way the packed buffer and the
+// collective are identical, so the two modes cannot diverge by a bit.
+// Single-tensor buckets skip the pack/unpack copies and exchange the
+// tensor directly; larger buckets are packed into one flat buffer in
+// push order, so the whole bucket costs one collective instead of one
+// per tensor.
+func (ex *gradExchanger) flush(async bool) {
+	if len(ex.queued) == 0 {
+		return
+	}
+	ts := ex.queued
+	ex.queued = nil
+	n := ex.queuedBytes / 8
+	ex.queuedBytes = 0
+	flat := ts[0]
+	if len(ts) > 1 {
+		buf := make([]float64, n)
+		o := 0
+		for _, t := range ts {
+			o += copy(buf[o:], t.Data())
+		}
+		flat = tensor.FromSlice(buf, n)
+	}
+	fl := flight{ts: ts}
+	if async {
+		fl.h = ex.c.IAllReduceSum(flat)
+	} else {
+		fl.flat = ex.c.AllReduceSum(flat)
+	}
+	ex.flights = append(ex.flights, fl)
+}
+
+// drain flushes the tail bucket — blocking: at the pre-step barrier
+// there is no backward compute left to overlap, so a worker goroutine
+// would be pure overhead — waits every in-flight collective, and
+// unpacks each reduced bucket back into its gradient tensors.
+func (ex *gradExchanger) drain() {
+	ex.flush(false)
+	for _, fl := range ex.flights {
+		res := fl.flat
+		if fl.h != nil {
+			res = fl.h.Wait()
+		}
+		if len(fl.ts) == 1 {
+			if res != fl.ts[0] {
+				copy(fl.ts[0].Data(), res.Data())
+			}
+			continue
+		}
+		d := res.Data()
+		o := 0
+		for _, t := range fl.ts {
+			td := t.Data()
+			copy(td, d[o:o+len(td)])
+			o += len(td)
+		}
+	}
+	ex.flights = ex.flights[:0]
+}

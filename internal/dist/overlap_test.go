@@ -1,0 +1,253 @@
+package dist
+
+// Overlap determinism suite (collective level): nonblocking collectives
+// must be bit-identical to their blocking counterparts at every width
+// and on every algorithm path (binomial, two-tree, ring), including
+// sub-communicators, several operations in flight at once, and the
+// Handle misuse contracts. The training-level half of the suite —
+// overlap-on vs overlap-off runs pinned loss-bit-identical — lives in
+// overlap_train_test.go.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"paradl/internal/tensor"
+)
+
+// TestOverlapAllReduceBitIdentical: IAllReduceSum across widths and all
+// three algorithm regimes returns exactly the blocking AllReduceSum's
+// bits on every rank.
+func TestOverlapAllReduceBitIdentical(t *testing.T) {
+	for _, p := range collectiveWidths {
+		for _, n := range allReduceSizes {
+			blocking := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.AllReduceSum(rankInput(c.Rank(), n))
+			})
+			overlapped := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.IAllReduceSum(rankInput(c.Rank(), n)).Wait()
+			})
+			for rank := 0; rank < p; rank++ {
+				if !overlapped[rank].AllClose(blocking[rank], 0) {
+					t.Fatalf("p=%d n=%d rank %d: nonblocking allreduce differs from blocking", p, n, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapTwoTreeHubParity pins the two-tree association order to
+// the reference ascending-rank order across its whole size window,
+// including uneven halves and chunk tails (255 = 128+127 halves).
+func TestOverlapTwoTreeHubParity(t *testing.T) {
+	const reassocTol = 1e-12
+	for _, p := range collectiveWidths {
+		for _, n := range []int{twoTreeMinElems, twoTreeSize, ringMinElems - 1} {
+			want := hubSum(p, n)
+			got := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+				return c.IAllReduceSum(rankInput(c.Rank(), n)).Wait()
+			})
+			if d := got[0].MaxDiff(want); d > reassocTol {
+				t.Fatalf("p=%d n=%d: two-tree vs hub order differs by %.3e", p, n, d)
+			}
+			for rank := 1; rank < p; rank++ {
+				if !got[rank].AllClose(got[0], 0) {
+					t.Fatalf("p=%d n=%d: rank %d diverged", p, n, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapScatterGatherBitIdentical: the nonblocking reduce-scatter
+// and allgather match their blocking counterparts bit for bit,
+// including remainder-bearing shard splits.
+func TestOverlapScatterGatherBitIdentical(t *testing.T) {
+	for _, p := range collectiveWidths {
+		rows, cols := p+2, 3
+		n := rows * cols
+		blockRS := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+			return c.ReduceScatterSum(rankInput(c.Rank(), n).Reshape(rows, cols), 0)
+		})
+		overlapRS := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+			return c.IReduceScatterSum(rankInput(c.Rank(), n).Reshape(rows, cols), 0).Wait()
+		})
+		blockAG := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+			return c.AllGather(rankInput(c.Rank(), 2*(c.Rank()+1)).Reshape(c.Rank()+1, 2), 0)
+		})
+		overlapAG := eachRank(t, p, func(c *Comm) *tensor.Tensor {
+			return c.IAllGather(rankInput(c.Rank(), 2*(c.Rank()+1)).Reshape(c.Rank()+1, 2), 0).Wait()
+		})
+		for rank := 0; rank < p; rank++ {
+			if !overlapRS[rank].AllClose(blockRS[rank], 0) {
+				t.Fatalf("p=%d rank %d: nonblocking reduce-scatter differs", p, rank)
+			}
+			if !overlapAG[rank].AllClose(blockAG[rank], 0) {
+				t.Fatalf("p=%d rank %d: nonblocking allgather differs", p, rank)
+			}
+		}
+	}
+}
+
+// TestOverlapConcurrentOps: several nonblocking collectives in flight
+// on one communicator at once — one per algorithm regime — each land
+// the same bits as the blocking calls issued one at a time.
+func TestOverlapConcurrentOps(t *testing.T) {
+	const p = 5
+	input := func(rank, j int) *tensor.Tensor {
+		return rankInput(rank*31+j, allReduceSizes[j])
+	}
+	blocking := make([][]*tensor.Tensor, p)
+	eachRank(t, p, func(c *Comm) *tensor.Tensor {
+		res := make([]*tensor.Tensor, len(allReduceSizes))
+		for j := range allReduceSizes {
+			res[j] = c.AllReduceSum(input(c.Rank(), j))
+		}
+		blocking[c.Rank()] = res
+		return nil
+	})
+	overlapped := make([][]*tensor.Tensor, p)
+	eachRank(t, p, func(c *Comm) *tensor.Tensor {
+		hs := make([]*Handle, len(allReduceSizes))
+		for j := range allReduceSizes {
+			hs[j] = c.IAllReduceSum(input(c.Rank(), j))
+		}
+		res := make([]*tensor.Tensor, len(hs))
+		for j, h := range hs {
+			res[j] = h.Wait()
+		}
+		overlapped[c.Rank()] = res
+		return nil
+	})
+	for rank := 0; rank < p; rank++ {
+		for j := range allReduceSizes {
+			if !overlapped[rank][j].AllClose(blocking[rank][j], 0) {
+				t.Fatalf("rank %d op %d: concurrent nonblocking result differs from blocking", rank, j)
+			}
+		}
+	}
+}
+
+// TestOverlapSubCommunicators: the §3.6 grid layout with nonblocking
+// operations in flight on the group and the segment of each PE
+// SIMULTANEOUSLY — the exact concurrency pattern of the data+spatial
+// engine's two bucketed exchanges — still matches the blocking results.
+func TestOverlapSubCommunicators(t *testing.T) {
+	const p = 4
+	groupOf := func(rank int) []int { return []int{rank / 2 * 2, rank/2*2 + 1} }
+	segOf := func(rank int) []int { return []int{rank % 2, rank%2 + 2} }
+	type pair struct{ g, s *tensor.Tensor }
+	run := func(overlap bool) []pair {
+		w := NewWorld(p)
+		out := make([]pair, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := w.Comm(rank)
+				group, seg := c.Sub(groupOf(rank)), c.Sub(segOf(rank))
+				a := rankInput(rank, twoTreeSize)
+				b := rankInput(rank+100, ringSize)
+				if overlap {
+					hg, hs := group.IAllReduceSum(a), seg.IAllReduceSum(b)
+					out[rank] = pair{g: hg.Wait(), s: hs.Wait()}
+					return
+				}
+				out[rank] = pair{g: group.AllReduceSum(a), s: seg.AllReduceSum(b)}
+			}(r)
+		}
+		wg.Wait()
+		return out
+	}
+	blocking, overlapped := run(false), run(true)
+	for rank := 0; rank < p; rank++ {
+		if !overlapped[rank].g.AllClose(blocking[rank].g, 0) {
+			t.Fatalf("rank %d: group result differs under overlap", rank)
+		}
+		if !overlapped[rank].s.AllClose(blocking[rank].s, 0) {
+			t.Fatalf("rank %d: segment result differs under overlap", rank)
+		}
+	}
+}
+
+// TestOverlapStreamRecycling: Waited operations return their mailbox
+// stream to the launcher, so the tagged mailbox plane stays bounded by
+// the maximum number of operations in flight — not by the total number
+// of launches — across arbitrarily long runs.
+func TestOverlapStreamRecycling(t *testing.T) {
+	const p, iters = 4, 50
+	w := NewWorld(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			for i := 0; i < iters; i++ {
+				c.IAllReduceSum(rankInput(rank, ringSize)).Wait()
+			}
+			if c.nseq != 1 {
+				t.Errorf("rank %d minted %d stream ids for serial ops, want 1", rank, c.nseq)
+			}
+		}(r)
+	}
+	wg.Wait()
+	entries := 0
+	w.tagged.Range(func(any, any) bool { entries++; return true })
+	// One op in flight at a time: one stream (plus any derived two-tree
+	// stream) over O(p) ring pairs — nowhere near iters×p.
+	if entries > 4*p {
+		t.Fatalf("tagged mailbox plane grew to %d entries over %d serial ops (leak)", entries, iters)
+	}
+}
+
+// TestOverlapHandleDoubleWait: a second Wait is a no-op returning the
+// same tensor without blocking, on both real and degenerate handles.
+func TestOverlapHandleDoubleWait(t *testing.T) {
+	eachRank(t, 2, func(c *Comm) *tensor.Tensor {
+		h := c.IAllReduceSum(rankInput(c.Rank(), treeSize))
+		first := h.Wait()
+		if second := h.Wait(); second != first {
+			t.Errorf("rank %d: second Wait returned a different tensor", c.Rank())
+		}
+		return nil
+	})
+	w := NewWorld(1)
+	x := rankInput(0, 8)
+	h := w.Comm(0).IAllReduceSum(x)
+	if h.Wait() != x || h.Wait() != x {
+		t.Fatal("singleton handle must return the input on every Wait")
+	}
+}
+
+// TestOverlapDroppedHandleFails: a PE that finishes its run with a
+// launched-but-unwaited handle fails the world with a clear message —
+// a dropped handle means gradients were never synchronized.
+func TestOverlapDroppedHandleFails(t *testing.T) {
+	_, err := runWorld(2, 0, func(c *Comm) ([]float64, error) {
+		c.IAllReduceSum(rankInput(c.Rank(), treeSize)) // dropped!
+		return nil, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "without Wait") {
+		t.Fatalf("dropped handle must fail the world with a Wait message, got: %v", err)
+	}
+}
+
+// TestOverlapAbortUnblocksWait: a peer failure aborts an in-flight
+// nonblocking collective instead of deadlocking the Wait, and the root
+// cause is reported.
+func TestOverlapAbortUnblocksWait(t *testing.T) {
+	_, err := runWorld(2, 0, func(c *Comm) ([]float64, error) {
+		if c.Rank() == 0 {
+			panic("injected overlap failure")
+		}
+		h := c.IAllReduceSum(rankInput(c.Rank(), ringSize))
+		h.Wait() // must abort, not hang: rank 0 never launches its op
+		return nil, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected overlap failure") {
+		t.Fatalf("want the injected failure as the root cause, got: %v", err)
+	}
+}

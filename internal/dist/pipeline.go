@@ -53,12 +53,13 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 	losses, err := runGrid(p1, p2, resultRank, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, cfg.seed)
 		step := newStepper(cfg)
+		ex := newGradExchanger(seg, cfg)
 		st := stages[group.Rank()]
 		lastStage := group.Rank() == group.Size()-1
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataPipelineStep(group, seg, net, st, x, labels, weight, step)
+			loss := dataPipelineStep(group, seg, ex, net, st, x, labels, weight, step)
 			if lastStage {
 				// The last-stage segment sums the per-group weighted
 				// losses into the global mean loss.
@@ -100,8 +101,11 @@ func balanceStages(m *nn.Model, p int) []strategy.Range {
 // the global loss) through the group's pipeline as microbatches,
 // exchanges the accumulated stage gradients across the segment, and
 // applies this stage's optimizer step. It returns the group's weighted
-// shard loss on the last stage (0 elsewhere).
-func dataPipelineStep(c, seg *Comm, net *nn.Network, st strategy.PipelineStage, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
+// shard loss on the last stage (0 elsewhere). The stage-gradient
+// exchange is bucketed (ex): a layer's accumulated gradient is final
+// once the LAST microbatch's backward has passed it, so it enters the
+// segment exchange right there, overlapping the rest of the flush.
+func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strategy.PipelineStage, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
 	rank, p := c.Rank(), c.Size()
 	total := x.Dim(0)
 	nm := min(p, total)
@@ -151,6 +155,12 @@ func dataPipelineStep(c, seg *Comm, net *nn.Network, st strategy.PipelineStage, 
 			var g nn.Grads
 			dy, g = net.BackwardLayer(l, dy, states[mb][l-st.Start])
 			accumulateGrads(&acc[l-st.Start], g)
+			if mb == 0 && ex != nil {
+				// The reverse-order flush visits microbatch 0 last, so
+				// this layer's accumulation is complete: its exchange can
+				// launch while the flush continues below it.
+				ex.pushGrads(&acc[l-st.Start])
+			}
 		}
 		if rank > 0 {
 			c.sendOwned(rank-1, dy)
@@ -158,12 +168,12 @@ func dataPipelineStep(c, seg *Comm, net *nn.Network, st strategy.PipelineStage, 
 	}
 
 	// Cross-group gradient exchange (§4.5.1, segmented): stage k of
-	// every group owns the same layers, so segment k's allreduce sums
-	// the per-group contributions into the global mean gradient. With
-	// p1=1 — pure pipeline — the segment is singleton and the exchange
-	// degenerates to the identity.
-	for i := range acc {
-		allReduceGrads(seg, &acc[i])
+	// every group owns the same layers, so segment k's buckets sum the
+	// per-group contributions into the global mean gradient; drain is
+	// the pre-step barrier. With p1=1 — pure pipeline — the segment is
+	// singleton, ex is nil, and there is no exchange at all.
+	if ex != nil {
+		ex.drain()
 	}
 
 	// This stage owns its layers exclusively within the group: step them

@@ -20,15 +20,26 @@ type runConfig struct {
 	// reduce-scatter (see tensorpar.go); kept as a knob so the two
 	// exchange paths can be compared for parity.
 	arInputGrad bool
+	// overlap launches each gradient bucket's allreduce nonblocking as
+	// soon as the bucket fills during the backward pass, overlapping the
+	// exchange with the backward compute of the layers below (the DDP
+	// scheme); off runs the identical bucketed exchange blocking at the
+	// same flush points, so the two modes are bit-identical and A/B
+	// comparable.
+	overlap bool
+	// bucketBytes bounds the gradient bucket size (bytes of float64
+	// payload) at which an exchange launches.
+	bucketBytes int
 }
 
 // Option customizes a Run call.
 type Option func(*runConfig)
 
 // defaultConfig returns the documented defaults: seed 1, plain SGD at
-// lr 0.01, no momentum, no hook, footnote-2 reduce-scatter enabled.
+// lr 0.01, no momentum, no hook, footnote-2 reduce-scatter enabled,
+// backward/communication overlap on with 256 KiB gradient buckets.
 func defaultConfig() runConfig {
-	return runConfig{seed: 1, lr: 0.01}
+	return runConfig{seed: 1, lr: 0.01, overlap: true, bucketBytes: defaultBucketBytes}
 }
 
 // WithSeed sets the parameter-initialization seed (default 1). Every PE
@@ -53,6 +64,23 @@ func WithMomentum(mu float64) Option { return func(c *runConfig) { c.momentum = 
 func WithIterHook(hook func(iter int, loss float64)) Option {
 	return func(c *runConfig) { c.hook = hook }
 }
+
+// WithOverlap toggles backward/communication overlap (default on):
+// gradient buckets launch nonblocking allreduces as the backward pass
+// produces them, hiding the exchange behind the backward compute of the
+// layers below. WithOverlap(false) runs the identical bucketed exchange
+// synchronously — losses are bit-identical either way (the determinism
+// suite pins this), so the knob exists purely for A/B timing.
+func WithOverlap(on bool) Option { return func(c *runConfig) { c.overlap = on } }
+
+// WithBucketBytes sets the gradient bucket size bound in bytes (default
+// 256 KiB): a bucket's allreduce launches as soon as the gradients
+// queued since the last flush reach this many bytes. Smaller buckets
+// start overlapping earlier but pay more per-collective overhead;
+// n <= 1 flushes every gradient tensor by itself. Bucket boundaries are
+// deterministic (backward push order and sizes only), so any value
+// keeps bit-reproducibility.
+func WithBucketBytes(n int) Option { return func(c *runConfig) { c.bucketBytes = n } }
 
 // WithInputGradAllReduce restores the pre-footnote-2 filter-parallel
 // backward: the input gradient is Allreduced to full width even where

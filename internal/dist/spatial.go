@@ -243,10 +243,14 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, cfg.seed)
 		step := newStepper(cfg)
+		// Two bucketed exchanges per PE: trunk conv gradients sum over
+		// the whole world, head gradients over the segment.
+		exWorld := newGradExchanger(world, cfg)
+		exSeg := newGradExchanger(seg, cfg)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataSpatialStep(world, group, seg, net, x, labels, weight, plans, fcStart, step)
+			loss := dataSpatialStep(world, group, seg, exWorld, exSeg, net, x, labels, weight, plans, fcStart, step)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
@@ -264,8 +268,12 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 // this group's batch shard x, weighted n_g/B in the global loss. Halo
 // exchange and slab aggregation stay inside the group; trunk batch norm
 // synchronizes over the whole world, because the (group, slab) pairs
-// tile the global batch × spatial domain exactly once.
-func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, step *stepper) float64 {
+// tile the global batch × spatial domain exactly once. Both gradient
+// exchanges are bucketed: head gradients enter exSeg as the head
+// backward produces them (overlapping the whole trunk backward), trunk
+// conv gradients enter exWorld layer by layer (overlapping the backward
+// of the layers below); draining both is the pre-step barrier.
+func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, step *stepper) float64 {
 	model := net.Model
 	rank, p := group.Rank(), group.Size()
 	layers := model.Layers
@@ -336,12 +344,17 @@ func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor,
 	grads := make([]nn.Grads, g)
 	for l := g - 1; l >= fcStart; l-- {
 		if bnSync[l] {
+			// Sync-BN gradients are already global: they bypass the
+			// bucketed exchange, like the blocking path before it.
 			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
 			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 			dy = dx
 			continue
 		}
 		dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+		if exSeg != nil {
+			exSeg.pushGrads(&grads[l])
+		}
 	}
 
 	// Back into the trunk: keep only the gradient rows of this PE's slab.
@@ -356,6 +369,9 @@ func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor,
 			dxBlock := tensor.ConvBackwardData(dy, net.Params[l].W, block.Shape(), cs)
 			dw, db := tensor.ConvBackwardWeight(dy, block, net.Params[l].W.Shape(), cs)
 			grads[l] = nn.Grads{W: dw, B: db}
+			if exWorld != nil {
+				exWorld.push(dw, db)
+			}
 			dy = haloScatter(group, dxBlock, plans[l])
 		case nn.Pool:
 			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
@@ -374,22 +390,17 @@ func dataSpatialStep(world, group, seg *Comm, net *nn.Network, x *tensor.Tensor,
 		}
 	}
 
-	// Gradient exchange: trunk convolution gradients are partial sums
-	// over this PE's (batch shard, output rows) block and sum across
-	// the whole world; head gradients are identical within a group and
-	// sum across the segment; sync-BN gradients are already global.
-	for l := 0; l < fcStart; l++ {
-		if layers[l].Kind != nn.Conv {
-			continue
-		}
-		grads[l].W = world.AllReduceSum(grads[l].W)
-		grads[l].B = world.AllReduceSum(grads[l].B)
+	// Gradient exchange barrier: trunk convolution gradients are partial
+	// sums over this PE's (batch shard, output rows) block and were
+	// pushed into the world-wide bucketed exchange above; head gradients
+	// are identical within a group and were pushed into the segmented
+	// one; sync-BN gradients are already global. Draining both waits
+	// every in-flight bucket and writes the sums back in place.
+	if exWorld != nil {
+		exWorld.drain()
 	}
-	for l := fcStart; l < g; l++ {
-		if bnSync[l] {
-			continue
-		}
-		allReduceGrads(seg, &grads[l])
+	if exSeg != nil {
+		exSeg.drain()
 	}
 	step.stepNet(net, grads)
 	return seg.AllReduceScalar(loss * weight)

@@ -46,6 +46,7 @@ func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, lab
 	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, cfg.seed)
 		step := newStepper(cfg)
+		ex := newGradExchanger(seg, cfg)
 		shards, err := filterShards(net, group.Rank(), p2)
 		if err != nil {
 			return nil, err
@@ -53,7 +54,7 @@ func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, lab
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataFilterStep(group, seg, net, shards, rsOK, x, labels, weight, step)
+			loss := dataFilterStep(group, seg, ex, net, shards, rsOK, x, labels, weight, step)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
@@ -158,7 +159,12 @@ func shardGrad(dy *tensor.Tensor, sh *weightShard, group *Comm) *tensor.Tensor {
 // intermediate ReLUs (sliced against the matching slice of their stored
 // input) and is consumed by the sharded layer below without ever
 // materializing the full tensor.
-func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
+//
+// The cross-group exchange is bucketed (ex): each sharded layer's
+// weight/bias gradients are pushed the moment its backward completes,
+// so with overlap on the segment allreduce of layer l hides behind the
+// backward compute of the layers below it.
+func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
 	layers := net.Model.Layers
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
@@ -209,6 +215,9 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, rs
 			}
 			dw, db := tensor.ConvBackwardWeight(dySh, xl, sh.w.Shape(), cs)
 			shardGrads[l] = weightShard{w: dw, b: db}
+			if ex != nil {
+				ex.push(dw, db)
+			}
 			if l > 0 {
 				// The bottom layer has no consumer for its input gradient:
 				// skip the data backward and its group-wide exchange.
@@ -225,6 +234,9 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, rs
 			}
 			dxPart, dw, db := tensor.FCBackward(dySh, flat, sh.w, xl.Shape())
 			shardGrads[l] = weightShard{w: dw, b: db}
+			if ex != nil {
+				ex.push(dw, db)
+			}
 			if l > 0 {
 				dy, dySliced = exchangeInputGrad(group, dxPart, rsOK[l])
 			}
@@ -247,20 +259,18 @@ func dataFilterStep(group, seg *Comm, net *nn.Network, shards []*weightShard, rs
 
 	// Cross-group gradient exchange (§4.5.1, segmented): every shard
 	// gradient is this group's batch-shard contribution to the global
-	// mean gradient and sums over the segment; within a group the
-	// exchange is free (filter shards are exact for their own filters).
-	// No other parameters need traffic: every Conv/FC is sharded, the
-	// parameterless layers contribute empty grads, and BN — the only
-	// replicated parameterized layer — is segment-synchronized whenever
-	// the segment is wider than one, so its gradients are already
-	// global. With p1=1 — pure filter — even the segment allreduce
-	// degenerates to the identity.
-	for l := range shards {
-		if shards[l] == nil {
-			continue
-		}
-		shardGrads[l].w = seg.AllReduceSum(shardGrads[l].w)
-		shardGrads[l].b = seg.AllReduceSum(shardGrads[l].b)
+	// mean gradient and sums over the segment, in the size-bounded
+	// buckets pushed above as each layer's backward completed — drain is
+	// the barrier that synchronizes every in-flight bucket before the
+	// optimizer step. Within a group the exchange is free (filter shards
+	// are exact for their own filters). No other parameters need
+	// traffic: every Conv/FC is sharded, the parameterless layers
+	// contribute empty grads, and BN — the only replicated parameterized
+	// layer — is segment-synchronized whenever the segment is wider than
+	// one, so its gradients are already global. With p1=1 — pure filter
+	// — the segment is singleton and ex is nil: no exchange at all.
+	if ex != nil {
+		ex.drain()
 	}
 	step.stepNet(net, grads)
 	for l := range shards {

@@ -29,10 +29,16 @@ type RuntimeRow struct {
 	P        int
 	P1, P2   int
 	// MeasuredSec is the real wall time of one training iteration under
-	// internal/dist on the toy model.
+	// internal/dist on the toy model with nonblocking backward/comm
+	// overlap at the toy A/B bucket size (dist.BenchOverlapBucketBytes).
 	MeasuredSec float64
 	// MeasuredOverhead = MeasuredSec / sequential MeasuredSec.
 	MeasuredOverhead float64
+	// BlockingSec / BlockingOverhead re-measure the same plan with the
+	// identical buckets exchanged synchronously (dist.WithOverlap(false))
+	// — the A/B baseline, loss-identical to the overlapped run.
+	BlockingSec      float64
+	BlockingOverhead float64
 	// ProjectedOverhead = projected iteration total at width P over the
 	// projected serial iteration total, from the analytic oracle.
 	ProjectedOverhead float64
@@ -82,13 +88,17 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 	m := model.TinyCNNNoBN()
 	batches := data.Toy(m, int64(runtimeIters*runtimeBatch)).Batches(runtimeIters, runtimeBatch)
 
-	runPlan := func(pl dist.Plan) func() error {
+	// Both overlap columns pin the toy A/B bucket size: at the 256 KiB
+	// default no toy-scale bucket ever fills mid-backward, so the on/off
+	// pair would time identical executions (see BenchOverlapBucketBytes).
+	runPlan := func(pl dist.Plan, overlap bool) func() error {
 		return func() error {
-			_, err := dist.Run(m, batches, pl, dist.WithSeed(runtimeSeed), dist.WithLR(runtimeLR))
+			_, err := dist.Run(m, batches, pl, dist.WithSeed(runtimeSeed), dist.WithLR(runtimeLR),
+				dist.WithOverlap(overlap), dist.WithBucketBytes(dist.BenchOverlapBucketBytes))
 			return err
 		}
 	}
-	seqSec, err := timeRun(runPlan(dist.Plan{Strategy: core.Serial}))
+	seqSec, err := timeRun(runPlan(dist.Plan{Strategy: core.Serial}, true))
 	if err != nil {
 		return nil, err
 	}
@@ -133,9 +143,14 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 		)
 	}
 
-	rows := []RuntimeRow{{Strategy: core.Serial, P: 1, MeasuredSec: seqSec, MeasuredOverhead: 1, ProjectedOverhead: 1}}
+	rows := []RuntimeRow{{
+		Strategy: core.Serial, P: 1,
+		MeasuredSec: seqSec, MeasuredOverhead: 1,
+		BlockingSec: seqSec, BlockingOverhead: 1,
+		ProjectedOverhead: 1,
+	}}
 	for _, c := range cands {
-		sec, err := timeRun(runPlan(c))
+		sec, err := timeRun(runPlan(c, true))
 		if err != nil {
 			// Only a Table 3 scaling limit legitimately drops a row; any
 			// other failure (a runtime bug, a wedged collective) must
@@ -144,6 +159,10 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 				continue
 			}
 			return nil, fmt.Errorf("report: measuring %v at p=%d: %w", c.Strategy, p, err)
+		}
+		blockSec, err := timeRun(runPlan(c, false))
+		if err != nil {
+			return nil, fmt.Errorf("report: measuring %v at p=%d with overlap off: %w", c.Strategy, p, err)
 		}
 		p1, p2 := 0, 0
 		if c.Strategy == core.DataFilter || c.Strategy == core.DataSpatial {
@@ -160,6 +179,8 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 			P2:                p2,
 			MeasuredSec:       sec,
 			MeasuredOverhead:  sec / seqSec,
+			BlockingSec:       blockSec,
+			BlockingOverhead:  blockSec / seqSec,
 			ProjectedOverhead: proj.Iter().Total() / serialIter,
 		})
 	}
@@ -173,16 +194,17 @@ func (e *Env) WriteRuntimeOverhead(w io.Writer, p int) error {
 		return err
 	}
 	fmt.Fprintf(w, "Measured vs projected strategy overhead — %s, global batch %d, p=%d\n", "tinycnn-nobn", runtimeBatch, p)
-	fmt.Fprintf(w, "(overhead = iteration time / sequential iteration time; measured side is the\n real internal/dist runtime at toy scale, projected side is the analytic oracle)\n")
+	fmt.Fprintf(w, "(overhead = iteration time / sequential iteration time; measured side is the\n real internal/dist runtime at toy scale — overlap: nonblocking bucketed gradient\n exchange, blocking: the same exchange synchronous — projected side is the oracle)\n")
 	tw := newTable(w)
-	fmt.Fprintln(tw, "strategy\tgrid\tmeasured ms/iter\tmeasured overhead\tprojected overhead")
+	fmt.Fprintln(tw, "strategy\tgrid\toverlap ms/iter\tblocking ms/iter\tmeasured overhead\tblocking overhead\tprojected overhead")
 	for _, r := range rows {
 		grid := fmt.Sprintf("p=%d", r.P)
 		if r.P1 > 0 {
 			grid = fmt.Sprintf("%d×%d", r.P1, r.P2)
 		}
-		fmt.Fprintf(tw, "%v\t%s\t%.2f\t%.2f×\t%.2f×\n",
-			r.Strategy, grid, r.MeasuredSec*1e3, r.MeasuredOverhead, r.ProjectedOverhead)
+		fmt.Fprintf(tw, "%v\t%s\t%.2f\t%.2f\t%.2f×\t%.2f×\t%.2f×\n",
+			r.Strategy, grid, r.MeasuredSec*1e3, r.BlockingSec*1e3,
+			r.MeasuredOverhead, r.BlockingOverhead, r.ProjectedOverhead)
 	}
 	return tw.Flush()
 }

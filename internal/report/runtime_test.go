@@ -26,6 +26,9 @@ func TestRuntimeOverheadRows(t *testing.T) {
 		if r.MeasuredSec <= 0 || r.MeasuredOverhead <= 0 || r.ProjectedOverhead <= 0 {
 			t.Fatalf("%v: non-positive measurement %+v", r.Strategy, r)
 		}
+		if r.BlockingSec <= 0 || r.BlockingOverhead <= 0 {
+			t.Fatalf("%v: missing blocking (overlap=off) measurement %+v", r.Strategy, r)
+		}
 	}
 	// Every pure strategy admits p=2 on the toy model.
 	for _, s := range []core.Strategy{core.Data, core.Spatial, core.Filter, core.Channel, core.Pipeline} {

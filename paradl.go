@@ -170,6 +170,17 @@ func WithIterHook(hook func(iter int, loss float64)) TrainOption { return dist.W
 // reduce-scatter); it exists for A/B parity and overhead comparisons.
 func WithInputGradAllReduce() TrainOption { return dist.WithInputGradAllReduce() }
 
+// WithOverlap toggles backward/communication overlap (default on):
+// gradient buckets launch nonblocking allreduces as the backward pass
+// produces them, hiding the exchange behind the remaining backward
+// compute. Losses are bit-identical with overlap on or off; the knob
+// exists for A/B timing comparisons.
+func WithOverlap(on bool) TrainOption { return dist.WithOverlap(on) }
+
+// WithBucketBytes sets the gradient-bucket size bound in bytes (default
+// 256 KiB) at which an overlapped exchange launches.
+func WithBucketBytes(n int) TrainOption { return dist.WithBucketBytes(n) }
+
 // Train executes a real training run (actual forward/backward/SGD
 // arithmetic on in-process PEs) under the given execution plan — the
 // single entry point of the measured runtime. The strategy is a
