@@ -13,6 +13,7 @@
 //	paradl -calibrate
 //	paradl -train ds:2x2
 //	paradl -train dp:2x3
+//	paradl -train data:4 -model tinyresnet
 package main
 
 import (
@@ -48,24 +49,30 @@ func main() {
 		findings    = flag.Bool("findings", false, "report detected limitations/bottlenecks (Table 6)")
 		calibrate   = flag.Bool("calibrate", false, "re-derive α/β from fabric benchmarks before projecting")
 		measured    = flag.Bool("measured", false, "run the REAL toy-scale runtime (internal/dist) at -gpus PEs and print measured vs projected strategy overhead")
-		train       = flag.String("train", "", "execute a plan (e.g. data:4, ds:2x2, dp:2x3) for REAL on the tiny zoo and print the value-parity table vs sequential SGD")
+		train       = flag.String("train", "", "execute a plan (e.g. data:4, ds:2x2, dp:2x3) for REAL and print the value-parity table vs sequential SGD; -model picks the toy zoo model (default tinycnn-nobn; tinyresnet runs the residual DAG)")
 		overlap     = flag.String("overlap", "on", "with -train: backward/communication overlap, on|off (losses are bit-identical either way; off runs the blocking A/B baseline)")
 	)
 	flag.Parse()
 
 	if *measured || *train != "" {
-		// -measured and -train run FIXED toy workloads (tinycnn-nobn,
-		// global batch 8); silently dropping projection flags would let
-		// a user believe they measured the model they named.
+		// -measured runs a FIXED toy workload (tinycnn-nobn, global
+		// batch 8) and -train a fixed toy batch schedule; silently
+		// dropping projection flags would let a user believe they
+		// measured the model they named. -train DOES honour -model (a
+		// zoo lookup: tinyresnet exercises the DAG executor).
 		mode, keep := "-measured", " (only -gpus selects the width)"
 		if *train != "" {
-			mode, keep = "-train", " (the plan selects strategy and widths)"
+			mode, keep = "-train", " (the plan selects strategy and widths; -model picks the toy zoo model)"
 		}
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "model", "strategy", "batch", "batch-global", "p1", "p2", "segments", "phi", "advise", "findings", "calibrate":
+			case "strategy", "batch", "batch-global", "p1", "p2", "segments", "phi", "advise", "findings", "calibrate":
 				conflict = append(conflict, "-"+f.Name)
+			case "model":
+				if *measured {
+					conflict = append(conflict, "-"+f.Name)
+				}
 			case "gpus", "measured":
 				if *train != "" {
 					conflict = append(conflict, "-"+f.Name)
@@ -78,24 +85,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	overlapSet := false
-	flag.Visit(func(f *flag.Flag) { overlapSet = overlapSet || f.Name == "overlap" })
+	overlapSet, modelSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		overlapSet = overlapSet || f.Name == "overlap"
+		modelSet = modelSet || f.Name == "model"
+	})
 	if overlapSet && *train == "" {
 		fmt.Fprintln(os.Stderr, "paradl: -overlap selects the real runtime's exchange mode and requires -train")
 		os.Exit(1)
 	}
+	trainModel := trainDefaultModel
+	if modelSet {
+		trainModel = *modelName
+	}
 
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap); err != nil {
+		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap, trainModel); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
-	phi float64, advise, findings, calibrate, measured bool, train, overlap string) error {
+	phi float64, advise, findings, calibrate, measured bool, train, overlap, trainModel string) error {
 	if train != "" {
-		return runTrain(os.Stdout, train, overlap)
+		return runTrain(os.Stdout, train, overlap, trainModel)
 	}
 	if measured {
 		// The real runtime executes on this host, so widths stay toy
@@ -219,24 +233,29 @@ func printFindings(pr *core.Projection) {
 	}
 }
 
-// The fixed -train workload: the tiny zoo model every strategy admits,
-// at toy scale so the run finishes in milliseconds on one host.
+// The fixed -train workload schedule: toy scale so the run finishes in
+// milliseconds on one host. The model comes from the zoo (-model; the
+// default admits every strategy, tinyresnet exercises the DAG
+// executor), bounded to toy parameter counts so the CLI cannot be
+// pointed at an hours-long ImageNet-scale run by accident.
 const (
-	trainBatch = 8
-	trainIters = 4
-	trainSeed  = 42
-	trainLR    = 0.05
-	trainTol   = 1e-6
+	trainDefaultModel = "tinycnn-nobn"
+	trainBatch        = 8
+	trainIters        = 4
+	trainSeed         = 42
+	trainLR           = 0.05
+	trainTol          = 1e-6
+	trainMaxParams    = 1 << 20
 )
 
-// runTrain executes planStr for real (internal/dist) on the tiny zoo
-// and prints the per-iteration value-parity table vs sequential SGD —
-// the §4.5.2 methodology as a CLI one-liner. A parity violation is an
-// error: the command doubles as a runtime smoke test. overlap ("on" or
-// "off") selects the gradient-exchange mode, so the backward/comm
-// overlap A/B is runnable from the CLI; both modes must print the same
-// losses bit for bit.
-func runTrain(w io.Writer, planStr, overlap string) error {
+// runTrain executes planStr for real (internal/dist) on a toy zoo
+// model and prints the per-iteration value-parity table vs sequential
+// SGD — the §4.5.2 methodology as a CLI one-liner. A parity violation
+// is an error: the command doubles as a runtime smoke test. overlap
+// ("on" or "off") selects the gradient-exchange mode, so the
+// backward/comm overlap A/B is runnable from the CLI; both modes must
+// print the same losses bit for bit.
+func runTrain(w io.Writer, planStr, overlap, modelName string) error {
 	if overlap != "on" && overlap != "off" {
 		return fmt.Errorf("-overlap must be on or off, got %q", overlap)
 	}
@@ -244,7 +263,14 @@ func runTrain(w io.Writer, planStr, overlap string) error {
 	if err != nil {
 		return err
 	}
-	m := model.TinyCNNNoBN()
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	if p := m.Params(); p > trainMaxParams {
+		return fmt.Errorf("-train is toy-scale: model %q has %d parameters (> %d); pick a tiny zoo model (tinyresnet|tinycnn|tinycnn-nobn|tiny3d)",
+			modelName, p, trainMaxParams)
+	}
 	batches := data.Toy(m, int64(trainIters*trainBatch)).Batches(trainIters, trainBatch)
 	// The A/B bucket size makes -overlap a real toggle at toy scale: at
 	// the 256 KiB default the toy gradients fit one drain-time bucket

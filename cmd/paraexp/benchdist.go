@@ -10,6 +10,7 @@ import (
 	"paradl/internal/data"
 	"paradl/internal/dist"
 	"paradl/internal/model"
+	"paradl/internal/nn"
 )
 
 // The benchdist experiment measures the REAL partitioned-execution
@@ -32,7 +33,10 @@ import (
 // the async launches. (At the 256 KiB default the toy gradient set fits
 // one drain-time bucket and on/off would compare identical executions.)
 type BenchCase struct {
-	Name                string `json:"name"`
+	Name string `json:"name"`
+	// Model is set when the case overrides the snapshot's default
+	// workload (e.g. the tinyresnet DAG-executor grid points).
+	Model               string `json:"model,omitempty"`
 	P                   int    `json:"p"`
 	P1                  int    `json:"p1,omitempty"`
 	P2                  int    `json:"p2,omitempty"`
@@ -95,19 +99,30 @@ func writeBenchDist(w io.Writer, iters int) error {
 		return fmt.Errorf("benchdist needs at least one iteration, got %d", iters)
 	}
 	const seed, lr = 42, 0.05
-	m := model.TinyCNNNoBN()
-	batches := data.Toy(m, int64(dist.BenchBatches*dist.BenchBatchSize)).Batches(dist.BenchBatches, dist.BenchBatchSize)
+	def := model.TinyCNNNoBN()
+	mkBatches := func(m *nn.Model) []dist.Batch {
+		return data.Toy(m, int64(dist.BenchBatches*dist.BenchBatchSize)).Batches(dist.BenchBatches, dist.BenchBatchSize)
+	}
+	defBatches := mkBatches(def)
 
 	snap := &BenchSnapshot{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Model:      m.Name,
+		Model:      def.Name,
 		BatchSize:  dist.BenchBatchSize,
 		Batches:    dist.BenchBatches,
 	}
 	for _, spec := range dist.BenchMatrix() {
 		spec := spec
+		m, batches := def, defBatches
+		if spec.Model != "" {
+			var err error
+			if m, err = model.ByName(spec.Model); err != nil {
+				return err
+			}
+			batches = mkBatches(m)
+		}
 		bc, err := measure(iters, func() error {
 			_, err := spec.Run(m, seed, batches, lr)
 			return err
@@ -115,7 +130,7 @@ func writeBenchDist(w io.Writer, iters int) error {
 		if err != nil {
 			return fmt.Errorf("%s p=%d: %w", spec.Name, spec.P, err)
 		}
-		bc.Name, bc.P, bc.P1, bc.P2 = spec.Name, spec.P, spec.P1, spec.P2
+		bc.Name, bc.Model, bc.P, bc.P1, bc.P2 = spec.Name, spec.Model, spec.P, spec.P1, spec.P2
 		if spec.P > 1 {
 			// The overlap A/B columns; serial has no exchange to toggle.
 			for _, on := range []bool{true, false} {

@@ -48,16 +48,24 @@ func MemoryPerPE(cfg Config, s Strategy) float64 {
 			l := &m.Layers[i]
 			items += 2*b/p1*float64(l.InSize()+l.OutSize()) + wVars*float64(l.WeightSize())/p2 + float64(l.BiasSize())
 		}
-	case Pipeline:
+	case Pipeline, DataPipeline:
 		// Each PE stores only its composite layer group; the bound is
-		// the largest group (Table 3, eq. 14).
-		groups := PartitionPipeline(cfg.Times, cfg.P)
+		// the largest group (Table 3, eq. 14). Under dp the group's
+		// stages see the batch shard B/p1.
+		stages, bEff := cfg.P, b
+		if s == DataPipeline {
+			stages = cfg.P2
+			if cfg.P1 > 1 {
+				bEff = b / float64(cfg.P1)
+			}
+		}
+		groups := PartitionPipeline(cfg.Times, stages)
 		maxItems := 0.0
 		for _, g := range groups {
 			gi := 0.0
 			for l := g.Start; l < g.End; l++ {
 				ly := &m.Layers[l]
-				gi += 2*b*float64(ly.InSize()+ly.OutSize()) + wVars*float64(ly.WeightSize()) + float64(ly.BiasSize())
+				gi += 2*bEff*float64(ly.InSize()+ly.OutSize()) + wVars*float64(ly.WeightSize()) + float64(ly.BiasSize())
 			}
 			if gi > maxItems {
 				maxItems = gi

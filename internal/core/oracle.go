@@ -150,6 +150,8 @@ func Project(cfg Config, s Strategy) (*Projection, error) {
 		projectDataFilter(cfg, pr)
 	case DataSpatial:
 		projectDataSpatial(cfg, pr)
+	case DataPipeline:
+		projectDataPipeline(cfg, pr)
 	default:
 		return nil, fmt.Errorf("core: cannot project strategy %v", s)
 	}
@@ -173,7 +175,7 @@ func validate(cfg *Config, s Strategy) error {
 	if cfg.Segments < 1 {
 		return fmt.Errorf("core: pipeline segments %d < 1", cfg.Segments)
 	}
-	if s == DataFilter || s == DataSpatial {
+	if s == DataFilter || s == DataSpatial || s == DataPipeline {
 		if cfg.P1 == 0 && cfg.P2 == 0 {
 			cfg.P2 = cfg.Sys.GPUsPerNode
 			if cfg.P2 > cfg.P {
@@ -418,11 +420,66 @@ func projectDataSpatial(cfg Config, pr *Projection) {
 	}
 }
 
+// ---- Data+Pipeline hybrid (no Table 3 entry; §3.6 composition) ----
+
+// projectDataPipeline composes the pipeline model (eq. 12–13 applied
+// inside each of the p1 data-parallel groups, on the group's batch
+// shard B/p1) with a segmented cross-group gradient exchange: stage k
+// of every group owns the same layers, so the p2 concurrent Allreduces
+// — one per stage's weight shard, over the p1 groups — share each
+// node's uplinks with contention φ, exactly like the df segmentation.
+// This is the analytic counterpart of the runtime's dp engine
+// (internal/dist runDataPipeline), which Table 3 never modeled.
+func projectDataPipeline(cfg Config, pr *Projection) {
+	// One group's workload IS the pure pipeline model: depth p2 on the
+	// batch shard B/p1 over the dataset share D/p1 (iteration count and
+	// P2P round count are ratios, so the rescale preserves eq. 12–13 —
+	// the p1=1 edge is exactly projectPipeline, pinned by test).
+	stage := cfg
+	stage.P = cfg.P2
+	stage.B = cfg.B / cfg.P1
+	if stage.B < 1 {
+		stage.B = 1
+	}
+	stage.D = cfg.D / int64(cfg.P1)
+	projectPipeline(stage, pr)
+
+	// Segmented cross-group exchange of the bottleneck stage's weights:
+	// stage k of every group owns the same layers, so the p2 concurrent
+	// per-stage Allreduces over the p1 groups share each node's uplinks
+	// with contention φ, exactly like the df segmentation.
+	if cfg.P1 > 1 {
+		maxShardW := 0.0
+		for _, g := range PartitionPipeline(cfg.Times, cfg.P2) {
+			shardW := 0.0
+			for l := g.Start; l < g.End; l++ {
+				shardW += float64(cfg.Model.Layers[l].WeightSize())
+			}
+			maxShardW = math.Max(maxShardW, shardW)
+		}
+		phi := cfg.Phi
+		if phi == 0 {
+			phi = EstimatePhi(cfg.Sys, DataPipeline, cfg.P2)
+		}
+		inter := collective.WithContention(ab(cfg.Sys, cfg.P), phi)
+		iters := float64(cfg.D) / float64(cfg.B)
+		pr.Epoch.GE = iters * collective.RingAllreduce(inter, cfg.P1, maxShardW*cfg.Sys.BytesPerItem)
+	}
+
+	limit := cfg.Model.G()
+	pr.MaxPE = cfg.B * limit
+	if cfg.P2 > limit {
+		pr.Feasible = false
+		pr.Notes = append(pr.Notes, fmt.Sprintf("P2=%d exceeds the G=%d stage limit", cfg.P2, limit))
+	}
+}
+
 // EstimatePhi returns the automatic self-contention coefficient φ
-// (§4.3): for segmented exchanges (Data+Filter), the p2 concurrent
-// Allreduces share the node's UplinksPerNode HCAs; otherwise 1.
+// (§4.3): for segmented exchanges (Data+Filter and Data+Pipeline, whose
+// p2 concurrent per-shard Allreduces share the node's UplinksPerNode
+// HCAs), φ = p2/uplinks; otherwise 1.
 func EstimatePhi(sys *cluster.System, s Strategy, segments int) float64 {
-	if s != DataFilter {
+	if s != DataFilter && s != DataPipeline {
 		return 1
 	}
 	phi := float64(segments) / float64(sys.UplinksPerNode)

@@ -488,3 +488,79 @@ func TestParseStrategyRoundTrip(t *testing.T) {
 		t.Fatal("bogus strategy must error")
 	}
 }
+
+// TestProjectDataPipeline: the dp composition — pipeline inside each
+// data-parallel group plus the segmented per-stage gradient exchange —
+// must be projectable, feasible at a sane grid, and collapse to the
+// pure pipeline model on its p1=1 edge (where no exchange remains).
+func TestProjectDataPipeline(t *testing.T) {
+	cfg := testConfig(t, model.ResNet50(), 64, 8)
+	cfg.P1, cfg.P2 = 16, 4
+	pr, err := Project(cfg, DataPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Feasible {
+		t.Fatalf("dp 16×4 on ResNet-50 should be feasible: %v", pr.Notes)
+	}
+	if pr.Epoch.GE <= 0 || pr.Epoch.PipeP2P <= 0 || pr.Epoch.FW <= 0 {
+		t.Fatalf("dp breakdown missing phases: %+v", pr.Epoch)
+	}
+
+	// p1=1 edge ≡ pure pipeline (same stages, no cross-group exchange).
+	edge := testConfig(t, model.ResNet50(), 4, 8)
+	edge.P1, edge.P2 = 1, 4
+	dp, err := Project(edge, DataPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := Project(testConfig(t, model.ResNet50(), 4, 8), Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Epoch.GE != 0 {
+		t.Fatalf("p1=1 edge must have no gradient exchange, got %g", dp.Epoch.GE)
+	}
+	if d := math.Abs(dp.Epoch.Total() - pure.Epoch.Total()); d > 1e-9*pure.Epoch.Total() {
+		t.Fatalf("dp p1=1 edge total %g != pure pipeline %g", dp.Epoch.Total(), pure.Epoch.Total())
+	}
+
+	// Default node mapping derives the grid like the other hybrids.
+	auto := testConfig(t, model.ResNet50(), 64, 8)
+	prAuto, err := Project(auto, DataPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prAuto.Config.P1*prAuto.Config.P2 != 64 || prAuto.Config.P2 < 1 {
+		t.Fatalf("default dp grid %d×%d", prAuto.Config.P1, prAuto.Config.P2)
+	}
+
+	// The stage-depth limit makes absurd grids infeasible.
+	deep := testConfig(t, model.TinyCNN(), 16, 8)
+	deep.P1, deep.P2 = 1, 16
+	prDeep, err := Project(deep, DataPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prDeep.Feasible {
+		t.Fatal("p2 > G must be infeasible")
+	}
+}
+
+// TestAdviseRanksDataPipeline: the advisor now ranks dp with the rest.
+func TestAdviseRanksDataPipeline(t *testing.T) {
+	cfg := testConfig(t, model.ResNet50(), 64, 8)
+	advs, err := Advise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range advs {
+		if a.Projection.Strategy == DataPipeline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("advisor must rank data+pipeline")
+	}
+}

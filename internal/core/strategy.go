@@ -34,9 +34,11 @@ const (
 	// data parallelism between nodes.
 	DataSpatial
 	// DataPipeline is the dp hybrid: pipeline parallelism inside groups,
-	// data parallelism between groups (§3.6 grid recipe). It is
-	// executable (internal/dist) but has no analytic Table 3 entry yet,
-	// so it is absent from Strategies() and Project rejects it.
+	// data parallelism between groups (§3.6 grid recipe). Table 3 has
+	// no entry for it; the oracle projects it by composing the pipeline
+	// model (eq. 12–13 on each group's batch shard) with a segmented
+	// per-stage gradient exchange, so the advisor can rank it next to
+	// the executable runtime's dp plans.
 	DataPipeline
 )
 
@@ -93,7 +95,8 @@ func ParseStrategy(name string) (Strategy, error) {
 }
 
 // Strategies lists all projectable strategies in the paper's Fig. 3
-// column order.
+// column order, with the dp composition (no Table 3 entry, see
+// DataPipeline) appended after the pure pipeline it extends.
 func Strategies() []Strategy {
-	return []Strategy{Data, Spatial, Filter, Channel, DataFilter, DataSpatial, Pipeline}
+	return []Strategy{Data, Spatial, Filter, Channel, DataFilter, DataSpatial, Pipeline, DataPipeline}
 }

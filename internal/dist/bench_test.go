@@ -36,14 +36,20 @@ func benchBatches(b *testing.B, m *nn.Model) []dist.Batch {
 // BENCH_dist.json's primary ns_per_op additionally tracks the default
 // configuration.
 func benchMatrix(b *testing.B, name string) {
-	m := model.TinyCNNNoBN()
-	batches := benchBatches(b, m)
 	ran := false
 	for _, spec := range dist.BenchMatrix() {
 		if spec.Name != name {
 			continue
 		}
 		ran = true
+		m := model.TinyCNNNoBN()
+		if spec.Model != "" {
+			var err error
+			if m, err = model.ByName(spec.Model); err != nil {
+				b.Fatal(err)
+			}
+		}
+		batches := benchBatches(b, m)
 		label := fmt.Sprintf("p=%d", spec.P)
 		if spec.P1 > 0 {
 			label = fmt.Sprintf("p=%dx%d", spec.P1, spec.P2)
@@ -83,3 +89,7 @@ func BenchmarkRunDataFilter(b *testing.B)  { benchMatrix(b, "data+filter") }
 func BenchmarkRunDataSpatial(b *testing.B) { benchMatrix(b, "data+spatial") }
 
 func BenchmarkRunDataPipeline(b *testing.B) { benchMatrix(b, "data+pipeline") }
+
+// BenchmarkRunTinyResNet tracks the DAG executor's overhead: the
+// residual model under a pure-data plan and the dp grid.
+func BenchmarkRunTinyResNet(b *testing.B) { benchMatrix(b, "tinyresnet") }

@@ -34,7 +34,12 @@ const (
 // WithOverlap(false) for the blocking column) are appended after the
 // workload's seed and learning rate.
 type BenchSpec struct {
-	Name   string
+	Name string
+	// Model overrides the matrix's default workload (internal/model zoo
+	// name); "" runs the harness default, tinycnn-nobn. The tinyresnet
+	// cases exercise the DAG executor (branch tap + additive merge) so
+	// graph-execution overhead stays on the perf trajectory.
+	Model  string
 	P      int
 	P1, P2 int
 	Run    func(m *nn.Model, seed int64, batches []Batch, lr float64, opts ...Option) (*Result, error)
@@ -73,5 +78,13 @@ func BenchMatrix() []BenchSpec {
 	hybrid("data+filter", core.DataFilter, [2]int{2, 2}, [2]int{4, 2})
 	hybrid("data+spatial", core.DataSpatial, [2]int{2, 2}, [2]int{4, 2})
 	hybrid("data+pipeline", core.DataPipeline, [2]int{2, 2}, [2]int{4, 2})
+	// The residual grid points: the DAG executor (tap + additive merge)
+	// under a pure-data plan and under the dp grid, on model.TinyResNet.
+	residual := func(p, p1, p2 int, pl Plan) {
+		add("tinyresnet", p, p1, p2, pl)
+		specs[len(specs)-1].Model = "tinyresnet"
+	}
+	residual(4, 0, 0, Plan{Strategy: core.Data, P1: 4})
+	residual(4, 2, 2, Plan{Strategy: core.DataPipeline, P1: 2, P2: 2})
 	return specs
 }

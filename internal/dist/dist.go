@@ -9,6 +9,11 @@
 // allgather for filter, partial-sum allreduce for channel, and stage
 // transfers for the pipeline.
 //
+// Models execute as compiled DAGs (nn.CompileGraph): ResNet-style
+// Branch/shortcut layers read their tap point and merge additively
+// into the main path under every strategy, with pipeline stage
+// boundaries snapped to cuts that keep each residual block whole.
+//
 // The package exists to close the correctness loop of §4.5.2/§5.2:
 // every strategy must reproduce the per-iteration losses of the serial
 // baseline value by value (the parity tests pin this to 1e-6), so the
@@ -69,8 +74,8 @@ type Result struct {
 // RunSequential trains a fresh replica (deterministically initialized
 // from seed) with plain SGD, one iteration per batch. It is the ground
 // truth every partitioned run is validated against. It panics on models
-// the chain-execution runtime cannot represent (see supportedModel) and
-// on malformed batches; the Run* strategy variants return the same
+// whose layer list does not compile to an executable graph and on
+// malformed batches; the Run* strategy variants return the same
 // conditions as errors.
 //
 // Deprecated: use Run with Plan{Strategy: core.Serial} (paradl.Train),
@@ -152,25 +157,14 @@ func runWorld(p, resultRank int, body func(c *Comm) ([]float64, error)) ([]float
 	return results[resultRank], nil
 }
 
-// supportedModel rejects models the executable runtime cannot
-// represent: nn.Network runs layers as a strict chain, so Branch
-// (ResNet shortcut) layers — which the oracle's size/FLOP accounting
-// handles fine — have no execution semantics here.
-func supportedModel(m *nn.Model) error {
-	for l := range m.Layers {
-		if m.Layers[l].Branch {
-			return fmt.Errorf("dist: model %q layer %d (%s) is a branch/shortcut layer; the chain-execution runtime cannot train it (use the analytical oracle for this model)",
-				m.Name, l, m.Layers[l].Name)
-		}
-	}
-	return nil
-}
-
 // checkBatches validates the common preconditions of every Run
-// function.
+// function: the model must compile to an executable graph (Branch/
+// shortcut layers included — the DAG executor runs them; only
+// malformed taps are rejected) and every batch must match the model's
+// input geometry.
 func checkBatches(m *nn.Model, batches []Batch) error {
-	if err := supportedModel(m); err != nil {
-		return err
+	if _, err := nn.CompileGraph(m); err != nil {
+		return fmt.Errorf("dist: model %q does not compile to an executable graph: %w", m.Name, err)
 	}
 	for i := range batches {
 		b := &batches[i]

@@ -5,11 +5,11 @@
 package dist_test
 
 import (
-	"fmt"
 	"math"
 	"strings"
 	"testing"
 
+	"paradl/internal/core"
 	"paradl/internal/data"
 	"paradl/internal/dist"
 	"paradl/internal/model"
@@ -305,21 +305,157 @@ func TestBatchValidation(t *testing.T) {
 	}
 }
 
-// TestBranchModelsRejected: ResNet shortcut (Branch) layers have no
-// chain-execution semantics; the runtime must refuse them with a clear
-// error rather than panicking deep inside a conv kernel.
-func TestBranchModelsRejected(t *testing.T) {
-	m := model.ResNet50()
-	x := data.ImageNet().Batch(0, 1)
-	if _, err := dist.RunData(m, seed, []dist.Batch{x}, lr, 1); err == nil ||
-		!strings.Contains(err.Error(), "branch") {
-		t.Fatalf("branch model must be rejected with a branch error, got %v", err)
+// residualPlans is the acceptance grid of the DAG executor: every
+// registry plan the ISSUE pins for model.TinyResNet.
+func residualPlans() []dist.Plan {
+	return []dist.Plan{
+		{Strategy: core.Data, P1: 4},
+		{Strategy: core.Filter, P2: 2},
+		{Strategy: core.Spatial, P2: 2},
+		{Strategy: core.Channel, P2: 2},
+		{Strategy: core.Pipeline, P2: 2},
+		{Strategy: core.DataFilter, P1: 2, P2: 2},
+		{Strategy: core.DataSpatial, P1: 2, P2: 2},
+		{Strategy: core.DataPipeline, P1: 2, P2: 2},
 	}
-	defer func() {
-		rec := recover()
-		if rec == nil || !strings.Contains(fmt.Sprint(rec), "branch") {
-			t.Fatalf("RunSequential must panic with a branch error, got %v", rec)
+}
+
+// TestResidualParityAllPlans is the headline acceptance criterion of
+// the graph executor: TinyResNet — projection shortcut, additive merge
+// — reproduces the sequential DAG baseline's per-iteration losses to
+// ≤ 1e-6 under every registry plan (data:4, filter:2, spatial:2,
+// channel:2, pipe:2, df:2x2, ds:2x2, dp:2x2).
+func TestResidualParityAllPlans(t *testing.T) {
+	m := model.TinyResNet()
+	batches := toyBatches(t, m, 3, 8)
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, dist.WithSeed(seed), dist.WithLR(lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range residualPlans() {
+		got, err := dist.Run(m, batches, pl, dist.WithSeed(seed), dist.WithLR(lr))
+		if err != nil {
+			t.Fatalf("%s: %v", pl, err)
 		}
-	}()
-	dist.RunSequential(m, seed, []dist.Batch{x}, lr)
+		assertParity(t, seq, got, err)
+	}
+}
+
+// TestResidualParityMomentum: the DAG executor composes with heavy-ball
+// SGD on sharded branch weights.
+func TestResidualParityMomentum(t *testing.T) {
+	m := model.TinyResNet()
+	batches := toyBatches(t, m, 3, 8)
+	opts := []dist.Option{dist.WithSeed(seed), dist.WithLR(lr), dist.WithMomentum(0.9)}
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range []dist.Plan{{Strategy: core.Data, P1: 4}, {Strategy: core.DataFilter, P1: 2, P2: 2}} {
+		got, err := dist.Run(m, batches, pl, opts...)
+		assertParity(t, seq, got, err)
+	}
+}
+
+// TestResidualOverlapBitIdentity: on the residual model, the
+// nonblocking bucketed gradient exchange must stay bit-identical to
+// the blocking one (the buckets now carry shortcut gradients too).
+func TestResidualOverlapBitIdentity(t *testing.T) {
+	m := model.TinyResNet()
+	batches := toyBatches(t, m, 3, 8)
+	for _, pl := range []dist.Plan{{Strategy: core.Data, P1: 4}, {Strategy: core.DataFilter, P1: 2, P2: 2}, {Strategy: core.DataSpatial, P1: 2, P2: 2}} {
+		var runs [2]*dist.Result
+		for i, overlap := range []bool{true, false} {
+			res, err := dist.Run(m, batches, pl, dist.WithSeed(seed), dist.WithLR(lr),
+				dist.WithOverlap(overlap), dist.WithBucketBytes(dist.BenchOverlapBucketBytes))
+			if err != nil {
+				t.Fatalf("%s overlap=%v: %v", pl, overlap, err)
+			}
+			runs[i] = res
+		}
+		for i := range runs[0].Losses {
+			if runs[0].Losses[i] != runs[1].Losses[i] {
+				t.Fatalf("%s iter %d: overlap %v vs blocking %v — must be bit-identical", pl, i, runs[0].Losses[i], runs[1].Losses[i])
+			}
+		}
+	}
+}
+
+// TestResidualPipelineLegality: stage splitting must keep a residual
+// block's tap, shortcut, and merge inside one stage. Boundaries snap
+// to legal cuts when possible (pipe:4 trains in parity); when the
+// model does not admit enough legal cuts the error names the shortcut
+// a cut would sever.
+func TestResidualPipelineLegality(t *testing.T) {
+	m := model.TinyResNet()
+	batches := toyBatches(t, m, 2, 8)
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, dist.WithSeed(seed), dist.WithLR(lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.Run(m, batches, dist.Plan{Strategy: core.Pipeline, P2: 4}, dist.WithSeed(seed), dist.WithLR(lr))
+	assertParity(t, seq, got, err)
+
+	// TinyResNet has 11 legal cuts (the block interior forbids 5 of
+	// G-1 = 16): 13 stages would need 12.
+	_, err = dist.Run(m, batches, dist.Plan{Strategy: core.Pipeline, P2: 13}, dist.WithSeed(seed), dist.WithLR(lr))
+	if err == nil || !strings.Contains(err.Error(), "_shortcut") {
+		t.Fatalf("unsupported partition must name the offending shortcut layer, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "residual block") {
+		t.Fatalf("legality error should explain the residual-block rule, got %v", err)
+	}
+}
+
+// TestMalformedBranchRejected: models whose branch taps do not resolve
+// still fail loudly — at graph compile time, before any PE spawns.
+func TestMalformedBranchRejected(t *testing.T) {
+	m := model.TinyResNet()
+	for l := range m.Layers {
+		if m.Layers[l].Branch {
+			m.Layers[l].Tap = l // tap itself: unresolvable
+		}
+	}
+	batches := toyBatches(t, model.TinyResNet(), 1, 2)
+	if _, err := dist.RunData(m, seed, batches, lr, 1); err == nil ||
+		!strings.Contains(err.Error(), "graph") {
+		t.Fatalf("malformed tap must be rejected with a graph-compile error, got %v", err)
+	}
+}
+
+// TestSpatialBranchLegality: the spatial engine aggregates slabs before
+// the classifier head (§4.5.1), so a residual block closing inside the
+// trunk is supported, while a branch merging into the head is a
+// genuinely unsupported partition rejected with a targeted error
+// naming the offending layer.
+func TestSpatialBranchLegality(t *testing.T) {
+	b := nn.NewBuilder("trunk-branch", 3, []int{8, 8})
+	b.Conv(4, 3, 1, 1).ReLU()
+	c, dims := b.Snapshot()
+	b.Conv(4, 3, 1, 1)
+	b.ShortcutConv(c, dims, 4, 1, 1, 0)
+	b.ReLU()
+	b.FC(6)
+	trunk := b.MustBuild()
+	batches := toyBatches(t, trunk, 2, 4)
+	seq := dist.RunSequential(trunk, seed, batches, lr)
+	got, err := dist.RunSpatial(trunk, seed, batches, lr, 2)
+	assertParity(t, seq, got, err)
+
+	// Hand-build a head-resident branch: a full-extent shortcut
+	// convolution merging into the classifier FC's output.
+	head := &nn.Model{Name: "head-branch", InputChannels: 3, InputDims: []int{8, 8}, Classes: 6, Layers: []nn.Layer{
+		{Kind: nn.Conv, Name: "conv1", C: 3, F: 4, In: []int{8, 8}, Out: []int{8, 8},
+			Kernel: []int{3, 3}, Stride: []int{1, 1}, Pad: []int{1, 1}},
+		{Kind: nn.FC, Name: "fc1", C: 4, F: 6, In: []int{8, 8}, Out: []int{1, 1}},
+		{Kind: nn.Conv, Name: "conv2_shortcut", C: 3, F: 6, In: []int{8, 8}, Out: []int{1, 1},
+			Kernel: []int{8, 8}, Stride: []int{1, 1}, Pad: []int{0, 0}, Branch: true, Tap: -1},
+	}}
+	if err := head.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dist.RunSpatial(head, seed, toyBatches(t, head, 1, 4), lr, 2)
+	if err == nil || !strings.Contains(err.Error(), "conv2_shortcut") {
+		t.Fatalf("head-resident branch must be rejected with an error naming it, got %v", err)
+	}
 }

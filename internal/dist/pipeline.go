@@ -48,7 +48,15 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 	if err := checkGrid(m, batches, p1, p2, label); err != nil {
 		return nil, err
 	}
-	stages := strategy.ContiguousStages(balanceStages(m, p2))
+	gph, err := nn.CompileGraph(m)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := legalStages(m, gph, p2, label)
+	if err != nil {
+		return nil, err
+	}
+	stages := strategy.ContiguousStages(bounds)
 	resultRank := p2 - 1 // group 0's last stage: the first PE to own a global loss
 	losses, err := runGrid(p1, p2, resultRank, func(world, group, seg *Comm) ([]float64, error) {
 		net := newReplica(m, cfg.seed)
@@ -97,6 +105,67 @@ func balanceStages(m *nn.Model, p int) []strategy.Range {
 	return bounds
 }
 
+// legalStages returns the executed stage partition: the FLOP-balanced
+// bounds for chain models, and for residual models the same bounds
+// with every boundary snapped to the nearest LEGAL cut — one that
+// keeps each residual block's tap, shortcut, and merge inside one
+// stage (nn.Graph.LegalCut), since only the chain activation crosses a
+// stage boundary. When the model does not admit p-1 legal cuts the
+// partition is genuinely unsupported and the error names the block a
+// cut would sever.
+func legalStages(m *nn.Model, gph *nn.Graph, p int, label string) ([]strategy.Range, error) {
+	bounds := balanceStages(m, p)
+	if !gph.HasBranches() || len(bounds) <= 1 {
+		return bounds, nil
+	}
+	var legal []int
+	for c := 1; c < m.G(); c++ {
+		if gph.LegalCut(c) {
+			legal = append(legal, c)
+		}
+	}
+	need := len(bounds) - 1
+	if len(legal) < need {
+		var example error
+		for c := 1; c < m.G() && example == nil; c++ {
+			example = gph.CutViolation(c)
+		}
+		return nil, fmt.Errorf("dist: %s cannot split model %q into %d stages: only %d stage boundaries keep every residual block intact (%v)",
+			label, m.Name, p, len(legal), example)
+	}
+	// Snap each balanced boundary to the nearest legal cut, keeping the
+	// cuts strictly increasing (ties break toward the earlier cut);
+	// feasibility-aware so later boundaries always have cuts left.
+	cuts := make([]int, 0, need)
+	lo := 0
+	for i := 1; i <= need; i++ {
+		hi := len(legal) - (need - i) // exclusive upper index bound + 1
+		best := lo
+		for j := lo + 1; j < hi; j++ {
+			if abs(legal[j]-bounds[i].Start) < abs(legal[best]-bounds[i].Start) {
+				best = j
+			}
+		}
+		cuts = append(cuts, legal[best])
+		lo = best + 1
+	}
+	out := make([]strategy.Range, len(bounds))
+	prev := 0
+	for i, c := range cuts {
+		out[i] = strategy.Range{Start: prev, End: c}
+		prev = c
+	}
+	out[len(out)-1] = strategy.Range{Start: prev, End: m.G()}
+	return out, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // dataPipelineStep pushes this group's batch shard x (weighted n_g/B in
 // the global loss) through the group's pipeline as microbatches,
 // exchanges the accumulated stage gradients across the segment, and
@@ -112,7 +181,11 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 	sizes := tensor.SplitSizes(total, nm)
 	offs := tensor.SplitOffsets(total, nm)
 
-	// Forward: stream every microbatch through this stage's layers.
+	// Forward: stream every microbatch through this stage's layers via
+	// the stage-local graph walk — legalStages guarantees every shortcut
+	// in the stage can resolve its tap locally (or to the stage input),
+	// so residual blocks execute whole inside their stage.
+	gph := net.Graph()
 	states := make([][]*nn.LayerState, nm)
 	logits := make([]*tensor.Tensor, nm)
 	for mb := 0; mb < nm; mb++ {
@@ -123,15 +196,17 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 			xin = c.Recv(rank - 1)
 		}
 		states[mb] = make([]*nn.LayerState, st.End-st.Start)
-		for l := st.Start; l < st.End; l++ {
-			xin, states[mb][l-st.Start] = net.ForwardLayer(l, xin)
-		}
+		out := gph.ForwardRange(st.Start, st.End, xin, func(l int, x2 *tensor.Tensor) *tensor.Tensor {
+			y, s := net.ForwardLayer(l, x2)
+			states[mb][l-st.Start] = s
+			return y
+		})
 		if rank < p-1 {
 			// The stage output is dead here (states keep layer inputs,
 			// not outputs), so ownership transfers without a copy.
-			c.sendOwned(rank+1, xin)
+			c.sendOwned(rank+1, out)
 		} else {
-			logits[mb] = xin
+			logits[mb] = out
 		}
 	}
 
@@ -151,9 +226,8 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 		} else {
 			dy = c.Recv(rank + 1)
 		}
-		for l := st.End - 1; l >= st.Start; l-- {
-			var g nn.Grads
-			dy, g = net.BackwardLayer(l, dy, states[mb][l-st.Start])
+		dy = gph.BackwardRange(st.Start, st.End, dy, func(l int, d *tensor.Tensor) *tensor.Tensor {
+			dx, g := net.BackwardLayer(l, d, states[mb][l-st.Start])
 			accumulateGrads(&acc[l-st.Start], g)
 			if mb == 0 && ex != nil {
 				// The reverse-order flush visits microbatch 0 last, so
@@ -161,7 +235,8 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 				// launch while the flush continues below it.
 				ex.pushGrads(&acc[l-st.Start])
 			}
-		}
+			return dx
+		})
 		if rank > 0 {
 			c.sendOwned(rank-1, dy)
 		}

@@ -179,7 +179,8 @@ var registry = map[core.Strategy]runnerFunc{
 // Strategies lists every strategy with a registered runner, in plan
 // order: the serial baseline, the five pure strategies, then the grid
 // hybrids. (core.Strategies lists the PROJECTABLE set; the two differ
-// exactly by {Serial, DataPipeline}, which only the runtime executes.)
+// exactly by Serial, the baseline only the runtime executes — dp is
+// both executable and, via the §3.6 composition, projectable.)
 func Strategies() []core.Strategy {
 	return []core.Strategy{
 		core.Serial, core.Data, core.Spatial, core.Filter, core.Channel,

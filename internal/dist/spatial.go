@@ -219,6 +219,12 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 	if fcStart == m.G() {
 		return nil, fmt.Errorf("dist: spatial runtime requires a fully-connected head to aggregate into (model %q has none)", m.Name)
 	}
+	for l := range m.Layers {
+		if m.Layers[l].Branch && l >= fcStart {
+			return nil, fmt.Errorf("dist: %s aggregates slabs before the classifier head (§4.5.1), so residual blocks must close inside the trunk; branch layer %d (%s) sits in the head (layers %d..%d)",
+				label, l, m.Layers[l].Name, fcStart, m.G()-1)
+		}
+	}
 	limit := m.InputDims[0]
 	for l := 0; l < fcStart; l++ {
 		limit = min(limit, m.Layers[l].In[0], m.Layers[l].Out[0])
@@ -280,46 +286,52 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 	g := len(layers)
 
 	inParts := strategy.PartitionDim(model.InputDims[0], p)
-	cur := x.Narrow(spatialAxis, inParts[rank].Start, inParts[rank].Size())
+	gph := net.Graph()
 	states := make([]*nn.LayerState, g)
 	bnSync := make([]bool, g)
 
 	// Partitioned trunk forward: halo-assembled windowed layers,
 	// slab-local element-wise layers, world-synchronized batch norm.
-	for l := 0; l < fcStart; l++ {
-		spec := &layers[l]
-		switch spec.Kind {
-		case nn.Conv:
-			block := haloExchange(group, cur, plans[l], 0)
-			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
-			states[l] = &nn.LayerState{X: block}
-			cur = tensor.ConvForward(block, net.Params[l].W, net.Params[l].B, cs)
-		case nn.Pool:
-			padVal := 0.0
-			if spec.PoolKind == tensor.MaxPool {
-				padVal = math.Inf(-1)
+	// The graph walk routes shortcut convolutions from their tap's slab
+	// — partitioned identically, since slab ranges depend only on the
+	// extent — runs halo exchange on the shortcut like any windowed
+	// layer, and merges slab-aligned outputs into the main path.
+	cur := gph.ForwardRange(0, fcStart, x.Narrow(spatialAxis, inParts[rank].Start, inParts[rank].Size()),
+		func(l int, xin *tensor.Tensor) *tensor.Tensor {
+			spec := &layers[l]
+			switch spec.Kind {
+			case nn.Conv:
+				block := haloExchange(group, xin, plans[l], 0)
+				cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+				states[l] = &nn.LayerState{X: block}
+				return tensor.ConvForward(block, net.Params[l].W, net.Params[l].B, cs)
+			case nn.Pool:
+				padVal := 0.0
+				if spec.PoolKind == tensor.MaxPool {
+					padVal = math.Inf(-1)
+				}
+				block := haloExchange(group, xin, plans[l], padVal)
+				ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+				y, arg := tensor.PoolForward(block, ps)
+				states[l] = &nn.LayerState{X: block, Argmax: arg}
+				return y
+			case nn.ReLU:
+				states[l] = &nn.LayerState{X: xin}
+				return tensor.ReLUForward(xin)
+			case nn.BatchNorm:
+				if world.Size() > 1 {
+					y, st := syncBNForward(world, xin, net.Params[l].Gamma, net.Params[l].Beta)
+					states[l] = &nn.LayerState{X: xin, BN: st}
+					bnSync[l] = true
+					return y
+				}
+				y, st := net.ForwardLayer(l, xin)
+				states[l] = st
+				return y
+			default:
+				panic(fmt.Sprintf("dist: layer kind %v in spatial trunk", spec.Kind))
 			}
-			block := haloExchange(group, cur, plans[l], padVal)
-			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
-			y, arg := tensor.PoolForward(block, ps)
-			states[l] = &nn.LayerState{X: block, Argmax: arg}
-			cur = y
-		case nn.ReLU:
-			states[l] = &nn.LayerState{X: cur}
-			cur = tensor.ReLUForward(cur)
-		case nn.BatchNorm:
-			if world.Size() > 1 {
-				y, st := syncBNForward(world, cur, net.Params[l].Gamma, net.Params[l].Beta)
-				states[l] = &nn.LayerState{X: cur, BN: st}
-				bnSync[l] = true
-				cur = y
-			} else {
-				cur, states[l] = net.ForwardLayer(l, cur)
-			}
-		default:
-			panic(fmt.Sprintf("dist: layer kind %v in spatial trunk", spec.Kind))
-		}
-	}
+		})
 
 	// Aggregate the group's slabs, then run the replicated head on the
 	// group's batch shard (§4.5.1) — every PE of the group computes
@@ -357,38 +369,44 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 		}
 	}
 
-	// Back into the trunk: keep only the gradient rows of this PE's slab.
+	// Back into the trunk: keep only the gradient rows of this PE's
+	// slab. The graph walk fans a merge point's slab gradient into both
+	// the main path and the shortcut, whose halo-scattered input
+	// gradient accumulates on the tap's slab (identical row partition).
 	bParts := strategy.PartitionDim(layers[fcStart].In[0], p)
-	dy = dy.Narrow(spatialAxis, bParts[rank].Start, bParts[rank].Size())
-	for l := fcStart - 1; l >= 0; l-- {
-		spec := &layers[l]
-		switch spec.Kind {
-		case nn.Conv:
-			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
-			block := states[l].X
-			dxBlock := tensor.ConvBackwardData(dy, net.Params[l].W, block.Shape(), cs)
-			dw, db := tensor.ConvBackwardWeight(dy, block, net.Params[l].W.Shape(), cs)
-			grads[l] = nn.Grads{W: dw, B: db}
-			if exWorld != nil {
-				exWorld.push(dw, db)
+	gph.BackwardRange(0, fcStart, dy.Narrow(spatialAxis, bParts[rank].Start, bParts[rank].Size()),
+		func(l int, dy *tensor.Tensor) *tensor.Tensor {
+			spec := &layers[l]
+			switch spec.Kind {
+			case nn.Conv:
+				cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+				block := states[l].X
+				dxBlock := tensor.ConvBackwardData(dy, net.Params[l].W, block.Shape(), cs)
+				dw, db := tensor.ConvBackwardWeight(dy, block, net.Params[l].W.Shape(), cs)
+				grads[l] = nn.Grads{W: dw, B: db}
+				if exWorld != nil {
+					exWorld.push(dw, db)
+				}
+				return haloScatter(group, dxBlock, plans[l])
+			case nn.Pool:
+				ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
+				dxBlock := tensor.PoolBackward(dy, states[l].X.Shape(), ps, states[l].Argmax)
+				return haloScatter(group, dxBlock, plans[l])
+			case nn.ReLU:
+				return tensor.ReLUBackward(dy, states[l].X)
+			case nn.BatchNorm:
+				if bnSync[l] {
+					dx, dgamma, dbeta := syncBNBackward(world, dy, net.Params[l].Gamma, states[l].BN)
+					grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
+					return dx
+				}
+				dx, gr := net.BackwardLayer(l, dy, states[l])
+				grads[l] = gr
+				return dx
+			default:
+				panic(fmt.Sprintf("dist: layer kind %v in spatial trunk", spec.Kind))
 			}
-			dy = haloScatter(group, dxBlock, plans[l])
-		case nn.Pool:
-			ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
-			dxBlock := tensor.PoolBackward(dy, states[l].X.Shape(), ps, states[l].Argmax)
-			dy = haloScatter(group, dxBlock, plans[l])
-		case nn.ReLU:
-			dy = tensor.ReLUBackward(dy, states[l].X)
-		case nn.BatchNorm:
-			if bnSync[l] {
-				dx, dgamma, dbeta := syncBNBackward(world, dy, net.Params[l].Gamma, states[l].BN)
-				grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
-				dy = dx
-			} else {
-				dy, grads[l] = net.BackwardLayer(l, dy, states[l])
-			}
-		}
-	}
+		})
 
 	// Gradient exchange barrier: trunk convolution gradients are partial
 	// sums over this PE's (batch shard, output rows) block and were

@@ -84,6 +84,16 @@ func scatterableInputGrads(m *nn.Model, p2 int, cfg *runConfig) []bool {
 	if cfg.arInputGrad || p2 <= 1 {
 		return rsOK
 	}
+	for l := range m.Layers {
+		if m.Layers[l].Branch {
+			// A merge point's gradient feeds two consumers (the main
+			// path and the shortcut) and every tap adds a second
+			// gradient stream, so no narrowing chain survives a
+			// residual block: branch models keep the full-width
+			// allreduce everywhere.
+			return rsOK
+		}
+	}
 	prevSharded := false // a sharded layer lies below, with…
 	chainOK := false     // …only ReLUs in between
 	for l := range m.Layers {
@@ -166,34 +176,39 @@ func shardGrad(dy *tensor.Tensor, sh *weightShard, group *Comm) *tensor.Tensor {
 // backward compute of the layers below it.
 func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
 	layers := net.Model.Layers
+	gph := net.Graph()
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
 	bnSync := make([]bool, g)
-	cur := x
-	for l := 0; l < g; l++ {
+	cur := gph.ForwardRange(0, g, x, func(l int, xin *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
 		switch {
 		case spec.Kind == nn.Conv:
+			// Shortcut convolutions shard exactly like main-path ones:
+			// the graph walk routes xin from the tap and merges the
+			// allgathered output into the main path.
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
-			states[l] = &nn.LayerState{X: cur}
-			cur = group.AllGather(tensor.ConvForward(cur, sh.w, sh.b, cs), 1)
+			states[l] = &nn.LayerState{X: xin}
+			return group.AllGather(tensor.ConvForward(xin, sh.w, sh.b, cs), 1)
 		case spec.Kind == nn.FC:
-			n := cur.Dim(0)
-			flat := cur.Reshape(n, cur.Len()/n)
-			states[l] = &nn.LayerState{X: cur}
-			cur = group.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
+			n := xin.Dim(0)
+			flat := xin.Reshape(n, xin.Len()/n)
+			states[l] = &nn.LayerState{X: xin}
+			return group.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
 		case spec.Kind == nn.BatchNorm && seg.Size() > 1:
-			y, st := syncBNForward(seg, cur, net.Params[l].Gamma, net.Params[l].Beta)
-			states[l] = &nn.LayerState{X: cur, BN: st}
+			y, st := syncBNForward(seg, xin, net.Params[l].Gamma, net.Params[l].Beta)
+			states[l] = &nn.LayerState{X: xin, BN: st}
 			bnSync[l] = true
-			cur = y
+			return y
 		default:
 			// Channel-wise layers run replicated on the group's full
 			// activation and stay bit-identical across the group.
-			cur, states[l] = net.ForwardLayer(l, cur)
+			y, st := net.ForwardLayer(l, xin)
+			states[l] = st
+			return y
 		}
-	}
+	})
 	loss, dy := tensor.SoftmaxCrossEntropy(cur, labels)
 	if weight != 1 {
 		dy.Scale(weight)
@@ -201,8 +216,8 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
-	dySliced := false // dy holds only this PE's channel slice
-	for l := g - 1; l >= 0; l-- {
+	dySliced := false // the main-path gradient holds only this PE's channel slice
+	gph.BackwardRange(0, g, dy, func(l int, dy *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
 		switch {
@@ -218,12 +233,18 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 			if ex != nil {
 				ex.push(dw, db)
 			}
-			if l > 0 {
-				// The bottom layer has no consumer for its input gradient:
-				// skip the data backward and its group-wide exchange.
-				dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
-				dy, dySliced = exchangeInputGrad(group, dxPart, rsOK[l])
+			if gph.Src(l) < 0 {
+				// No consumer for the input gradient — the bottom layer,
+				// or a shortcut tapping the network input: skip the data
+				// backward and its group-wide exchange.
+				return nil
 			}
+			dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
+			out, sliced := exchangeInputGrad(group, dxPart, rsOK[l])
+			if !spec.Branch {
+				dySliced = sliced
+			}
+			return out
 		case spec.Kind == nn.FC:
 			xl := states[l].X
 			n := xl.Dim(0)
@@ -237,13 +258,16 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 			if ex != nil {
 				ex.push(dw, db)
 			}
-			if l > 0 {
-				dy, dySliced = exchangeInputGrad(group, dxPart, rsOK[l])
+			if gph.Src(l) < 0 {
+				return nil
 			}
+			out, sliced := exchangeInputGrad(group, dxPart, rsOK[l])
+			dySliced = sliced
+			return out
 		case bnSync[l]:
 			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
 			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
-			dy = dx
+			return dx
 		case dySliced:
 			// Only ReLU can sit inside a reduce-scatter chain
 			// (scatterableInputGrads): backpropagate the slice against
@@ -251,11 +275,13 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 			if spec.Kind != nn.ReLU {
 				panic(fmt.Sprintf("dist: layer %d (%v) reached with a sliced gradient; scatterableInputGrads admitted a non-ReLU chain", l, spec.Kind))
 			}
-			dy = tensor.ReLUBackward(dy, channelChunk(states[l].X, group))
+			return tensor.ReLUBackward(dy, channelChunk(states[l].X, group))
 		default:
-			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+			dx, gr := net.BackwardLayer(l, dy, states[l])
+			grads[l] = gr
+			return dx
 		}
-	}
+	})
 
 	// Cross-group gradient exchange (§4.5.1, segmented): every shard
 	// gradient is this group's batch-shard contribution to the global
@@ -381,42 +407,47 @@ func channelShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
 	return shards, nil
 }
 
-// channelStep runs one channel-parallel SGD iteration.
+// channelStep runs one channel-parallel SGD iteration. The graph walk
+// routes shortcut convolutions from their taps and merges their output
+// into the main path; a sharded shortcut convolves its input-channel
+// slice of the tap activation like any other sharded layer.
 func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step *stepper) float64 {
 	layers := net.Model.Layers
+	gph := net.Graph()
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
-	cur := b.X
-	for l := 0; l < g; l++ {
+	cur := gph.ForwardRange(0, g, b.X, func(l int, xin *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
 		switch {
 		case spec.Kind == nn.Conv && sh != nil:
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
-			xSh := cur.Narrow(1, sh.rng.Start, sh.rng.Size())
+			xSh := xin.Narrow(1, sh.rng.Start, sh.rng.Size())
 			states[l] = &nn.LayerState{X: xSh}
 			y := c.AllReduceSum(tensor.ConvForward(xSh, sh.w, nil, cs))
 			tensor.AddBias(y, net.Params[l].B)
-			cur = y
+			return y
 		case spec.Kind == nn.FC && sh != nil:
-			xSh := cur.Narrow(1, sh.rng.Start, sh.rng.Size())
+			xSh := xin.Narrow(1, sh.rng.Start, sh.rng.Size())
 			n := xSh.Dim(0)
 			flat := xSh.Reshape(n, xSh.Len()/n)
 			states[l] = &nn.LayerState{X: xSh}
 			y := c.AllReduceSum(tensor.FCForward(flat, sh.w, nil))
 			tensor.AddBias(y, net.Params[l].B)
-			cur = y
+			return y
 		default:
 			// Replicated layer (channel-wise, or too narrow to split):
 			// full activation, identical on every PE.
-			cur, states[l] = net.ForwardLayer(l, cur)
+			y, st := net.ForwardLayer(l, xin)
+			states[l] = st
+			return y
 		}
-	}
+	})
 	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
-	for l := g - 1; l >= 0; l-- {
+	gph.BackwardRange(0, g, dy, func(l int, dy *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
 		switch {
@@ -426,18 +457,20 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step
 			dxSh := tensor.ConvBackwardData(dy, sh.w, xSh.Shape(), cs)
 			dw, db := tensor.ConvBackwardWeight(dy, xSh, sh.w.Shape(), cs)
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = c.AllGather(dxSh, 1)
+			return c.AllGather(dxSh, 1)
 		case spec.Kind == nn.FC && sh != nil:
 			xSh := states[l].X
 			n := xSh.Dim(0)
 			flat := xSh.Reshape(n, xSh.Len()/n)
 			dxSh, dw, db := tensor.FCBackward(dy, flat, sh.w, xSh.Shape())
 			shardGrads[l] = weightShard{w: dw, b: db}
-			dy = c.AllGather(dxSh, 1)
+			return c.AllGather(dxSh, 1)
 		default:
-			dy, grads[l] = net.BackwardLayer(l, dy, states[l])
+			dx, gr := net.BackwardLayer(l, dy, states[l])
+			grads[l] = gr
+			return dx
 		}
-	}
+	})
 
 	// Weight-shard gradients are exact (dy was global); the bias
 	// gradient Σdy is identical on every PE, so the replicated bias

@@ -20,6 +20,7 @@ package measure
 
 import (
 	"fmt"
+	"math"
 
 	"paradl/internal/cluster"
 	"paradl/internal/collective"
@@ -140,7 +141,7 @@ func Measure(e *Engine, cfg core.Config, s core.Strategy) (*Result, error) {
 	if cfg.Segments == 0 {
 		cfg.Segments = 4
 	}
-	if (s == core.DataFilter || s == core.DataSpatial) && cfg.P1 == 0 && cfg.P2 == 0 {
+	if (s == core.DataFilter || s == core.DataSpatial || s == core.DataPipeline) && cfg.P1 == 0 && cfg.P2 == 0 {
 		cfg.P2 = cfg.Sys.GPUsPerNode
 		if cfg.P2 > cfg.P {
 			cfg.P2 = cfg.P
@@ -166,6 +167,8 @@ func Measure(e *Engine, cfg core.Config, s core.Strategy) (*Result, error) {
 		r.Iter, err = e.measureDataSpatial(cfg)
 	case core.Pipeline:
 		r.Iter, err = e.measurePipeline(cfg)
+	case core.DataPipeline:
+		r.Iter, err = e.measureDataPipeline(cfg)
 	default:
 		err = fmt.Errorf("measure: unsupported strategy %v", s)
 	}
@@ -209,14 +212,15 @@ const (
 // frameworkEfficiency calibrates the maturity of each strategy's
 // implementation relative to the built-in data-parallel path.
 var frameworkEfficiency = map[core.Strategy]float64{
-	core.Serial:      1.0,
-	core.Data:        1.0,
-	core.Spatial:     0.90,
-	core.Filter:      0.88,
-	core.Channel:     0.82,
-	core.DataFilter:  0.93,
-	core.DataSpatial: 0.90,
-	core.Pipeline:    0.90,
+	core.Serial:       1.0,
+	core.Data:         1.0,
+	core.Spatial:      0.90,
+	core.Filter:       0.88,
+	core.Channel:      0.82,
+	core.DataFilter:   0.93,
+	core.DataSpatial:  0.90,
+	core.Pipeline:     0.90,
+	core.DataPipeline: 0.90, // torchgpipe bookkeeping inside every group
 }
 
 func (e *Engine) measureSerial(cfg core.Config) (core.Breakdown, error) {
@@ -516,6 +520,66 @@ func (e *Engine) measurePipeline(cfg core.Config) (core.Breakdown, error) {
 	if cfg.P > 1 && maxBoundaryBytes > 0 {
 		p2p := e.runOp(collective.P2POp(0, 1, maxBoundaryBytes, false))
 		b.PipeP2P = 2 * float64(cfg.P+s-2) * p2p
+	}
+	return b, nil
+}
+
+// measureDataPipeline: GPipe pipelines of depth p2 inside each of p1
+// data-parallel groups, each on its batch shard B/p1 (the §3.6 grid the
+// runtime's dp engine executes). Intra-group stage P2P is measured on
+// group 0 (groups run concurrently on disjoint links); the segmented
+// cross-group exchange runs one ring per stage — p2 concurrent
+// Allreduces of that stage's weights over the p1 groups — so the φ
+// uplink contention arises in the fabric, as in measureDataFilter.
+func (e *Engine) measureDataPipeline(cfg core.Config) (core.Breakdown, error) {
+	var b core.Breakdown
+	if cfg.P1*cfg.P2 != cfg.P {
+		return b, fmt.Errorf("measure: P1·P2=%d·%d ≠ P=%d", cfg.P1, cfg.P2, cfg.P)
+	}
+	if cfg.P2 > cfg.Model.G() {
+		return b, fmt.Errorf("measure: dp stage depth p2=%d exceeds G=%d", cfg.P2, cfg.Model.G())
+	}
+	bg := cfg.B / cfg.P1
+	if bg < 1 {
+		return b, fmt.Errorf("measure: dp needs B≥P1 (B=%d, P1=%d)", cfg.B, cfg.P1)
+	}
+	// One group's schedule IS the pure pipeline measurement at depth p2
+	// on the batch shard (the p1=1 edge measures identically).
+	stage := cfg
+	stage.P = cfg.P2
+	stage.B = bg
+	b, err := e.measurePipeline(stage)
+	if err != nil {
+		return b, err
+	}
+	if cfg.P1 > 1 {
+		// Same stage partition measurePipeline used for this workload.
+		times := profile.ProfileModel(e.Dev, cfg.Model, maxInt(1, bg/cfg.Segments))
+		groups := core.PartitionPipeline(times, cfg.P2)
+		_, segments, err := strategy.HybridGroups(cfg.P1, cfg.P2)
+		if err != nil {
+			return b, err
+		}
+		ops := make([]*collective.Op, 0, len(segments))
+		steps := make([]int, 0, len(segments))
+		for k, seg := range segments {
+			if k >= len(groups) {
+				continue
+			}
+			shard := 0.0
+			for l := groups[k].Start; l < groups[k].End; l++ {
+				shard += float64(cfg.Model.Layers[l].WeightSize()) * cfg.Sys.BytesPerItem
+			}
+			if shard == 0 {
+				continue
+			}
+			op, st := collective.RingRound("allreduce", seg, shard/float64(cfg.P1), false)
+			ops = append(ops, op)
+			steps = append(steps, st)
+		}
+		for _, el := range e.runOps(ops, steps) {
+			b.GE = math.Max(b.GE, el)
+		}
 	}
 	return b, nil
 }

@@ -141,7 +141,9 @@ func CosmoFlowAt(side int) *nn.Model {
 	return b.MustBuild()
 }
 
-// ByName returns a paper model by its canonical name.
+// ByName returns a zoo model by its canonical name: the four paper
+// models of Table 5 plus the executable tiny models of the
+// distributed-correctness harness.
 func ByName(name string) (*nn.Model, error) {
 	switch name {
 	case "vgg16":
@@ -152,13 +154,53 @@ func ByName(name string) (*nn.Model, error) {
 		return ResNet152(), nil
 	case "cosmoflow":
 		return CosmoFlow(), nil
+	case "tinyresnet":
+		return TinyResNet(), nil
+	case "tinycnn":
+		return TinyCNN(), nil
+	case "tinycnn-nobn":
+		return TinyCNNNoBN(), nil
+	case "tiny3d":
+		return Tiny3D(), nil
 	default:
-		return nil, fmt.Errorf("model: unknown model %q (want vgg16|resnet50|resnet152|cosmoflow)", name)
+		return nil, fmt.Errorf("model: unknown model %q (want vgg16|resnet50|resnet152|cosmoflow|tinyresnet|tinycnn|tinycnn-nobn|tiny3d)", name)
 	}
 }
 
-// Names lists the paper models in Table 5 order.
-func Names() []string { return []string{"resnet50", "resnet152", "vgg16", "cosmoflow"} }
+// Names lists the paper models in Table 5 order plus the residual toy
+// model the real runtime trains (the projection-shortcut counterpart
+// of the ResNet entries).
+func Names() []string { return []string{"resnet50", "resnet152", "vgg16", "cosmoflow", "tinyresnet"} }
+
+// TinyResNet is a toy bottleneck ResNet for the distributed-execution
+// harness: two bottleneck blocks — the first with a strided projection
+// shortcut (the graph-execution path: tap, branch convolution, additive
+// merge), the second a plain chain like the zoo ResNets' non-entry
+// blocks — on geometry every parallel strategy admits (filter/channel
+// widths ≥ 2, spatial extent ≥ 2 everywhere, an FC head to aggregate
+// into, legal 2-stage pipeline cuts around the residual block). It is
+// deliberately BN-free so GPipe's per-microbatch statistics cannot
+// break value parity: all eight registry plans must reproduce
+// sequential SGD to ≤ 1e-6.
+func TinyResNet() *nn.Model {
+	b := nn.NewBuilder("tinyresnet", 3, []int{12, 12})
+	b.Conv(8, 3, 1, 1).ReLU() // stem
+	// Block 1: 1×1 reduce, strided 3×3, 1×1 expand, strided projection
+	// shortcut from the block input, merge, rectify.
+	inC, inDims := b.Snapshot()
+	b.Conv(4, 1, 1, 0).ReLU()
+	b.Conv(4, 3, 2, 1).ReLU()
+	b.Conv(16, 1, 1, 0)
+	b.ShortcutConv(inC, inDims, 16, 1, 2, 0)
+	b.ReLU()
+	// Block 2: identity-geometry bottleneck, plain chain.
+	b.Conv(4, 1, 1, 0).ReLU()
+	b.Conv(4, 3, 1, 1).ReLU()
+	b.Conv(16, 1, 1, 0).ReLU()
+	b.Pool(nn.AvgPool, 2, 2, 0)
+	b.FC(10)
+	return b.MustBuild()
+}
 
 // TinyCNN is a small 2-D CNN (executable in milliseconds) used by the
 // distributed-correctness harness. Geometry is chosen so every parallel

@@ -21,18 +21,27 @@ type Grads struct {
 }
 
 // Network is an executable instantiation of a Model: specs plus real
-// parameter tensors. Forward/Backward run layer by layer so parallel
+// parameter tensors. Forward/Backward walk the compiled execution
+// graph layer by layer — a strict chain for chain models, with branch
+// taps and additive merges for residual models — so parallel
 // strategies can interleave communication between layers.
 type Network struct {
 	Model  *Model
 	Params []Params
+	graph  *Graph
 }
 
 // NewNetwork allocates parameters for every layer, initialized from rng
 // with a He-style scale. Deterministic given the seed, so two PEs can
-// build identical replicas.
+// build identical replicas. It panics on models whose layer list does
+// not compile to an executable graph (see CompileGraph); callers that
+// must report this as an error compile first.
 func NewNetwork(m *Model, rng *rand.Rand) *Network {
-	net := &Network{Model: m, Params: make([]Params, len(m.Layers))}
+	g, err := CompileGraph(m)
+	if err != nil {
+		panic(err)
+	}
+	net := &Network{Model: m, Params: make([]Params, len(m.Layers)), graph: g}
 	for i := range m.Layers {
 		l := &m.Layers[i]
 		switch l.Kind {
@@ -125,25 +134,35 @@ func (n *Network) BackwardLayer(l int, dy *tensor.Tensor, st *LayerState) (*tens
 	}
 }
 
-// Forward runs the whole network, returning logits and per-layer states.
+// Graph returns the network's compiled execution graph.
+func (n *Network) Graph() *Graph { return n.graph }
+
+// Forward runs the whole network through the execution graph — branch
+// layers read their tap and merge additively — returning logits and
+// per-layer states. For chain models the walk is bit-identical to the
+// historical layer-by-layer loop.
 func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []*LayerState) {
 	states := make([]*LayerState, len(n.Model.Layers))
-	cur := x
-	for l := range n.Model.Layers {
-		cur, states[l] = n.ForwardLayer(l, cur)
-	}
-	return cur, states
+	logits := n.graph.ForwardRange(0, len(n.Model.Layers), x, func(l int, xin *tensor.Tensor) *tensor.Tensor {
+		y, st := n.ForwardLayer(l, xin)
+		states[l] = st
+		return y
+	})
+	return logits, states
 }
 
-// Backward runs the full backward pass from dLogits, returning the
-// gradient of the network input and all parameter gradients.
+// Backward runs the full backward pass from dLogits through the
+// execution graph — merge gradients fan into both paths, branch input
+// gradients accumulate at their taps — returning the gradient of the
+// network input and all parameter gradients.
 func (n *Network) Backward(dLogits *tensor.Tensor, states []*LayerState) (*tensor.Tensor, []Grads) {
 	grads := make([]Grads, len(n.Model.Layers))
-	cur := dLogits
-	for l := len(n.Model.Layers) - 1; l >= 0; l-- {
-		cur, grads[l] = n.BackwardLayer(l, cur, states[l])
-	}
-	return cur, grads
+	dx := n.graph.BackwardRange(0, len(n.Model.Layers), dLogits, func(l int, dy *tensor.Tensor) *tensor.Tensor {
+		d, g := n.BackwardLayer(l, dy, states[l])
+		grads[l] = g
+		return d
+	})
+	return dx, grads
 }
 
 // Step applies SGD with learning rate lr to every parameter.

@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"fmt"
+
+	"paradl/internal/tensor"
+)
+
+// Graph is the compiled execution plan of a Model: every layer with its
+// resolved input source, in a topologically ordered walk. The layer
+// list order is already topological — a Branch layer's tap precedes it
+// and its output merges additively into the preceding main-path
+// layer's output — so the graph stores, per layer, WHERE its input
+// comes from and lets ForwardRange/BackwardRange drive any per-layer
+// compute through the DAG:
+//
+//   - a chain model compiles to the degenerate DAG src[l] = l-1 and the
+//     walkers add no operations, so chain execution is bit-identical to
+//     the historical layer-by-layer loop (pinned by test);
+//   - a Branch layer reads the post-merge output of its tap (src[l] =
+//     Layers[l].Tap) and its output adds into the running main-path
+//     activation; backward, the merge point's gradient fans into both
+//     the main path (unchanged) and the branch, whose input gradient
+//     accumulates at the tap.
+//
+// The same walkers serve the sequential Network (exec.go) and every
+// internal/dist engine, which supply strategy-specific per-layer
+// compute (sharded convolutions, halo-exchanged blocks, …) while the
+// graph owns the routing — so partitioned execution cannot disagree
+// with the sequential baseline about the model's topology.
+type Graph struct {
+	model *Model
+	// src[l] is the layer whose post-merge output feeds layer l
+	// (-1 = network input). For Branch layers src[l] = Layers[l].Tap.
+	src []int
+	// mergeInto[l] is, for a Branch layer, the main-path layer whose
+	// output it adds into (the nearest non-branch predecessor); -1 for
+	// main-path layers.
+	mergeInto []int
+	// tapped[l] reports that some Branch layer taps l, so out[l] must
+	// stay live through the forward pass and collects an extra gradient
+	// contribution in the backward pass.
+	tapped   []bool
+	branches int
+}
+
+// CompileGraph resolves a model's layer list into an executable graph.
+// It rejects structures the executor cannot run: branches whose tap is
+// out of range, taps into other branches, and geometry mismatches
+// between tap output and branch input (the checks of Model.validateTap,
+// re-run here so hand-built models fail at compile time, not mid-walk).
+func CompileGraph(m *Model) (*Graph, error) {
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("nn: model %q has no layers", m.Name)
+	}
+	g := &Graph{
+		model:     m,
+		src:       make([]int, len(m.Layers)),
+		mergeInto: make([]int, len(m.Layers)),
+		tapped:    make([]bool, len(m.Layers)),
+	}
+	prev := -1 // most recent main-path layer
+	for l := range m.Layers {
+		spec := &m.Layers[l]
+		if !spec.Branch {
+			g.src[l] = prev
+			g.mergeInto[l] = -1
+			prev = l
+			continue
+		}
+		if prev < 0 {
+			return nil, fmt.Errorf("nn: model %q: branch layer %d (%s) has no main-path output to merge into",
+				m.Name, l, spec.Name)
+		}
+		if err := m.validateTap(l); err != nil {
+			return nil, err
+		}
+		g.src[l] = spec.Tap
+		g.mergeInto[l] = prev
+		if spec.Tap >= 0 {
+			g.tapped[spec.Tap] = true
+		}
+		g.branches++
+	}
+	// A tap must reference a PRE-merge activation: if some branch's
+	// output also adds into the tapped layer's output, the tap would
+	// alias a tensor the walk later mutates in place (and "which value
+	// does the tap read" becomes ambiguous). The builder idiom never
+	// produces this — blocks end with an explicit post-merge layer
+	// (ReLU) and taps point there — so reject it loudly.
+	for l := range m.Layers {
+		if g.mergeInto[l] < 0 {
+			continue
+		}
+		if t := g.mergeInto[l]; g.tapped[t] {
+			return nil, fmt.Errorf("nn: model %q: layer %d (%s) is both a merge target and a branch tap; taps must read a post-merge layer (insert e.g. a ReLU after the merge and tap that)",
+				m.Name, t, m.Layers[t].Name)
+		}
+	}
+	return g, nil
+}
+
+// Model returns the model the graph was compiled from.
+func (g *Graph) Model() *Model { return g.model }
+
+// HasBranches reports whether any layer branches (a chain model
+// compiles to a branch-free degenerate DAG).
+func (g *Graph) HasBranches() bool { return g.branches > 0 }
+
+// Src returns the layer whose post-merge output feeds layer l
+// (-1 = network input); for Branch layers this is the tap.
+func (g *Graph) Src(l int) int { return g.src[l] }
+
+// MergeInto returns, for a Branch layer, the main-path layer whose
+// output the branch adds into; -1 for main-path layers.
+func (g *Graph) MergeInto(l int) int { return g.mergeInto[l] }
+
+// Tapped reports whether some Branch layer taps layer l's output.
+func (g *Graph) Tapped(l int) bool { return g.tapped[l] }
+
+// LegalCut reports whether a stage boundary between layer c-1 and
+// layer c keeps every residual block intact: the layers tap+1 … branch
+// must share a stage, because only the chain activation crosses a
+// boundary — a cut strictly inside (tap+1, branch] would sever either
+// the branch from its tap (the tap tensor would never arrive) or the
+// branch from its merge target (the boundary tensor would be
+// pre-merge). A cut AT tap+1 is legal: the stage input then IS the tap.
+func (g *Graph) LegalCut(c int) bool {
+	_, ok := g.cutViolation(c)
+	return ok == nil
+}
+
+// cutViolation returns the first branch layer a cut at c would sever,
+// or -1 and nil when the cut is legal.
+func (g *Graph) cutViolation(c int) (int, error) {
+	if c <= 0 || c >= len(g.src) {
+		return -1, fmt.Errorf("nn: cut position %d outside 1..%d", c, len(g.src)-1)
+	}
+	for l := range g.src {
+		if g.mergeInto[l] < 0 {
+			continue
+		}
+		if g.src[l]+1 < c && c <= l {
+			return l, fmt.Errorf("nn: a stage boundary before layer %d (%s) would cut the residual block of branch layer %d (%s), which spans layers %d..%d",
+				c, g.model.Layers[c].Name, l, g.model.Layers[l].Name, g.src[l]+1, l)
+		}
+	}
+	return -1, nil
+}
+
+// CutViolation names the branch layer a cut at c would sever (the
+// error's text identifies the offending layers); nil means legal.
+func (g *Graph) CutViolation(c int) error {
+	_, err := g.cutViolation(c)
+	return err
+}
+
+// ForwardRange walks layers [start, end) of the graph forward from the
+// range input x, calling apply(l, xin) for each layer's compute and
+// routing activations per the DAG: main-path layers chain, Branch
+// layers read their tap's post-merge output and their result adds (in
+// place) into the running main-path activation. x stands in for every
+// source below start — legal stage ranges guarantee any such source is
+// exactly the stage input (see LegalCut); callers must treat apply's
+// previous return values as owned by the walk (the merge mutates the
+// running activation in place).
+//
+// For a branch-free range the walk degenerates to cur = apply(l, cur):
+// bit-identical to the historical chain loop.
+func (g *Graph) ForwardRange(start, end int, x *tensor.Tensor, apply func(l int, xin *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+	var outs []*tensor.Tensor
+	if g.branches > 0 {
+		outs = make([]*tensor.Tensor, len(g.src))
+	}
+	cur := x
+	for l := start; l < end; l++ {
+		if g.mergeInto[l] < 0 {
+			cur = apply(l, cur)
+			if outs != nil {
+				outs[l] = cur
+			}
+			continue
+		}
+		xin := x
+		if s := g.src[l]; s >= start {
+			xin = outs[s]
+		}
+		y := apply(l, xin)
+		// Additive merge: the branch output joins the preceding
+		// main-path output. cur is owned by the walk (it came from
+		// apply), so the add is in place; outs[mergeInto[l]] already
+		// aliases cur and stays consistent. Defensive corner: a merge
+		// target below start means cur still IS the caller's range
+		// input (no legal stage cut produces this — see LegalCut —
+		// but an ad-hoc range must not mutate the caller's tensor), so
+		// clone first. Tap views can never alias cur here: CompileGraph
+		// rejects taps into merge targets.
+		if g.mergeInto[l] < start {
+			cur = cur.Clone()
+		}
+		cur.Add(y)
+	}
+	return cur
+}
+
+// BackwardRange walks layers [end-1 … start] backward from dTop (the
+// gradient of the range's final post-merge output), calling
+// apply(l, dy) for each layer's backward compute; apply returns the
+// layer's INPUT gradient (nil to stop propagation where no consumer
+// exists, e.g. the bottom layer of a training run). Routing mirrors
+// ForwardRange: a merge point's gradient flows unchanged into both the
+// main path and the branch, and a branch's input gradient accumulates
+// at its tap — added into the main-path gradient stream when the walk
+// reaches the tap, or into the returned range-input gradient when the
+// tap lies below start. The returned tensor is the gradient of the
+// range input (nil if the bottom apply returned nil and no branch
+// contributed).
+//
+// apply must not mutate dy: at a merge point the same tensor is handed
+// to the branch and then continues down the main path.
+func (g *Graph) BackwardRange(start, end int, dTop *tensor.Tensor, apply func(l int, dy *tensor.Tensor) *tensor.Tensor) *tensor.Tensor {
+	var pend []*tensor.Tensor
+	if g.branches > 0 {
+		// pend[s+1] accumulates branch input gradients for source s
+		// (s = -1, the range input, lands in pend[0] … relative to
+		// start so sub-ranges stay cheap).
+		pend = make([]*tensor.Tensor, len(g.src)+1)
+	}
+	below := func(s int) int { // pend slot of source s (clamped below start)
+		if s < start {
+			return start
+		}
+		return s + 1
+	}
+	cur := dTop
+	for l := end - 1; l >= start; l-- {
+		if g.mergeInto[l] >= 0 {
+			if dxb := apply(l, cur); dxb != nil {
+				slot := below(g.src[l])
+				if pend[slot] == nil {
+					pend[slot] = dxb
+				} else {
+					pend[slot].Add(dxb)
+				}
+			}
+			continue
+		}
+		if pend != nil {
+			if p := pend[l+1]; p != nil {
+				// cur is owned by the walk (a prior apply's return or
+				// dTop, which the caller hands over), so accumulate the
+				// tap contribution in place.
+				cur.Add(p)
+				pend[l+1] = nil
+			}
+		}
+		cur = apply(l, cur)
+	}
+	if pend != nil {
+		if p := pend[start]; p != nil {
+			if cur == nil {
+				cur = p
+			} else {
+				cur.Add(p)
+			}
+		}
+	}
+	return cur
+}

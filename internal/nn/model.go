@@ -165,6 +165,9 @@ func (m *Model) Validate() error {
 				return fmt.Errorf("nn: model %q: branch layer %d (%s) outputs F=%d, cannot merge into main path F=%d",
 					m.Name, i, cur.Name, cur.F, prev.F)
 			}
+			if err := m.validateTap(i); err != nil {
+				return err
+			}
 			continue
 		}
 		if prev.F != cur.C {
@@ -182,6 +185,46 @@ func (m *Model) Validate() error {
 			}
 		}
 	}
+	// Structural cross-checks (taps into merge targets, leading
+	// branches) live in the graph compiler; running it here means a
+	// model that validates always executes.
+	if _, err := CompileGraph(m); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateTap checks that branch layer i's Tap names an executable
+// source whose output geometry matches the branch input: an earlier
+// non-branch layer (its post-merge output feeds the branch) or the
+// network input (Tap = -1). Merges can then be executed, not just
+// priced — see CompileGraph.
+func (m *Model) validateTap(i int) error {
+	cur := &m.Layers[i]
+	if cur.Kind != Conv {
+		return fmt.Errorf("nn: model %q: branch layer %d (%s) has kind %v; only convolutions can branch",
+			m.Name, i, cur.Name, cur.Kind)
+	}
+	tap := cur.Tap
+	if tap < -1 || tap >= i {
+		return fmt.Errorf("nn: model %q: branch layer %d (%s) taps layer %d, want -1 (network input) .. %d",
+			m.Name, i, cur.Name, tap, i-1)
+	}
+	srcF, srcOut := m.InputChannels, m.InputDims
+	srcName := "network input"
+	if tap >= 0 {
+		src := &m.Layers[tap]
+		if src.Branch {
+			return fmt.Errorf("nn: model %q: branch layer %d (%s) taps branch layer %d (%s); taps must name a main-path layer",
+				m.Name, i, cur.Name, tap, src.Name)
+		}
+		srcF, srcOut = src.F, src.Out
+		srcName = src.Name
+	}
+	if cur.C != srcF || !tensor.EqualShapes(cur.In, srcOut) {
+		return fmt.Errorf("nn: model %q: branch layer %d (%s) expects C=%d over %v but tap %s produces F=%d over %v",
+			m.Name, i, cur.Name, cur.C, cur.In, srcName, srcF, srcOut)
+	}
 	return nil
 }
 
@@ -192,6 +235,10 @@ type Builder struct {
 	curC    int
 	curDims []int
 	counts  map[LayerKind]int
+	// tapIdx is the layer index recorded by the most recent Snapshot
+	// call (-1 = the network input); ShortcutConv branches from it.
+	tapIdx  int
+	snapped bool
 }
 
 // NewBuilder starts a model with the given input geometry.
@@ -275,28 +322,59 @@ func (b *Builder) BatchNorm() *Builder {
 
 // ShortcutConv appends a Branch convolution whose input geometry (c
 // input channels over inDims) is taken from an earlier point of the
-// network — the ResNet downsample/projection shortcut. Its output must
-// match the current main-path geometry (channel count f and the current
-// spatial extent), which Build verifies.
+// network — the ResNet downsample/projection shortcut. The tap point is
+// the layer recorded by the most recent Snapshot call (callers snapshot
+// at block entry), so the branch is executable, not just priced; each
+// ShortcutConv consumes its snapshot, and without one the nearest
+// earlier main-path layer matching (c, inDims) is inferred. The
+// shortcut's output must match the current
+// main-path geometry (channel count f and the current spatial extent),
+// which Build verifies.
 func (b *Builder) ShortcutConv(c int, inDims []int, f, kernel, stride, pad int) *Builder {
 	d := len(inDims)
 	out := make([]int, d)
 	for i := range out {
 		out[i] = convOut(inDims[i], kernel, stride, pad)
 	}
+	tap := b.tapIdx
+	if !b.snapped {
+		tap = b.inferTap(c, inDims)
+	}
+	// Consume the snapshot: each shortcut needs its own Snapshot call,
+	// so a forgotten one cannot silently reuse an earlier block's tap
+	// (same-geometry blocks would validate and miswire undetected).
+	b.snapped = false
 	b.m.Layers = append(b.m.Layers, Layer{
 		Kind: Conv, Name: b.autoName(Conv) + "_shortcut",
 		C: c, F: f,
 		In: append([]int(nil), inDims...), Out: out,
 		Kernel: uniform(d, kernel), Stride: uniform(d, stride), Pad: uniform(d, pad),
 		Branch: true,
+		Tap:    tap,
 	})
 	return b
 }
 
+// inferTap finds the nearest earlier main-path layer producing c
+// channels over dims, falling back to the network input; Validate
+// rejects the result if nothing matches.
+func (b *Builder) inferTap(c int, dims []int) int {
+	for i := len(b.m.Layers) - 1; i >= 0; i-- {
+		l := &b.m.Layers[i]
+		if !l.Branch && l.F == c && tensor.EqualShapes(l.Out, dims) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Snapshot reports the builder's current channel count and spatial
-// extent (for wiring shortcut branches).
+// extent, and records the current position as the tap point of the next
+// ShortcutConv (the ResNet idiom: snapshot at block entry, branch at
+// block exit).
 func (b *Builder) Snapshot() (c int, dims []int) {
+	b.tapIdx = len(b.m.Layers) - 1
+	b.snapped = true
 	return b.curC, append([]int(nil), b.curDims...)
 }
 

@@ -8,6 +8,9 @@
 // (exec.go) whose forward/backward run real numbers through
 // internal/tensor, which is how the distributed runtime validates every
 // parallel strategy value-by-value against the sequential baseline.
+// Execution follows the compiled graph (graph.go): chain models walk
+// the degenerate DAG bit-identically, and Branch/shortcut layers run
+// for real — tap read, additive merge, fan-out backward.
 package nn
 
 import (
@@ -80,8 +83,17 @@ type Layer struct {
 	// whose output merges additively into the main path. Branch layers
 	// participate fully in the size/FLOP accounting but are exempt from
 	// chain-continuity validation; instead their OUTPUT must match the
-	// preceding layer's output so the merge is well-formed.
+	// preceding layer's output so the merge is well-formed. Branch
+	// layers are executable: CompileGraph routes their input from the
+	// tap point and adds their output into the main path.
 	Branch bool
+
+	// Tap is the index of the layer whose (post-merge) output feeds this
+	// Branch layer, with -1 meaning the network input. It is meaningful
+	// only when Branch is set (the Builder records it from the most
+	// recent Snapshot call) and is validated against the branch's C/In
+	// geometry by Model.Validate.
+	Tap int
 }
 
 // SpatialRank returns the number of spatial dimensions.

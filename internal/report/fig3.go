@@ -42,6 +42,11 @@ func fig3Grid() []fig3Point {
 	for _, p := range []int{2, 4} {
 		pts = append(pts, fig3Point{strategy: core.Pipeline, p: p, b: 32, global: true})
 	}
+	// dp (no Table 3 entry; §3.6 composition): weak-scaling grids with
+	// a shallow in-group pipeline, the shape the runtime executes.
+	for _, p := range []int{16, 64} {
+		pts = append(pts, fig3Point{strategy: core.DataPipeline, p: p, b: 8, p1: p / 4, p2: 4})
+	}
 	return pts
 }
 

@@ -51,7 +51,7 @@ func TestTable3Evaluates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 { // serial + 7 strategies
+	if len(rows) != 9 { // serial + 7 Table 3 strategies + the dp composition
 		t.Fatalf("Table 3 rows %d", len(rows))
 	}
 	for _, r := range rows {

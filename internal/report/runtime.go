@@ -140,6 +140,7 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 		cands = append(cands,
 			dist.Plan{Strategy: core.DataFilter, P1: p / 2, P2: 2},
 			dist.Plan{Strategy: core.DataSpatial, P1: p / 2, P2: 2},
+			dist.Plan{Strategy: core.DataPipeline, P1: p / 2, P2: 2},
 		)
 	}
 
@@ -165,7 +166,7 @@ func (e *Env) RuntimeOverhead(p int) ([]RuntimeRow, error) {
 			return nil, fmt.Errorf("report: measuring %v at p=%d with overlap off: %w", c.Strategy, p, err)
 		}
 		p1, p2 := 0, 0
-		if c.Strategy == core.DataFilter || c.Strategy == core.DataSpatial {
+		if c.Strategy == core.DataFilter || c.Strategy == core.DataSpatial || c.Strategy == core.DataPipeline {
 			p1, p2 = c.P1, c.P2
 		}
 		proj, err := core.Project(projCfg(p, p1, p2), c.Strategy)

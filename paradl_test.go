@@ -197,7 +197,9 @@ func TestFacadePlanParse(t *testing.T) {
 	if _, err := paradl.ParsePlan("df:3x0"); err == nil {
 		t.Fatal("df:3x0 must be rejected")
 	}
-	if n := len(paradl.TrainableStrategies()); n != len(paradl.Strategies())+2 {
+	// Every projectable strategy (incl. the dp composition) is trainable;
+	// the runtime additionally executes the serial baseline.
+	if n := len(paradl.TrainableStrategies()); n != len(paradl.Strategies())+1 {
 		t.Fatalf("trainable strategies: %d", n)
 	}
 }
