@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"paradl/internal/core"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+	"paradl/internal/nn"
+	"paradl/internal/serve"
+)
+
+// runAdviseTrain closes the loop from oracle to runtime: ask the
+// advisor (in-process, or a running paraserve via -server) to rank
+// strategies for the toy training budget, then execute the best
+// trainable plan for real and prove value parity against sequential
+// SGD. Ranked plans the runtime cannot execute are reported and
+// skipped, so the command always lands on the advisor's best
+// *trainable* recommendation.
+func runAdviseTrain(w io.Writer, serverURL, trainModel, overlap string, gpus int) error {
+	if overlap != "on" && overlap != "off" {
+		return fmt.Errorf("-overlap must be on or off, got %q", overlap)
+	}
+	if gpus < 1 || gpus > 8 {
+		return fmt.Errorf("-advise-and-train is toy-scale: -gpus %d out of range [1,8]", gpus)
+	}
+	m, err := model.ByName(trainModel)
+	if err != nil {
+		return err
+	}
+	if p := m.Params(); p > trainMaxParams {
+		return fmt.Errorf("-advise-and-train is toy-scale: model %q has %d parameters (> %d); pick a tiny zoo model (tinyresnet|tinycnn|tinycnn-nobn|tiny3d)",
+			trainModel, p, trainMaxParams)
+	}
+
+	// The advisor budget mirrors the fixed -train workload: the toy
+	// batch schedule is the "dataset", the global batch is one training
+	// batch, and -gpus is the resource budget being ranked.
+	req := serve.Request{
+		Model:       trainModel,
+		GPUs:        gpus,
+		BatchGlobal: trainBatch,
+		D:           int64(trainIters * trainBatch),
+	}
+	var advs []core.Advice
+	source := "in-process advisor"
+	if serverURL == "" {
+		cfg, err := req.Config()
+		if err != nil {
+			return err
+		}
+		if advs, err = core.Advise(cfg); err != nil {
+			return err
+		}
+	} else {
+		source = serverURL
+		if advs, err = adviseHTTP(serverURL, req); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "advise-and-train — %s, %d PEs, global batch %d (%s)\n", m.Name, gpus, trainBatch, source)
+	for _, a := range advs {
+		pl := planFromAdvice(a.Projection)
+		if !a.Projection.Feasible {
+			fmt.Fprintf(w, "  rank %d: %v → plan %s, skipped: projected infeasible\n", a.Rank, a.Projection.Strategy, pl)
+			continue
+		}
+		if err := tryPlan(m, pl, overlap); err != nil {
+			fmt.Fprintf(w, "  rank %d: %v → plan %s, skipped: %v\n", a.Rank, a.Projection.Strategy, pl, err)
+			continue
+		}
+		fmt.Fprintf(w, "  rank %d: %v → plan %s, chosen\n", a.Rank, a.Projection.Strategy, pl)
+		return runPlanParity(w, pl, overlap, m)
+	}
+	return fmt.Errorf("no advised strategy is trainable for %s at %d PEs", m.Name, gpus)
+}
+
+// planFromAdvice maps an oracle projection onto an executable dist
+// plan: the data-parallel width rides the first axis, model-parallel
+// strategies the second, and hybrids keep the advisor's defaulted
+// P1×P2 grid shape.
+func planFromAdvice(pr *core.Projection) dist.Plan {
+	cfg := pr.Config
+	switch s := pr.Strategy; s {
+	case core.Serial:
+		return dist.Plan{Strategy: core.Serial}
+	case core.Data:
+		return dist.Plan{Strategy: core.Data, P1: cfg.P}
+	case core.DataFilter, core.DataSpatial, core.DataPipeline:
+		return dist.Plan{Strategy: s, P1: cfg.P1, P2: cfg.P2}
+	default:
+		return dist.Plan{Strategy: s, P2: cfg.P}
+	}
+}
+
+// tryPlan runs pl once, quietly, to learn whether the runtime can
+// execute it on m — the advisor ranks more strategies than the toy
+// runtime necessarily supports for every model shape.
+func tryPlan(m *nn.Model, pl dist.Plan, overlap string) error {
+	batches := toyBatches(m)
+	_, err := dist.Run(m, batches, pl, trainOptions(overlap)...)
+	return err
+}
+
+// adviseHTTP queries a paraserve /advise endpoint and decodes the
+// ranked response; the wire encoding round-trips the full projection,
+// so the HTTP path yields exactly what core.Advise returns in process.
+func adviseHTTP(serverURL string, req serve.Request) ([]core.Advice, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(serverURL, "/") + "/advise"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("querying %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %s", e.Error)
+		}
+		return nil, fmt.Errorf("server: status %d: %s", resp.StatusCode, raw)
+	}
+	var advs []core.Advice
+	if err := json.Unmarshal(raw, &advs); err != nil {
+		return nil, fmt.Errorf("decoding advice: %w", err)
+	}
+	if len(advs) == 0 {
+		return nil, fmt.Errorf("server returned no advice")
+	}
+	return advs, nil
+}

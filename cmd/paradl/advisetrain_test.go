@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"paradl/internal/serve"
+)
+
+// -advise-and-train with the in-process advisor: the top trainable plan
+// is executed and reproduces sequential SGD.
+func TestAdviseAndTrainInProcess(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAdviseTrain(&buf, "", trainDefaultModel, "on", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "chosen") {
+		t.Fatalf("no plan chosen:\n%s", out)
+	}
+	if !strings.Contains(out, "reproduces sequential SGD value-by-value") {
+		t.Fatalf("no parity verdict:\n%s", out)
+	}
+}
+
+// chosenLine extracts the "rank N: … chosen" line of an
+// advise-and-train transcript.
+func chosenLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "chosen") {
+			return strings.TrimSpace(line)
+		}
+	}
+	t.Fatalf("no chosen line in:\n%s", out)
+	return ""
+}
+
+// The -server path must pick exactly the plan the in-process advisor
+// picks: the wire encoding round-trips the ranking bit for bit.
+func TestAdviseAndTrainViaServer(t *testing.T) {
+	ts := httptest.NewServer(serve.New().Handler())
+	defer ts.Close()
+
+	var local, remote bytes.Buffer
+	if err := runAdviseTrain(&local, "", "tinyresnet", "on", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAdviseTrain(&remote, ts.URL, "tinyresnet", "on", 4); err != nil {
+		t.Fatal(err)
+	}
+	lc, rc := chosenLine(t, local.String()), chosenLine(t, remote.String())
+	if lc != rc {
+		t.Fatalf("server-advised plan differs from in-process plan:\nlocal:  %s\nremote: %s", lc, rc)
+	}
+	// The parity tables (everything below the advisor transcript) must
+	// match exactly: same plan, same toy run, same losses.
+	cut := func(s string) string {
+		i := strings.Index(s, "real training parity")
+		if i < 0 {
+			t.Fatalf("no parity table in:\n%s", s)
+		}
+		return s[i:]
+	}
+	if cut(local.String()) != cut(remote.String()) {
+		t.Fatalf("parity tables differ:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+}
+
+func TestAdviseAndTrainRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAdviseTrain(&buf, "", trainDefaultModel, "on", 0); err == nil {
+		t.Fatal("gpus=0 must error")
+	}
+	if err := runAdviseTrain(&buf, "", trainDefaultModel, "on", 64); err == nil {
+		t.Fatal("gpus=64 must error (toy scale)")
+	}
+	if err := runAdviseTrain(&buf, "", "resnet50", "on", 4); err == nil {
+		t.Fatal("ImageNet-scale model must error")
+	}
+	if err := runAdviseTrain(&buf, "", trainDefaultModel, "maybe", 4); err == nil {
+		t.Fatal("bad overlap must error")
+	}
+	if err := runAdviseTrain(&buf, "http://127.0.0.1:1", trainDefaultModel, "on", 4); err == nil {
+		t.Fatal("unreachable server must error")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"paradl/internal/data"
 	"paradl/internal/dist"
 	"paradl/internal/model"
+	"paradl/internal/nn"
 	"paradl/internal/profile"
 	"paradl/internal/report"
 )
@@ -51,18 +52,24 @@ func main() {
 		measured    = flag.Bool("measured", false, "run the REAL toy-scale runtime (internal/dist) at -gpus PEs and print measured vs projected strategy overhead")
 		train       = flag.String("train", "", "execute a plan (e.g. data:4, ds:2x2, dp:2x3) for REAL and print the value-parity table vs sequential SGD; -model picks the toy zoo model (default tinycnn-nobn; tinyresnet runs the residual DAG)")
 		overlap     = flag.String("overlap", "on", "with -train: backward/communication overlap, on|off (losses are bit-identical either way; off runs the blocking A/B baseline)")
+		adviseTrain = flag.Bool("advise-and-train", false, "ask the advisor for the best strategy at -gpus PEs (toy scale, default 4), then execute the top trainable plan for REAL and print the parity table")
+		server      = flag.String("server", "", "with -advise-and-train: query a running paraserve URL (e.g. http://localhost:8080) instead of the in-process advisor")
 	)
 	flag.Parse()
 
-	if *measured || *train != "" {
+	if *measured || *train != "" || *adviseTrain {
 		// -measured runs a FIXED toy workload (tinycnn-nobn, global
-		// batch 8) and -train a fixed toy batch schedule; silently
-		// dropping projection flags would let a user believe they
-		// measured the model they named. -train DOES honour -model (a
-		// zoo lookup: tinyresnet exercises the DAG executor).
+		// batch 8) and -train/-advise-and-train a fixed toy batch
+		// schedule; silently dropping projection flags would let a user
+		// believe they measured the model they named. -train and
+		// -advise-and-train DO honour -model (a zoo lookup: tinyresnet
+		// exercises the DAG executor).
 		mode, keep := "-measured", " (only -gpus selects the width)"
-		if *train != "" {
+		switch {
+		case *train != "":
 			mode, keep = "-train", " (the plan selects strategy and widths; -model picks the toy zoo model)"
+		case *adviseTrain:
+			mode, keep = "-advise-and-train", " (the advisor selects the plan; -model picks the toy zoo model, -gpus the budget)"
 		}
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
@@ -73,8 +80,14 @@ func main() {
 				if *measured {
 					conflict = append(conflict, "-"+f.Name)
 				}
-			case "gpus", "measured":
+			case "gpus":
 				if *train != "" {
+					conflict = append(conflict, "-"+f.Name)
+				}
+			case "measured", "train":
+				if *adviseTrain {
+					conflict = append(conflict, "-"+f.Name)
+				} else if f.Name == "measured" && *train != "" {
 					conflict = append(conflict, "-"+f.Name)
 				}
 			}
@@ -85,29 +98,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	overlapSet, modelSet := false, false
+	overlapSet, modelSet, gpusSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		overlapSet = overlapSet || f.Name == "overlap"
 		modelSet = modelSet || f.Name == "model"
+		gpusSet = gpusSet || f.Name == "gpus"
 	})
-	if overlapSet && *train == "" {
-		fmt.Fprintln(os.Stderr, "paradl: -overlap selects the real runtime's exchange mode and requires -train")
+	if overlapSet && *train == "" && !*adviseTrain {
+		fmt.Fprintln(os.Stderr, "paradl: -overlap selects the real runtime's exchange mode and requires -train or -advise-and-train")
+		os.Exit(1)
+	}
+	if *server != "" && !*adviseTrain {
+		fmt.Fprintln(os.Stderr, "paradl: -server points -advise-and-train at a paraserve instance and requires it")
 		os.Exit(1)
 	}
 	trainModel := trainDefaultModel
 	if modelSet {
 		trainModel = *modelName
 	}
+	// The advisor budget defaults to a toy width, not the projection
+	// default of 64 GPUs.
+	trainGpus := 4
+	if gpusSet {
+		trainGpus = *gpus
+	}
 
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap, trainModel); err != nil {
+		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap, trainModel,
+		*adviseTrain, *server, trainGpus); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
-	phi float64, advise, findings, calibrate, measured bool, train, overlap, trainModel string) error {
+	phi float64, advise, findings, calibrate, measured bool, train, overlap, trainModel string,
+	adviseTrain bool, server string, trainGpus int) error {
+	if adviseTrain {
+		return runAdviseTrain(os.Stdout, server, trainModel, overlap, trainGpus)
+	}
 	if train != "" {
 		return runTrain(os.Stdout, train, overlap, trainModel)
 	}
@@ -271,12 +300,29 @@ func runTrain(w io.Writer, planStr, overlap, modelName string) error {
 		return fmt.Errorf("-train is toy-scale: model %q has %d parameters (> %d); pick a tiny zoo model (tinyresnet|tinycnn|tinycnn-nobn|tiny3d)",
 			modelName, p, trainMaxParams)
 	}
-	batches := data.Toy(m, int64(trainIters*trainBatch)).Batches(trainIters, trainBatch)
-	// The A/B bucket size makes -overlap a real toggle at toy scale: at
-	// the 256 KiB default the toy gradients fit one drain-time bucket
-	// and both modes would execute identically.
-	opts := []dist.Option{dist.WithSeed(trainSeed), dist.WithLR(trainLR),
+	return runPlanParity(w, pl, overlap, m)
+}
+
+// toyBatches builds the fixed toy batch schedule for m.
+func toyBatches(m *nn.Model) []dist.Batch {
+	return data.Toy(m, int64(trainIters*trainBatch)).Batches(trainIters, trainBatch)
+}
+
+// trainOptions pins the toy training hyperparameters. The A/B bucket
+// size makes -overlap a real toggle at toy scale: at the 256 KiB
+// default the toy gradients fit one drain-time bucket and both modes
+// would execute identically.
+func trainOptions(overlap string) []dist.Option {
+	return []dist.Option{dist.WithSeed(trainSeed), dist.WithLR(trainLR),
 		dist.WithOverlap(overlap == "on"), dist.WithBucketBytes(dist.BenchOverlapBucketBytes)}
+}
+
+// runPlanParity executes pl for real on m and prints the per-iteration
+// value-parity table vs sequential SGD — shared by -train (explicit
+// plan) and -advise-and-train (advisor-chosen plan).
+func runPlanParity(w io.Writer, pl dist.Plan, overlap string, m *nn.Model) error {
+	batches := toyBatches(m)
+	opts := trainOptions(overlap)
 	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
 	if err != nil {
 		return err

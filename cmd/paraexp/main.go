@@ -5,6 +5,7 @@
 //	paraexp -exp fig3
 //	paraexp -exp accuracy
 //	paraexp -exp benchdist -bench-iters 10 > BENCH_dist.json
+//	paraexp -exp servebench -serve-requests 50000 > BENCH_serve.json
 package main
 
 import (
@@ -17,26 +18,32 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|table5|table6|fig3|fig4|fig5|fig6|fig7|fig8|accuracy|benchdist|all")
+	exp := flag.String("exp", "all", "experiment: table3|table5|table6|fig3|fig4|fig5|fig6|fig7|fig8|accuracy|benchdist|servebench|all")
 	trials := flag.Int("trials", 12, "fig6: number of collective trials")
 	congested := flag.Float64("congested", 0.35, "fig6: fraction of congested trials")
 	seed := flag.Int64("seed", 7, "fig6: congestion RNG seed")
 	asCSV := flag.Bool("csv", false, "emit machine-readable CSV (fig3, fig4, fig6, accuracy)")
 	benchIters := flag.Int("bench-iters", 5, "benchdist: timed runs per case")
+	serveRequests := flag.Int("serve-requests", 50000, "servebench: cached-phase request count")
+	serveConcurrency := flag.Int("serve-concurrency", 0, "servebench: in-flight workers (0 = 4×GOMAXPROCS)")
+	serveCold := flag.Int("serve-cold", 64, "servebench: cold-phase request count (all-distinct keys)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *trials, *congested, *seed, *asCSV, *benchIters); err != nil {
+	if err := run(os.Stdout, *exp, *trials, *congested, *seed, *asCSV, *benchIters, *serveRequests, *serveConcurrency, *serveCold); err != nil {
 		fmt.Fprintln(os.Stderr, "paraexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, trials int, congested float64, seed int64, asCSV bool, benchIters int) error {
-	// benchdist measures the real dist runtime rather than regenerating a
-	// paper artefact, and is excluded from "all" so artefact regeneration
-	// stays deterministic and fast.
+func run(w io.Writer, exp string, trials int, congested float64, seed int64, asCSV bool, benchIters, serveRequests, serveConcurrency, serveCold int) error {
+	// benchdist and servebench measure real runtimes rather than
+	// regenerating a paper artefact, and are excluded from "all" so
+	// artefact regeneration stays deterministic and fast.
 	if exp == "benchdist" {
 		return writeBenchDist(w, benchIters)
+	}
+	if exp == "servebench" {
+		return writeServeBench(w, serveRequests, serveConcurrency, serveCold)
 	}
 	e := report.NewEnv()
 	type step struct {

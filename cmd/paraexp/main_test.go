@@ -10,7 +10,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"table5", "fig7", "fig8"} {
 		var buf bytes.Buffer
-		if err := run(&buf, exp, 2, 0.5, 1, false, 1); err != nil {
+		if err := run(&buf, exp, 2, 0.5, 1, false, 1, 1, 1, 1); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if buf.Len() == 0 {
@@ -21,14 +21,14 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", 2, 0.5, 1, false, 1); err == nil {
+	if err := run(&buf, "fig99", 2, 0.5, 1, false, 1, 1, 1, 1); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig6", 2, 0.5, 1, true, 1); err != nil {
+	if err := run(&buf, "fig6", 2, 0.5, 1, true, 1, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -42,7 +42,7 @@ func TestRunCSVMode(t *testing.T) {
 // keep the test quick.
 func TestBenchDistSnapshot(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "benchdist", 2, 0.5, 1, false, 1); err != nil {
+	if err := run(&buf, "benchdist", 2, 0.5, 1, false, 1, 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	var snap BenchSnapshot
@@ -80,5 +80,33 @@ func TestBenchDistSnapshot(t *testing.T) {
 		if !seen {
 			t.Fatalf("snapshot is missing strategy %q", name)
 		}
+	}
+}
+
+// TestServeBenchSnapshot: the planner load snapshot decodes and the
+// cached path actually bypasses computation — a tiny run to keep the
+// test quick.
+func TestServeBenchSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "servebench", 2, 0.5, 1, false, 1, 200, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	var snap ServeBenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Cold.Errors != 0 || snap.Cached.Errors != 0 {
+		t.Fatalf("load errors: %+v", snap)
+	}
+	if snap.Cached.QPS <= 0 || snap.Cold.QPS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", snap)
+	}
+	// 4 cold keys + 1 cached warm-up; the 200 cached requests must not
+	// add computations.
+	if snap.Computations != 5 {
+		t.Fatalf("computations = %d, want 5", snap.Computations)
+	}
+	if snap.CacheHitRate <= 0.9 {
+		t.Fatalf("cache hit rate %.3f, want > 0.9", snap.CacheHitRate)
 	}
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"paradl/internal/serve"
+)
+
+// The servebench experiment measures the planner service under load
+// over real HTTP on the loopback: an in-process paraserve instance is
+// hit first with all-distinct advise requests (every request a new
+// content address — the cold path pays model resolution, profiling, and
+// eight strategy projections) and then with identical requests (the
+// cached path returns stored bytes). The committed snapshot
+// (BENCH_serve.json at the repo root) tracks cached throughput and the
+// cold→cached speedup across PRs:
+//
+//	paraexp -exp servebench -serve-requests 50000 > BENCH_serve.json
+
+// ServeBenchSnapshot is the servebench output.
+type ServeBenchSnapshot struct {
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Model       string           `json:"model"`
+	Endpoint    string           `json:"endpoint"`
+	Concurrency int              `json:"concurrency"`
+	Cold        serve.LoadResult `json:"cold"`
+	Cached      serve.LoadResult `json:"cached"`
+	// Speedup is cached QPS over cold QPS.
+	Speedup float64 `json:"speedup"`
+	// CacheHitRate is hits/(hits+misses) across the whole run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Computations int64   `json:"computations"`
+}
+
+// writeServeBench runs the load harness against an in-process planner
+// and writes the JSON snapshot.
+func writeServeBench(w io.Writer, requests, concurrency, cold int) error {
+	if requests < 1 || cold < 1 {
+		return fmt.Errorf("servebench needs positive request counts (requests=%d cold=%d)", requests, cold)
+	}
+	if concurrency < 1 {
+		concurrency = 4 * runtime.GOMAXPROCS(0)
+	}
+
+	s := serve.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := fmt.Sprintf("http://%s/advise", ln.Addr())
+
+	const model = "resnet152"
+	// Cold: every body is a distinct dataset size, hence a distinct
+	// content address — nothing is served from cache. The +1 offset
+	// keeps every cold key distinct from the cached body's default d.
+	coldBodies := make([][]byte, cold)
+	for i := range coldBodies {
+		coldBodies[i] = []byte(fmt.Sprintf(`{"model":%q,"gpus":512,"batch":32,"d":%d}`, model, 1_281_167+1+i))
+	}
+	coldRes, err := serve.RunLoad(serve.LoadSpec{
+		URL: url, Bodies: coldBodies, Concurrency: concurrency, Requests: cold,
+	})
+	if err != nil {
+		return fmt.Errorf("cold load: %w", err)
+	}
+
+	// Cached: one body (a key untouched by the cold phase), warmed once
+	// so the measured run is pure cache hits.
+	cachedBody := [][]byte{[]byte(fmt.Sprintf(`{"model":%q,"gpus":512,"batch":32}`, model))}
+	if _, err := serve.RunLoad(serve.LoadSpec{URL: url, Bodies: cachedBody, Concurrency: 1, Requests: 1}); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+	cachedRes, err := serve.RunLoad(serve.LoadSpec{
+		URL: url, Bodies: cachedBody, Concurrency: concurrency, Requests: requests,
+	})
+	if err != nil {
+		return fmt.Errorf("cached load: %w", err)
+	}
+
+	st := s.Stats()
+	snap := &ServeBenchSnapshot{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Model:        model,
+		Endpoint:     "/advise",
+		Concurrency:  concurrency,
+		Cold:         coldRes,
+		Cached:       cachedRes,
+		Computations: st.Computations,
+	}
+	if coldRes.QPS > 0 {
+		snap.Speedup = cachedRes.QPS / coldRes.QPS
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		snap.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

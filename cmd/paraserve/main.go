@@ -1,0 +1,43 @@
+// Command paraserve runs the ParaDL oracle as a service: a concurrent
+// HTTP planner that answers projection, advice, and sweep queries from
+// a content-addressed cache with singleflight deduplication.
+//
+//	paraserve -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/advise -d '{"model":"resnet50","gpus":64,"batch":32}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"paradl/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries, "projection cache capacity (entries)")
+	flag.Parse()
+
+	if err := run(*addr, *cacheEntries); err != nil {
+		fmt.Fprintln(os.Stderr, "paraserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run listens on addr and serves the planner until the process exits.
+func run(addr string, cacheEntries int) error {
+	if cacheEntries < 1 {
+		return fmt.Errorf("cache-entries must be positive, got %d", cacheEntries)
+	}
+	s := serve.New(serve.WithCacheEntries(cacheEntries))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "paraserve: listening on %s (cache %d entries)\n", ln.Addr(), cacheEntries)
+	return http.Serve(ln, s.Handler())
+}

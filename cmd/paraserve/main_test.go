@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"paradl/internal/serve"
+)
+
+// The binary's serving loop end to end: listen on an ephemeral port,
+// probe /healthz, and get ranked advice over real HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New()
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/advise", "application/json",
+		strings.NewReader(`{"model":"resnet50","gpus":64,"batch":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var advs []struct {
+		Rank       int `json:"rank"`
+		Projection struct {
+			Strategy string `json:"strategy"`
+		} `json:"projection"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&advs); err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) == 0 || advs[0].Rank != 1 || advs[0].Projection.Strategy == "" {
+		t.Fatalf("advice not ranked: %+v", advs)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run("127.0.0.1:0", 0); err == nil {
+		t.Fatal("want error for zero cache entries")
+	}
+	if err := run("256.0.0.1:bad", 8); err == nil {
+		t.Fatal("want error for bad address")
+	}
+}

@@ -182,6 +182,20 @@ func (s *System) Validate() error {
 	return nil
 }
 
+// ByName returns a system description by its canonical name. The empty
+// string and "default" alias the paper's evaluation machine, so wire
+// requests may omit the cluster; the resolved System always carries its
+// canonical name ("abci-like"), which is what content-addressed config
+// keys embed.
+func ByName(name string) (*System, error) {
+	switch name {
+	case "", "default", "abci-like":
+		return Default(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown system %q (want abci-like)", name)
+	}
+}
+
 // Default builds the paper's evaluation machine (§5.1): nodes with four
 // 16-GB V100-class GPUs joined by NVLink (20 GB/s), dual-EDR InfiniBand
 // uplinks (2 × 12.5 GB/s), 17 nodes per rack, and a 3-level fat tree

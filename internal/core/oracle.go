@@ -52,18 +52,20 @@ type Config struct {
 // phase is excluded, as in the paper (§4.2).
 type Breakdown struct {
 	// Compute phases.
-	FW, BW, WU float64
+	FW float64 `json:"fw,omitempty"`
+	BW float64 `json:"bw,omitempty"`
+	WU float64 `json:"wu,omitempty"`
 	// GE is the gradient-exchange Allreduce (data/spatial/hybrid).
-	GE float64
+	GE float64 `json:"ge,omitempty"`
 	// FBComm is layer-wise forward/backward collective time
 	// (filter/channel Allgather+Allreduce).
-	FBComm float64
+	FBComm float64 `json:"fb_comm,omitempty"`
 	// Halo is the spatial neighbour exchange.
-	Halo float64
+	Halo float64 `json:"halo,omitempty"`
 	// PipeP2P is pipeline stage-to-stage activation passing.
-	PipeP2P float64
+	PipeP2P float64 `json:"pipe_p2p,omitempty"`
 	// Scatter covers sample distribution inside spatial groups.
-	Scatter float64
+	Scatter float64 `json:"scatter,omitempty"`
 }
 
 // Comp returns total computation seconds per epoch.

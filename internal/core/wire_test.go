@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// refSpace fuzzes ConfigRefs over the valid serving space: zoo models,
+// the named cluster, and positive scalar knobs.
+func refSpace(rng *rand.Rand) ConfigRef {
+	models := []string{"tinycnn", "tinycnn-nobn", "tinyresnet", "tiny3d", "resnet50", "vgg16"}
+	return ConfigRef{
+		Model:               models[rng.Intn(len(models))],
+		Cluster:             "abci-like",
+		D:                   int64(rng.Intn(1_000_000) + 1),
+		B:                   rng.Intn(4096) + 1,
+		P:                   1 << rng.Intn(10),
+		P1:                  rng.Intn(4),
+		P2:                  rng.Intn(4),
+		Segments:            rng.Intn(8),
+		Phi:                 float64(rng.Intn(8)) / 2,
+		OptimizerExtraState: rng.Intn(3),
+	}
+}
+
+// Distinct ConfigRefs must render distinct canonical strings (and
+// therefore distinct content-addressed keys): the cache key is
+// injective over the config space.
+func TestConfigRefKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[string]ConfigRef{}
+	for i := 0; i < 5000; i++ {
+		r := refSpace(rng)
+		canon := r.Canonical()
+		if prev, ok := seen[canon]; ok && prev != r {
+			t.Fatalf("canonical collision: %+v and %+v both render %q", prev, r, canon)
+		}
+		seen[canon] = r
+		if len(r.Key()) != 64 {
+			t.Fatalf("key %q is not a sha256 hex digest", r.Key())
+		}
+	}
+	// And directly: mutate each scalar field of a base ref; every
+	// mutation must change the key.
+	base := ConfigRef{Model: "resnet50", Cluster: "abci-like", D: 1000, B: 64, P: 8, Segments: 4}
+	mutations := []ConfigRef{}
+	for _, m := range []func(*ConfigRef){
+		func(r *ConfigRef) { r.Model = "vgg16" },
+		func(r *ConfigRef) { r.D++ },
+		func(r *ConfigRef) { r.B++ },
+		func(r *ConfigRef) { r.P *= 2 },
+		func(r *ConfigRef) { r.P1 = 2 },
+		func(r *ConfigRef) { r.P2 = 2 },
+		func(r *ConfigRef) { r.Segments++ },
+		func(r *ConfigRef) { r.Phi = 1.5 },
+		func(r *ConfigRef) { r.OptimizerExtraState = 2 },
+	} {
+		mut := base
+		m(&mut)
+		mutations = append(mutations, mut)
+	}
+	keys := map[string]bool{base.Key(): true}
+	for _, mut := range mutations {
+		if keys[mut.Key()] {
+			t.Fatalf("mutation %+v collides with an earlier key", mut)
+		}
+		keys[mut.Key()] = true
+	}
+}
+
+// Key derivation is a pure function of the ref's VALUE: float spelling
+// or field-order differences in the JSON that produced the ref cannot
+// change the key, because equal refs render equal canonical strings.
+func TestConfigRefKeyValueDetermined(t *testing.T) {
+	orderA := []byte(`{"model":"resnet50","cluster":"abci-like","d":1000,"b":64,"p":8,"phi":0.5}`)
+	orderB := []byte(`{"phi":5e-1,"p":8,"b":64,"d":1000,"cluster":"abci-like","model":"resnet50"}`)
+	var a, b ConfigRef
+	if err := json.Unmarshal(orderA, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(orderB, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("refs differ: %+v vs %+v", a, b)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ for equal refs: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+// Same ConfigRef ⇒ bit-identical Projection: resolve and project twice
+// from scratch and require byte-equal wire encodings.
+func TestProjectionDeterministic(t *testing.T) {
+	ref := ConfigRef{Model: "resnet50", Cluster: "abci-like", D: 1_281_167, B: 32 * 64, P: 64}
+	for _, s := range Strategies() {
+		var encs [][]byte
+		for trial := 0; trial < 2; trial++ {
+			cfg, err := ref.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := Project(cfg, s)
+			if err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+			enc, err := json.Marshal(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encs = append(encs, enc)
+		}
+		if !bytes.Equal(encs[0], encs[1]) {
+			t.Fatalf("%v: same config produced different projections:\n%s\n%s", s, encs[0], encs[1])
+		}
+	}
+}
+
+// Projection JSON round-trips: unmarshal(marshal(p)) reconstructs an
+// equal projection (config resolved back through the zoo) and
+// re-marshals to identical bytes.
+func TestProjectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20; i++ {
+		ref := ConfigRef{
+			Model:    []string{"tinycnn", "tinyresnet", "tiny3d"}[rng.Intn(3)],
+			Cluster:  "abci-like",
+			D:        int64(rng.Intn(10000) + 64),
+			B:        8 * (rng.Intn(8) + 1),
+			P:        []int{1, 2, 4, 8}[rng.Intn(4)],
+			Segments: rng.Intn(4),
+			Phi:      float64(rng.Intn(4)),
+		}
+		cfg, err := ref.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Strategies()[rng.Intn(len(Strategies()))]
+		pr, err := Project(cfg, s)
+		if err != nil {
+			t.Fatalf("%v %+v: %v", s, ref, err)
+		}
+		enc, err := json.Marshal(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Projection
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", enc, err)
+		}
+		enc2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed encoding:\n%s\n%s", enc, enc2)
+		}
+		if !reflect.DeepEqual(*pr, back) {
+			t.Fatalf("round trip changed projection: %+v vs %+v", *pr, back)
+		}
+	}
+}
+
+// Advice lists round-trip through JSON with ranks and ordering intact.
+func TestAdviceRoundTrip(t *testing.T) {
+	ref := ConfigRef{Model: "tinyresnet", Cluster: "abci-like", D: 4096, B: 64, P: 4}
+	cfg, err := ref.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	advs, err := Advise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(advs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Advice
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("advice round trip changed encoding:\n%s\n%s", enc, enc2)
+	}
+	if len(back) != len(advs) {
+		t.Fatalf("lost advice entries: %d vs %d", len(back), len(advs))
+	}
+	for i := range advs {
+		if back[i].Rank != advs[i].Rank || back[i].Projection.Strategy != advs[i].Projection.Strategy {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, advs[i], back[i])
+		}
+	}
+}
+
+// Every strategy's text form round-trips through ParseStrategy.
+func TestStrategyTextRoundTrip(t *testing.T) {
+	for _, s := range append(Strategies(), Serial) {
+		txt, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Strategy
+		if err := back.UnmarshalText(txt); err != nil {
+			t.Fatalf("%s: %v", txt, err)
+		}
+		if back != s {
+			t.Fatalf("%v round-tripped to %v", s, back)
+		}
+	}
+	var bad Strategy
+	if err := bad.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("unknown strategy text must be rejected")
+	}
+	if _, err := Strategy(99).MarshalText(); err == nil {
+		t.Fatal("out-of-range strategy must refuse to marshal")
+	}
+}
+
+// Resolve rejects unknown names and non-positive scalars.
+func TestConfigRefResolveRejects(t *testing.T) {
+	good := ConfigRef{Model: "tinycnn", Cluster: "abci-like", D: 64, B: 8, P: 2}
+	if _, err := good.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ConfigRef{
+		{Model: "nope", Cluster: "abci-like", D: 64, B: 8, P: 2},
+		{Model: "tinycnn", Cluster: "nope", D: 64, B: 8, P: 2},
+		{Model: "tinycnn", Cluster: "abci-like", D: 0, B: 8, P: 2},
+		{Model: "tinycnn", Cluster: "abci-like", D: 64, B: 0, P: 2},
+		{Model: "tinycnn", Cluster: "abci-like", D: 64, B: 8, P: 0},
+	} {
+		if _, err := bad.Resolve(); err == nil {
+			t.Fatalf("ref %+v must fail to resolve", bad)
+		}
+	}
+}
+
+// Config.Ref is the left inverse of ConfigRef.Resolve over the wire
+// space (quick property over the scalar knobs).
+func TestRefResolveInverse(t *testing.T) {
+	f := func(dRaw uint32, bRaw, pRaw uint8) bool {
+		ref := ConfigRef{
+			Model:   "tinycnn",
+			Cluster: "abci-like",
+			D:       int64(dRaw%100000) + 1,
+			B:       int(bRaw%64) + 1,
+			P:       1 << (pRaw % 4),
+		}
+		cfg, err := ref.Resolve()
+		if err != nil {
+			return false
+		}
+		return cfg.Ref() == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

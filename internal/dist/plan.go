@@ -130,6 +130,28 @@ func (pl Plan) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler with the canonical
+// plan string, giving Plan a committed serialized form ("df:4x2") in
+// JSON and text wires. Invalid plans refuse to marshal rather than
+// emitting a string ParsePlan would reject.
+func (pl Plan) MarshalText() ([]byte, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(pl.String()), nil
+}
+
+// UnmarshalText inverts MarshalText via ParsePlan; the decoded plan is
+// always normalized and valid.
+func (pl *Plan) UnmarshalText(b []byte) error {
+	parsed, err := ParsePlan(string(b))
+	if err != nil {
+		return err
+	}
+	*pl = parsed
+	return nil
+}
+
 // Validate rejects plans the registry cannot dispatch: unknown or
 // unregistered strategies, non-positive grid axes, and pure strategies
 // whose degenerate axis is not 1 (e.g. Plan{Strategy: Data, P2: 3}).

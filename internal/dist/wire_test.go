@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"paradl/internal/core"
+)
+
+// Plans round-trip through their text/JSON wire form: marshal →
+// unmarshal reconstructs the normalized plan, and re-marshal is
+// byte-identical (property over the whole valid plan space).
+func TestPlanTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	strategies := append(Strategies(), core.Serial)
+	for i := 0; i < 2000; i++ {
+		s := strategies[rng.Intn(len(strategies))]
+		var pl Plan
+		switch s {
+		case core.Serial:
+			pl = Plan{Strategy: s}
+		case core.DataFilter, core.DataSpatial, core.DataPipeline:
+			pl = Plan{Strategy: s, P1: rng.Intn(8) + 1, P2: rng.Intn(8) + 1}
+		case core.Data:
+			pl = Plan{Strategy: s, P1: rng.Intn(8) + 1}
+		default:
+			pl = Plan{Strategy: s, P2: rng.Intn(8) + 1}
+		}
+		txt, err := pl.MarshalText()
+		if err != nil {
+			t.Fatalf("%+v: %v", pl, err)
+		}
+		var back Plan
+		if err := back.UnmarshalText(txt); err != nil {
+			t.Fatalf("%s: %v", txt, err)
+		}
+		if back != pl.normalized() {
+			t.Fatalf("%s decoded to %+v, want %+v", txt, back, pl.normalized())
+		}
+		txt2, err := back.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(txt, txt2) {
+			t.Fatalf("re-marshal changed: %s vs %s", txt, txt2)
+		}
+	}
+}
+
+// Plan participates in JSON documents via its text form.
+func TestPlanJSON(t *testing.T) {
+	type doc struct {
+		Plan Plan `json:"plan"`
+	}
+	in := doc{Plan: Plan{Strategy: core.DataSpatial, P1: 4, P2: 2}}
+	enc, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"plan":"ds:4x2"}`; string(enc) != want {
+		t.Fatalf("encoded %s, want %s", enc, want)
+	}
+	var out doc
+	if err := json.Unmarshal(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan != in.Plan {
+		t.Fatalf("decoded %+v, want %+v", out.Plan, in.Plan)
+	}
+	var bad doc
+	if err := json.Unmarshal([]byte(`{"plan":"df:0x2"}`), &bad); err == nil {
+		t.Fatal("invalid plan string must fail to decode")
+	}
+}
+
+// Invalid plans refuse to marshal instead of emitting unparseable text.
+func TestPlanMarshalRejectsInvalid(t *testing.T) {
+	for _, pl := range []Plan{
+		{Strategy: core.Data, P1: 0, P2: 1},
+		{Strategy: core.DataFilter, P1: 2},
+		{Strategy: core.Serial, P1: 3, P2: 1},
+		{Strategy: core.Strategy(42), P1: 1, P2: 1},
+	} {
+		if _, err := pl.MarshalText(); err == nil {
+			t.Fatalf("plan %+v must refuse to marshal", pl)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func benchPost(b *testing.B, h http.Handler, path string, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkAdviseCached measures the hot path the load target cares
+// about: identical advise requests answered from the projection cache.
+func BenchmarkAdviseCached(b *testing.B) {
+	s := New()
+	h := s.Handler()
+	body := []byte(`{"model":"resnet152","gpus":512,"batch":32}`)
+	benchPost(b, h, "/advise", body) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, h, "/advise", body)
+		}
+	})
+	b.StopTimer()
+	if st := s.Stats(); st.Computations != 1 {
+		b.Fatalf("computations = %d, want 1 (bench must stay cached)", st.Computations)
+	}
+}
+
+// BenchmarkAdviseCold measures uncached advise: every request is a new
+// content address, so each pays model resolution + profiling + eight
+// strategy projections.
+func BenchmarkAdviseCold(b *testing.B) {
+	s := New()
+	h := s.Handler()
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := 1_281_167 + n.Add(1) // distinct dataset size ⇒ distinct key
+		body := []byte(fmt.Sprintf(`{"model":"resnet152","gpus":512,"batch":32,"d":%d}`, d))
+		benchPost(b, h, "/advise", body)
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.CacheHits != 0 {
+		b.Fatalf("cache hits = %d, want 0 (bench must stay cold)", st.CacheHits)
+	}
+}
+
+// BenchmarkSweepCached measures the cached full-grid path.
+func BenchmarkSweepCached(b *testing.B) {
+	s := New()
+	h := s.Handler()
+	body := []byte(`{"model":"resnet50","batch":32}`)
+	benchPost(b, h, "/sweep", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, h, "/sweep", body)
+		}
+	})
+}
+
+// BenchmarkSweepCold measures one full uncached strategy × p grid.
+func BenchmarkSweepCold(b *testing.B) {
+	s := New()
+	h := s.Handler()
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := []byte(fmt.Sprintf(`{"model":"resnet50","batch":32,"d":%d}`, 1_281_167+n.Add(1)))
+		benchPost(b, h, "/sweep", body)
+	}
+}

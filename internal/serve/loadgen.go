@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadSpec drives one load-generation run against a planner endpoint.
+type LoadSpec struct {
+	// URL is the full endpoint URL (e.g. http://127.0.0.1:8080/advise).
+	URL string
+	// Bodies are the request bodies, assigned round-robin across the
+	// run. One body exercises the fully-cached path; distinct bodies
+	// (distinct cache keys) exercise the cold path.
+	Bodies [][]byte
+	// Concurrency is the number of in-flight workers.
+	Concurrency int
+	// Requests is the total request count.
+	Requests int
+}
+
+// LoadResult summarizes a load run.
+type LoadResult struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	QPM      float64 `json:"qpm"`
+}
+
+// RunLoad fires spec.Requests POSTs at spec.URL over keep-alive
+// connections and reports achieved throughput. Any non-200 status or
+// transport error counts as an error; the run itself only fails when
+// every request errored (the endpoint is down, not slow).
+func RunLoad(spec LoadSpec) (LoadResult, error) {
+	if spec.Concurrency < 1 {
+		spec.Concurrency = 1
+	}
+	if spec.Requests < 1 || len(spec.Bodies) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load spec needs requests and bodies")
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        spec.Concurrency * 2,
+		MaxIdleConnsPerHost: spec.Concurrency * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(spec.Requests) {
+					return
+				}
+				body := spec.Bodies[int(i)%len(spec.Bodies)]
+				resp, err := client.Post(spec.URL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := LoadResult{
+		Requests: spec.Requests,
+		Errors:   int(errs.Load()),
+		Seconds:  elapsed,
+		QPS:      float64(spec.Requests) / elapsed,
+	}
+	res.QPM = res.QPS * 60
+	if res.Errors == res.Requests {
+		return res, fmt.Errorf("serve: all %d load requests failed", res.Requests)
+	}
+	return res, nil
+}

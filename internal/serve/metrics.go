@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"time"
+)
+
+// metrics holds the server's counters as unpublished expvar values —
+// each Server owns its own instances (expvar.Publish is global and
+// would collide across servers in tests), and /metrics renders their
+// canonical expvar JSON.
+type metrics struct {
+	requests     *expvar.Map // per-endpoint request counts
+	hits         *expvar.Int // cache hits
+	misses       *expvar.Int // cache misses (includes coalesced joiners)
+	coalesced    *expvar.Int // requests that joined an in-flight compute
+	computations *expvar.Int // response computations actually performed
+	projections  *expvar.Int // individual core.Project evaluations
+	errors       *expvar.Int // requests answered with an error status
+	latency      *expvar.Map // request latency histogram
+}
+
+// latencyBuckets are the histogram upper bounds; the key order is the
+// bucket order (expvar.Map renders keys sorted, so keys are chosen to
+// sort by bound).
+var latencyBuckets = []struct {
+	le  time.Duration
+	key string
+}{
+	{100 * time.Microsecond, "le_0000100us"},
+	{500 * time.Microsecond, "le_0000500us"},
+	{time.Millisecond, "le_0001000us"},
+	{5 * time.Millisecond, "le_0005000us"},
+	{25 * time.Millisecond, "le_0025000us"},
+	{100 * time.Millisecond, "le_0100000us"},
+	{time.Second, "le_1000000us"},
+	{1<<63 - 1, "le_inf"},
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		requests:     new(expvar.Map).Init(),
+		hits:         new(expvar.Int),
+		misses:       new(expvar.Int),
+		coalesced:    new(expvar.Int),
+		computations: new(expvar.Int),
+		projections:  new(expvar.Int),
+		errors:       new(expvar.Int),
+		latency:      new(expvar.Map).Init(),
+	}
+	for _, b := range latencyBuckets {
+		m.latency.Add(b.key, 0) // pre-create so the histogram shape is stable
+	}
+	return m
+}
+
+// observe records one request latency in the histogram.
+func (m *metrics) observe(d time.Duration) {
+	for _, b := range latencyBuckets {
+		if d <= b.le {
+			m.latency.Add(b.key, 1)
+			return
+		}
+	}
+}
+
+// writeJSON renders the full metrics document; every value is an
+// expvar, so each String() is already valid JSON.
+func (m *metrics) writeJSON(w io.Writer) {
+	fmt.Fprintf(w,
+		`{"requests":%s,"cache_hits":%s,"cache_misses":%s,"singleflight_coalesced":%s,"computations":%s,"projections":%s,"errors":%s,"latency":%s}`,
+		m.requests.String(), m.hits.String(), m.misses.String(), m.coalesced.String(),
+		m.computations.String(), m.projections.String(), m.errors.String(), m.latency.String())
+	io.WriteString(w, "\n")
+}
+
+// Stats is a point-in-time snapshot of the server's counters, for
+// tests and the load harness.
+type Stats struct {
+	Requests     map[string]int64
+	CacheHits    int64
+	CacheMisses  int64
+	Coalesced    int64
+	Computations int64
+	Projections  int64
+	Errors       int64
+}
+
+func (m *metrics) stats() Stats {
+	s := Stats{Requests: map[string]int64{}}
+	m.requests.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			s.Requests[kv.Key] = v.Value()
+		}
+	})
+	s.CacheHits = m.hits.Value()
+	s.CacheMisses = m.misses.Value()
+	s.Coalesced = m.coalesced.Value()
+	s.Computations = m.computations.Value()
+	s.Projections = m.projections.Value()
+	s.Errors = m.errors.Value()
+	return s
+}

@@ -1,0 +1,298 @@
+// Package serve turns the analytic oracle into a planning service —
+// "oracle as a service". Projections are pure functions of (model,
+// cluster, plan), which makes them ideal to serve at scale: requests
+// are canonicalized into content-addressed keys, answered from a
+// bounded LRU projection cache, and concurrent identical computations
+// are deduplicated with singleflight so a thundering herd computes each
+// grid exactly once.
+//
+// Endpoints (POST JSON unless noted):
+//
+//	/project  one (strategy, config) projection
+//	/advise   every strategy projected and ranked for one config
+//	/sweep    the full strategy × p grid, including hybrid p1×p2 shapes
+//	/healthz  GET liveness probe
+//	/metrics  GET request/cache/singleflight/latency counters (expvar)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"paradl/internal/cluster"
+	"paradl/internal/core"
+	"paradl/internal/dist"
+	"paradl/internal/model"
+	"paradl/internal/profile"
+)
+
+// DefaultCacheEntries bounds the LRU projection cache.
+const DefaultCacheEntries = 4096
+
+// maxRequestBytes bounds request bodies; planner requests are tiny.
+const maxRequestBytes = 1 << 20
+
+// Server is the concurrent HTTP planner.
+type Server struct {
+	mux   *http.ServeMux
+	cache *lruCache
+	group flightGroup
+	met   *metrics
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithCacheEntries bounds the projection cache to n entries.
+func WithCacheEntries(n int) Option {
+	return func(s *Server) { s.cache = newLRU(n) }
+}
+
+// New builds a planner server.
+func New(opts ...Option) *Server {
+	s := &Server{
+		mux:   http.NewServeMux(),
+		cache: newLRU(DefaultCacheEntries),
+		met:   newMetrics(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("/project", s.endpoint("project"))
+	s.mux.HandleFunc("/advise", s.endpoint("advise"))
+	s.mux.HandleFunc("/sweep", s.endpoint("sweep"))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok"}`+"\n")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.met.writeJSON(w)
+	})
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats { return s.met.stats() }
+
+// CacheLen reports the live entry count of the projection cache.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// endpoint wraps one planning endpoint with the shared request
+// pipeline: decode → canonicalize → content-addressed cache →
+// singleflight compute → respond.
+func (s *Server) endpoint(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.requests.Add(name, 1)
+		defer func() { s.met.observe(time.Since(start)) }()
+
+		if r.Method != http.MethodPost {
+			s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST a JSON request to /%s", name))
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes)).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+			return
+		}
+		req, err := req.normalize(name)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		key := req.key(name)
+		if body, ok := s.cache.get(key); ok {
+			s.met.hits.Add(1)
+			s.respond(w, body)
+			return
+		}
+		s.met.misses.Add(1)
+		body, err, shared := s.group.Do(key, func() ([]byte, error) {
+			s.met.computations.Add(1)
+			out, err := s.compute(name, req)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.put(key, out)
+			return out, nil
+		})
+		if shared {
+			s.met.coalesced.Add(1)
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s.respond(w, body)
+	}
+}
+
+func (s *Server) respond(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.met.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// compute evaluates one normalized request. Responses are deterministic
+// functions of the canonical request — core.Project is pure and the
+// wire encoding is stable — which is what makes them cacheable bytes.
+func (s *Server) compute(endpoint string, req Request) ([]byte, error) {
+	switch endpoint {
+	case "project":
+		cfg, err := req.configRef().Resolve()
+		if err != nil {
+			return nil, err
+		}
+		strat, err := core.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := core.Project(cfg, strat)
+		if err != nil {
+			return nil, err
+		}
+		s.met.projections.Add(1)
+		return json.Marshal(pr)
+	case "advise":
+		cfg, err := req.configRef().Resolve()
+		if err != nil {
+			return nil, err
+		}
+		advs, err := core.Advise(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.met.projections.Add(int64(len(advs)))
+		return json.Marshal(advs)
+	case "sweep":
+		resp, n, err := sweepGrid(req)
+		if err != nil {
+			return nil, err
+		}
+		s.met.projections.Add(int64(n))
+		return json.Marshal(resp)
+	}
+	return nil, fmt.Errorf("serve: unknown endpoint %q", endpoint)
+}
+
+// SweepPoint is one (plan, p) grid point of a /sweep response.
+type SweepPoint struct {
+	// Plan is the canonical plan string ("data:8", "df:4x2").
+	Plan string `json:"plan"`
+	// P is the total PE count of the point.
+	P int `json:"p"`
+	// Projection is the oracle output; omitted when the point errored.
+	Projection *core.Projection `json:"projection,omitempty"`
+	// Error reports a point that could not be projected.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResponse is the /sweep payload: the full strategy × p grid.
+type SweepResponse struct {
+	Model   string       `json:"model"`
+	Cluster string       `json:"cluster"`
+	Points  []SweepPoint `json:"points"`
+}
+
+// sweepPlans enumerates the plans at total width p: every pure strategy
+// plus every interior p1×p2 factorization of the three hybrids (the
+// degenerate p1=1 / p2=1 edges are exactly the pure strategies already
+// listed).
+func sweepPlans(p int) []dist.Plan {
+	if p == 1 {
+		return []dist.Plan{{Strategy: core.Serial, P1: 1, P2: 1}}
+	}
+	plans := []dist.Plan{
+		{Strategy: core.Data, P1: p, P2: 1},
+		{Strategy: core.Spatial, P1: 1, P2: p},
+		{Strategy: core.Filter, P1: 1, P2: p},
+		{Strategy: core.Channel, P1: 1, P2: p},
+		{Strategy: core.Pipeline, P1: 1, P2: p},
+	}
+	for p2 := 2; p2 <= p/2; p2++ {
+		if p%p2 != 0 {
+			continue
+		}
+		for _, s := range []core.Strategy{core.DataFilter, core.DataSpatial, core.DataPipeline} {
+			plans = append(plans, dist.Plan{Strategy: s, P1: p / p2, P2: p2})
+		}
+	}
+	return plans
+}
+
+// sweepGrid projects the full grid for a normalized sweep request,
+// resolving the model once and reusing per-layer profiles across
+// points with equal per-PE batch. Every point's Config is identical to
+// what its ConfigRef would Resolve to, so point projections are
+// bit-identical to single /project answers for the same config.
+func sweepGrid(req Request) (*SweepResponse, int, error) {
+	m, err := model.ByName(req.Model)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := cluster.ByName(req.Cluster)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := profile.NewDevice(sys.GPU)
+	times := map[int]*profile.LayerTimes{}
+	profileAt := func(perPE int) *profile.LayerTimes {
+		if lt, ok := times[perPE]; ok {
+			return lt
+		}
+		lt := profile.ProfileModel(dev, m, perPE)
+		times[perPE] = lt
+		return lt
+	}
+
+	resp := &SweepResponse{Model: m.Name, Cluster: sys.Name}
+	projections := 0
+	for _, p := range req.PS {
+		b := req.BatchGlobal
+		if b == 0 {
+			b = req.Batch * p
+		}
+		perPE := b / p
+		if perPE < 1 {
+			perPE = 1
+		}
+		for _, pl := range sweepPlans(p) {
+			cfg := core.Config{
+				Model: m, Sys: sys, Times: profileAt(perPE),
+				D: req.D, B: b, P: p,
+				Segments: req.Segments, Phi: req.Phi,
+				OptimizerExtraState: req.OptimizerExtraState,
+			}
+			if isHybrid(pl.Strategy) {
+				cfg.P1, cfg.P2 = pl.P1, pl.P2
+			}
+			point := SweepPoint{Plan: pl.String(), P: p}
+			pr, err := core.Project(cfg, pl.Strategy)
+			if err != nil {
+				point.Error = err.Error()
+			} else {
+				point.Projection = pr
+				projections++
+			}
+			resp.Points = append(resp.Points, point)
+		}
+	}
+	return resp, projections, nil
+}
+
+func isHybrid(s core.Strategy) bool {
+	return s == core.DataFilter || s == core.DataSpatial || s == core.DataPipeline
+}
