@@ -82,21 +82,10 @@ func runAdviseTrain(w io.Writer, serverURL, trainModel, overlap string, gpus int
 }
 
 // planFromAdvice maps an oracle projection onto an executable dist
-// plan: the data-parallel width rides the first axis, model-parallel
-// strategies the second, and hybrids keep the advisor's defaulted
-// P1×P2 grid shape.
+// plan; the mapping lives in the runtime (the elastic supervisor
+// re-plans with it too), this is just the CLI-local name.
 func planFromAdvice(pr *core.Projection) dist.Plan {
-	cfg := pr.Config
-	switch s := pr.Strategy; s {
-	case core.Serial:
-		return dist.Plan{Strategy: core.Serial}
-	case core.Data:
-		return dist.Plan{Strategy: core.Data, P1: cfg.P}
-	case core.DataFilter, core.DataSpatial, core.DataPipeline:
-		return dist.Plan{Strategy: s, P1: cfg.P1, P2: cfg.P2}
-	default:
-		return dist.Plan{Strategy: s, P2: cfg.P}
-	}
+	return dist.PlanFromProjection(pr)
 }
 
 // tryPlan runs pl once, quietly, to learn whether the runtime can

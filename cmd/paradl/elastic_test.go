@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paradl/internal/ckpt"
+)
+
+// TestElasticTrainKillSmoke is the e2e smoke of the acceptance
+// criteria: -train data:4 -kill 3@2 -ckpt-every 1 recovers without
+// human intervention, prints the recovery line, and still passes the
+// built-in parity gate.
+func TestElasticTrainKillSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := runElasticTrain(&out, "data:4", "on", trainDefaultModel,
+		elasticConfig{Every: 1, Kill: "3@2"})
+	if err != nil {
+		t.Fatalf("elastic -train: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "recovered: PE 3 died at iteration 2") {
+		t.Fatalf("missing recovery line in output:\n%s", s)
+	}
+	if !strings.Contains(s, "resumed from checkpoint at iteration 2") {
+		t.Fatalf("missing resume point in output:\n%s", s)
+	}
+	if !strings.Contains(s, "reproduces sequential SGD value-by-value") {
+		t.Fatalf("parity gate did not pass:\n%s", s)
+	}
+}
+
+// TestElasticTrainCheckpointResumeMigrate: a checkpointing run under
+// data:4 leaves files in -ckpt-dir; -resume continues from the latest
+// under a DIFFERENT plan (live migration) and still passes parity.
+func TestElasticTrainCheckpointResumeMigrate(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := runElasticTrain(&out, "data:4", "on", trainDefaultModel,
+		elasticConfig{Every: 1, Dir: dir}); err != nil {
+		t.Fatalf("checkpointing run: %v\n%s", err, out.String())
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.pdl"))
+	if len(paths) != 4 {
+		t.Fatalf("expected 4 checkpoints, found %v", paths)
+	}
+	// The completed run checkpoints at iteration 4 == schedule end;
+	// -resume must refuse a nothing-left resume.
+	var done bytes.Buffer
+	if err := runElasticTrain(&done, "df:2x2", "on", trainDefaultModel,
+		elasticConfig{Dir: dir, Resume: true}); err == nil {
+		t.Fatal("-resume past the end of the schedule must error")
+	}
+	// Roll back to the iteration-2 checkpoint and migrate data:4 → df:2x2.
+	st, err := ckpt.Load(filepath.Join(dir, ckpt.FileName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := t.TempDir()
+	if _, err := ckpt.Save(mid, st); err != nil {
+		t.Fatal(err)
+	}
+	var res bytes.Buffer
+	if err := runElasticTrain(&res, "df:2x2", "on", trainDefaultModel,
+		elasticConfig{Dir: mid, Resume: true}); err != nil {
+		t.Fatalf("-resume with migration: %v\n%s", err, res.String())
+	}
+	s := res.String()
+	if !strings.Contains(s, "migrating to df:2x2") {
+		t.Fatalf("missing migration note:\n%s", s)
+	}
+	if !strings.Contains(s, "reproduces sequential SGD value-by-value") {
+		t.Fatalf("parity gate did not pass after migration:\n%s", s)
+	}
+}
+
+func TestParseKill(t *testing.T) {
+	pe, iter, err := parseKill("3@2")
+	if err != nil || pe != 3 || iter != 2 {
+		t.Fatalf("parseKill(3@2) = %d,%d,%v", pe, iter, err)
+	}
+	for _, bad := range []string{"", "3", "@", "a@2", "3@b", "-1@2", "3@-2"} {
+		if _, _, err := parseKill(bad); err == nil {
+			t.Fatalf("parseKill(%q) must error", bad)
+		}
+	}
+}
+
+// TestElasticTrainKillOutOfRange: killing a PE the plan does not have
+// is a user error, not a hang.
+func TestElasticTrainKillOutOfRange(t *testing.T) {
+	var out bytes.Buffer
+	if err := runElasticTrain(&out, "data:2", "on", trainDefaultModel,
+		elasticConfig{Every: 1, Kill: "7@1"}); err == nil {
+		t.Fatal("-kill 7@1 on a 2-PE plan must error")
+	}
+}

@@ -54,6 +54,10 @@ func main() {
 		overlap     = flag.String("overlap", "on", "with -train: backward/communication overlap, on|off (losses are bit-identical either way; off runs the blocking A/B baseline)")
 		adviseTrain = flag.Bool("advise-and-train", false, "ask the advisor for the best strategy at -gpus PEs (toy scale, default 4), then execute the top trainable plan for REAL and print the parity table")
 		server      = flag.String("server", "", "with -advise-and-train: query a running paraserve URL (e.g. http://localhost:8080) instead of the in-process advisor")
+		ckptEvery   = flag.Int("ckpt-every", 0, "with -train: checkpoint the canonical training state every N iterations (elastic runtime)")
+		ckptDir     = flag.String("ckpt-dir", "", "with -train: persist checkpoints into this directory; also the source for -resume")
+		resume      = flag.Bool("resume", false, "with -train: resume from the latest checkpoint in -ckpt-dir instead of starting fresh (the -train plan may differ from the checkpoint's — live migration)")
+		kill        = flag.String("kill", "", "with -train: inject a PE failure as pe@iter (e.g. 3@2) and let the elastic supervisor recover")
 	)
 	flag.Parse()
 
@@ -112,6 +116,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paradl: -server points -advise-and-train at a paraserve instance and requires it")
 		os.Exit(1)
 	}
+	el := elasticConfig{Every: *ckptEvery, Dir: *ckptDir, Kill: *kill, Resume: *resume}
+	if el.active() && *train == "" {
+		fmt.Fprintln(os.Stderr, "paradl: -ckpt-every/-ckpt-dir/-resume/-kill drive the elastic runtime and require -train")
+		os.Exit(1)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "paradl: -resume restores from -ckpt-dir, which is required")
+		os.Exit(1)
+	}
+	if *resume && *kill != "" {
+		fmt.Fprintln(os.Stderr, "paradl: -resume and -kill are mutually exclusive (resume continues a run; kill injects a failure into a fresh one)")
+		os.Exit(1)
+	}
 	trainModel := trainDefaultModel
 	if modelSet {
 		trainModel = *modelName
@@ -121,6 +138,14 @@ func main() {
 	trainGpus := 4
 	if gpusSet {
 		trainGpus = *gpus
+	}
+
+	if *train != "" && el.active() {
+		if err := runElasticTrain(os.Stdout, *train, *overlap, trainModel, el); err != nil {
+			fmt.Fprintln(os.Stderr, "paradl:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,

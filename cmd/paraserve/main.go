@@ -2,34 +2,49 @@
 // HTTP planner that answers projection, advice, and sweep queries from
 // a content-addressed cache with singleflight deduplication.
 //
+// The serving loop shuts down gracefully: SIGINT/SIGTERM stops the
+// listener immediately and drains in-flight requests before exiting.
+//
 //	paraserve -addr :8080
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/advise -d '{"model":"resnet50","gpus":64,"batch":32}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"paradl/internal/serve"
 )
+
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries, "projection cache capacity (entries)")
 	flag.Parse()
 
-	if err := run(*addr, *cacheEntries); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, *cacheEntries); err != nil {
 		fmt.Fprintln(os.Stderr, "paraserve:", err)
 		os.Exit(1)
 	}
 }
 
-// run listens on addr and serves the planner until the process exits.
-func run(addr string, cacheEntries int) error {
+// run listens on addr and serves the planner until ctx is cancelled
+// (SIGINT/SIGTERM in the binary), then drains and exits cleanly.
+func run(ctx context.Context, addr string, cacheEntries int) error {
 	if cacheEntries < 1 {
 		return fmt.Errorf("cache-entries must be positive, got %d", cacheEntries)
 	}
@@ -39,5 +54,32 @@ func run(addr string, cacheEntries int) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "paraserve: listening on %s (cache %d entries)\n", ln.Addr(), cacheEntries)
-	return http.Serve(ln, s.Handler())
+	if err := serveUntil(ctx, ln, s.Handler()); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "paraserve: drained in-flight requests, shut down cleanly")
+	return nil
+}
+
+// serveUntil serves h on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes at once so no new work is accepted,
+// while requests already in flight get up to drainTimeout to finish.
+func serveUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -13,29 +15,37 @@ import (
 )
 
 // The binary's serving loop end to end: listen on an ephemeral port,
-// probe /healthz, and get ranked advice over real HTTP.
+// probe /healthz, get ranked advice over real HTTP, then shut down
+// gracefully by cancelling the context.
 func TestServeEndToEnd(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := serve.New()
-	srv := &http.Server{Handler: s.Handler()}
-	go srv.Serve(ln)
-	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntil(ctx, ln, serve.New().Handler()) }()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 
+	var health serve.Health
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		resp, err := http.Get(base + "/healthz")
 		if err == nil {
+			derr := json.NewDecoder(resp.Body).Decode(&health)
 			resp.Body.Close()
+			if derr != nil {
+				t.Fatal(derr)
+			}
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("server never became healthy: %v", err)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if health.Status != "ok" || health.UptimeSeconds < 0 || health.GoVersion == "" {
+		t.Fatalf("healthz payload %+v, want status=ok, nonnegative uptime, build info", health)
 	}
 
 	resp, err := http.Post(base+"/advise", "application/json",
@@ -56,13 +66,78 @@ func TestServeEndToEnd(t *testing.T) {
 	if len(advs) == 0 || advs[0].Rank != 1 || advs[0].Projection.Strategy == "" {
 		t.Fatalf("advice not ranked: %+v", advs)
 	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serving loop did not exit after context cancellation")
+	}
+}
+
+// TestGracefulShutdownDrains pins the drain guarantee: a request that
+// is mid-handler when shutdown begins still completes with its full
+// response, while the listener stops accepting new connections.
+func TestGracefulShutdownDrains(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	inFlight := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		time.Sleep(300 * time.Millisecond)
+		io.WriteString(w, "drained")
+	})
+	done := make(chan error, 1)
+	go func() { done <- serveUntil(ctx, ln, slow) }()
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow", ln.Addr()))
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+
+	<-inFlight // the request is mid-handler…
+	cancel()   // …when the SIGTERM-equivalent arrives
+
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request not drained: body %q, err %v", r.body, r.err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serving loop did not exit after drain")
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/slow", ln.Addr())); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
+	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run("127.0.0.1:0", 0); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, "127.0.0.1:0", 0); err == nil {
 		t.Fatal("want error for zero cache entries")
 	}
-	if err := run("256.0.0.1:bad", 8); err == nil {
+	if err := run(ctx, "256.0.0.1:bad", 8); err == nil {
 		t.Fatal("want error for bad address")
 	}
 }

@@ -38,6 +38,36 @@ func Advise(cfg Config) ([]Advice, error) {
 	return out, nil
 }
 
+// AdviseFeasible is Advise for worlds the strict oracle rejects
+// outright: each strategy is projected individually and the ones whose
+// Project errors — e.g. every hybrid at a prime P, where no P1×P2 grid
+// exists — are silently skipped instead of failing the whole call. The
+// elastic runtime uses it to re-plan after losing a PE, when the shrunk
+// world size is rarely as friendly as the one the run started with.
+// The survivors sort and rank exactly like Advise's output; the slice
+// is empty (not an error) when no strategy projects.
+func AdviseFeasible(cfg Config) []Advice {
+	var out []Advice
+	for _, s := range Strategies() {
+		pr, err := Project(cfg, s)
+		if err != nil {
+			continue
+		}
+		out = append(out, Advice{Projection: pr})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Projection, out[j].Projection
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		return a.Epoch.Total() < b.Epoch.Total()
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
+}
+
 // Best returns the fastest feasible strategy, or an error when nothing
 // fits (e.g. CosmoFlow where only ds is viable at small scale).
 func Best(cfg Config) (*Projection, error) {

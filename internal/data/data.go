@@ -50,9 +50,17 @@ func (d *Dataset) Batch(cursor, size int) dist.Batch {
 
 // Batches materializes n consecutive batches.
 func (d *Dataset) Batches(n, size int) []dist.Batch {
+	return d.BatchesFrom(0, n, size)
+}
+
+// BatchesFrom materializes n consecutive batches starting at a logical
+// cursor — the resume path: a checkpoint taken after iteration k
+// records cursor k, and BatchesFrom(k, n-k, size) regenerates exactly
+// the batches the interrupted run never consumed.
+func (d *Dataset) BatchesFrom(cursor, n, size int) []dist.Batch {
 	out := make([]dist.Batch, n)
 	for i := range out {
-		out[i] = d.Batch(i, size)
+		out[i] = d.Batch(cursor+i, size)
 	}
 	return out
 }

@@ -42,6 +42,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,6 +51,19 @@ import (
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
 )
+
+// PEFailure reports the death of one PE mid-run: the failure WithFailAt
+// injects, surfaced as the error of the whole (aborted) world. The
+// elastic supervisor (RunElastic) matches it with errors.As to tell a
+// recoverable PE loss from a configuration error.
+type PEFailure struct {
+	PE   int // world rank of the dead PE
+	Iter int // global iteration it died in
+}
+
+func (e *PEFailure) Error() string {
+	return fmt.Sprintf("dist: PE %d died at iteration %d", e.PE, e.Iter)
+}
 
 // Batch is one training step's input: samples [N, C, spatial...] plus
 // integer class labels of length N.
@@ -94,18 +108,43 @@ func runSequential(m *nn.Model, batches []Batch, cfg *runConfig) (*Result, error
 	if err := checkBatches(m, batches); err != nil {
 		return nil, err
 	}
-	net := newReplica(m, cfg.seed)
+	net, err := cfg.replica(m)
+	if err != nil {
+		return nil, err
+	}
 	step := newStepper(cfg)
-	losses := make([]float64, len(batches))
-	for i := range batches {
-		var loss float64
-		if step.mom != nil {
-			loss = net.TrainStepWith(step.mom, batches[i].X, batches[i].Labels)
-		} else {
-			loss = net.TrainStep(batches[i].X, batches[i].Labels, cfg.lr)
+	seedFullVelocities(cfg, step.mom, net)
+	losses := make([]float64, 0, len(batches))
+	var runErr error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				var pf *PEFailure
+				if err, ok := rec.(error); ok && errors.As(err, &pf) {
+					runErr = err // the single PE IS the world: no peers to abort
+					return
+				}
+				panic(rec)
+			}
+		}()
+		for i := range batches {
+			cfg.maybeFail(0, i)
+			var loss float64
+			if step.mom != nil {
+				loss = net.TrainStepWith(step.mom, batches[i].X, batches[i].Labels)
+			} else {
+				loss = net.TrainStep(batches[i].X, batches[i].Labels, cfg.lr)
+			}
+			losses = append(losses, loss)
+			cfg.fire(i, loss)
+			if cfg.snapshotDue(i) {
+				params, vel := cloneNetState(net, step.mom)
+				cfg.emit(m.Name, i, losses, params, vel)
+			}
 		}
-		losses[i] = loss
-		cfg.fire(i, loss)
+	}()
+	if runErr != nil {
+		return nil, runErr
 	}
 	return &Result{Strategy: "sequential", P: 1, P1: 1, P2: 1, Losses: losses}, nil
 }
@@ -114,6 +153,23 @@ func runSequential(m *nn.Model, batches []Batch, cfg *runConfig) (*Result, error
 // Two PEs calling this with the same seed hold bit-identical replicas.
 func newReplica(m *nn.Model, seed int64) *nn.Network {
 	return nn.NewNetwork(m, rand.New(rand.NewSource(seed)))
+}
+
+// replica builds this PE's full replica: the usual seed-derived
+// initialization, then — when resuming — the canonical checkpoint
+// parameters copied over it. The seed init still runs first so the
+// model's RNG stream is consumed identically to a fresh run; engines
+// then carve their shards from the restored replica exactly as they
+// would from a fresh one, which is what makes re-sharding under any
+// plan a non-event.
+func (c *runConfig) replica(m *nn.Model) (*nn.Network, error) {
+	net := newReplica(m, c.seed)
+	if c.initState != nil {
+		if err := restoreParams(net, c.initState); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
 }
 
 // runWorld spawns one goroutine per PE, runs body on each, and returns
@@ -129,8 +185,18 @@ func runWorld(p, resultRank int, body func(c *Comm) ([]float64, error)) ([]float
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if err, ok := rec.(error); ok && err == errAborted {
-						return // a peer already recorded the root cause
+					if err, ok := rec.(error); ok {
+						if err == errAborted {
+							return // a peer already recorded the root cause
+						}
+						var pf *PEFailure
+						if errors.As(err, &pf) {
+							// An injected death: keep the typed error so the
+							// elastic supervisor can recognize it as
+							// recoverable rather than a generic panic.
+							w.fail(err)
+							return
+						}
 					}
 					w.fail(fmt.Errorf("dist: PE %d panicked: %v", rank, rec))
 				}

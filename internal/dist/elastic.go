@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"paradl/internal/ckpt"
+	"paradl/internal/core"
+	"paradl/internal/nn"
+)
+
+// Policy configures the elastic supervisor: how often the running world
+// checkpoints, where the checkpoints persist, and how stubbornly the
+// supervisor retries after losing PEs.
+type Policy struct {
+	// CkptEvery is the checkpoint cadence in iterations (default 1).
+	CkptEvery int
+	// CkptDir, when non-empty, persists every checkpoint to disk via
+	// ckpt.Save in addition to the in-memory copy recovery restores
+	// from. A persistence failure surfaces as the run's error even when
+	// training itself succeeds — a silently unprotected run is worse
+	// than a failed one.
+	CkptDir string
+	// MaxRetries bounds how many PE deaths the supervisor absorbs
+	// before giving up (default 3).
+	MaxRetries int
+	// Backoff, when positive, sleeps Backoff<<(attempt-1) before each
+	// recovery attempt — the usual exponential courtesy toward whatever
+	// killed the PE.
+	Backoff time.Duration
+}
+
+// Recovery records one supervisor intervention: which PE died where,
+// the plan migration it forced, and the iteration training resumed
+// from (0 when no checkpoint existed yet and the run restarted).
+type Recovery struct {
+	PE         int    // world rank of the dead PE
+	FailIter   int    // global iteration it died in
+	From, To   string // plan strings before / after re-planning
+	ResumeIter int    // first iteration of the resumed leg
+}
+
+// ElasticResult is a supervised run's outcome: the final leg's Result
+// with the loss series stitched across every recovery (so it spans all
+// iterations, exactly like an uninterrupted run), plus the recovery
+// log.
+type ElasticResult struct {
+	*Result
+	Recoveries []Recovery
+}
+
+// RunElastic trains under supervision: the world checkpoints its
+// canonical state every CkptEvery iterations, and when a PE dies
+// (WithFailAt, or any injected *PEFailure) the supervisor consults the
+// oracle for the best trainable plan at the shrunken world size,
+// restores the last checkpoint, and continues — falling down a
+// graceful-degradation ladder (oracle picks, then plain data
+// parallelism, then narrower, then serial) until something trains or
+// MaxRetries is spent. Non-failure errors (bad plans, incompatible
+// models) pass straight through: only PE death is recoverable.
+func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Option) (*ElasticResult, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("dist: elastic run needs at least one batch")
+	}
+	every := pol.CkptEvery
+	if every <= 0 {
+		every = 1
+	}
+	maxRetries := pol.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+
+	var (
+		latest     *ckpt.State // most recent snapshot, the restore point
+		saveErr    error       // first persistence failure, surfaced at the end
+		recoveries []Recovery
+	)
+	sink := func(st *ckpt.State) {
+		latest = st
+		if pol.CkptDir != "" && saveErr == nil {
+			if _, err := ckpt.Save(pol.CkptDir, st); err != nil {
+				saveErr = err
+			}
+		}
+	}
+
+	// leg runs one supervised stretch under plan p, resuming from the
+	// latest checkpoint when one exists. disarm appends WithFailAt(-1,-1)
+	// AFTER the caller's options, overriding any injected failure so a
+	// recovery attempt does not re-trip the same trap.
+	leg := func(p Plan, disarm bool) (*Result, []float64, error) {
+		start := 0
+		var prefix []float64
+		runOpts := append(append([]Option(nil), opts...), WithCheckpoint(every, sink))
+		if latest != nil {
+			start = latest.Iter
+			prefix = append([]float64(nil), latest.Losses...)
+			runOpts = append(runOpts, WithInitState(latest))
+		}
+		if disarm {
+			runOpts = append(runOpts, WithFailAt(-1, -1))
+		}
+		res, err := Run(m, batches[start:], p, runOpts...)
+		return res, prefix, err
+	}
+	finish := func(res *Result, prefix []float64) (*ElasticResult, error) {
+		if saveErr != nil {
+			return nil, fmt.Errorf("dist: training finished but checkpointing to %s failed: %w", pol.CkptDir, saveErr)
+		}
+		res.Losses = append(prefix, res.Losses...)
+		return &ElasticResult{Result: res, Recoveries: recoveries}, nil
+	}
+
+	cur := pl
+	disarm := false
+	for attempt := 0; ; {
+		res, prefix, err := leg(cur, disarm)
+		if err == nil {
+			return finish(res, prefix)
+		}
+		var pf *PEFailure
+		if !errors.As(err, &pf) {
+			return nil, err
+		}
+		disarm = true
+		attempt++
+		if attempt > maxRetries {
+			return nil, fmt.Errorf("dist: elastic run gave up after %d recovery attempts: %w", maxRetries, err)
+		}
+		if pol.Backoff > 0 {
+			time.Sleep(pol.Backoff << (attempt - 1))
+		}
+		pNew := cur.P() - 1
+		if pNew < 1 {
+			return nil, fmt.Errorf("dist: no PEs left to recover with: %w", err)
+		}
+		resumeIter := 0
+		if latest != nil {
+			resumeIter = latest.Iter
+		}
+		globalBatch := batches[0].X.Dim(0)
+		cands := recoveryPlans(m, pNew, globalBatch, len(batches))
+		var candErr error
+		migrated := false
+		for _, cand := range cands {
+			res, prefix, err := leg(cand, true)
+			if err == nil {
+				recoveries = append(recoveries, Recovery{
+					PE: pf.PE, FailIter: pf.Iter,
+					From: cur.String(), To: cand.String(), ResumeIter: resumeIter,
+				})
+				return finish(res, prefix)
+			}
+			var again *PEFailure
+			if errors.As(err, &again) {
+				// The shrunken world died too: record the migration and
+				// hand the fresh failure back to the supervisor loop.
+				recoveries = append(recoveries, Recovery{
+					PE: pf.PE, FailIter: pf.Iter,
+					From: cur.String(), To: cand.String(), ResumeIter: resumeIter,
+				})
+				cur, migrated = cand, true
+				break
+			}
+			candErr = err // plan not trainable for this model: next rung
+		}
+		if migrated {
+			continue
+		}
+		return nil, fmt.Errorf("dist: no recovery plan at p=%d is trainable for %q (last candidate: %v): %w", pNew, m.Name, candErr, err)
+	}
+}
+
+// recoveryPlans ranks the plans worth trying at the shrunken world
+// size p: the oracle's feasible strategies first (core.AdviseFeasible —
+// the strict advisor would refuse outright at awkward widths like
+// primes), then the graceful-degradation ladder of plain data
+// parallelism at p, narrower data parallelism, and finally serial —
+// which always trains, so a supervised run never strands without a
+// plan for runtime reasons alone.
+func recoveryPlans(m *nn.Model, p, globalBatch, nBatches int) []Plan {
+	var out []Plan
+	seen := map[string]bool{}
+	add := func(pl Plan) {
+		if pl.Validate() != nil || seen[pl.String()] || !semanticsPreserving(m, pl) {
+			return
+		}
+		seen[pl.String()] = true
+		out = append(out, pl)
+	}
+	if globalBatch > 0 {
+		ref := core.ConfigRef{
+			Model: m.Name,
+			D:     int64(maxOf(1, nBatches) * maxOf(1, globalBatch)),
+			B:     globalBatch,
+			P:     p,
+		}
+		// Non-zoo models have no oracle entry; the ladder below still
+		// applies.
+		if cfg, err := ref.Resolve(); err == nil {
+			for _, a := range core.AdviseFeasible(cfg) {
+				if pl := PlanFromProjection(a.Projection); pl.P() == p {
+					add(pl)
+				}
+			}
+		}
+	}
+	add(Plan{Strategy: core.Data, P1: p})
+	for q := p - 1; q >= 2; q-- {
+		add(Plan{Strategy: core.Data, P1: q})
+	}
+	add(Plan{Strategy: core.Serial})
+	return out
+}
+
+// semanticsPreserving reports whether migrating to pl continues the
+// SAME optimization trajectory the failed run was on. Pipeline
+// microbatching computes batch-norm statistics per microbatch (the
+// GPipe semantics, a documented deviation from the baseline), so for
+// BN models the pipeline strategies are not valid resume targets —
+// every other strategy synchronizes BN and keeps value parity.
+func semanticsPreserving(m *nn.Model, pl Plan) bool {
+	switch pl.Strategy {
+	case core.Pipeline, core.DataPipeline:
+	default:
+		return true
+	}
+	if pl.normalized().P2 == 1 {
+		return true // a single stage is plain data parallelism
+	}
+	for l := range m.Layers {
+		if m.Layers[l].Kind == nn.BatchNorm {
+			return false
+		}
+	}
+	return true
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlanFromProjection maps an oracle projection onto an executable
+// plan: the data-parallel width rides the first axis, model-parallel
+// strategies the second, and hybrids keep the advisor's defaulted
+// P1×P2 grid shape.
+func PlanFromProjection(pr *core.Projection) Plan {
+	cfg := pr.Config
+	switch s := pr.Strategy; s {
+	case core.Serial:
+		return Plan{Strategy: core.Serial}
+	case core.Data:
+		return Plan{Strategy: core.Data, P1: cfg.P}
+	case core.DataFilter, core.DataSpatial, core.DataPipeline:
+		return Plan{Strategy: s, P1: cfg.P1, P2: cfg.P2}
+	default:
+		return Plan{Strategy: s, P2: cfg.P}
+	}
+}
+
+// Migrate trains batches[:switchAt] under plan from, checkpoints at
+// the switch point through the canonical representation, and resumes
+// batches[switchAt:] under plan to — a live plan migration (e.g.
+// data:8 → df:4x2) with no retraining. The returned Result carries
+// to's grid shape and the loss series of the whole run.
+func Migrate(m *nn.Model, batches []Batch, from Plan, switchAt int, to Plan, opts ...Option) (*Result, error) {
+	if switchAt <= 0 || switchAt >= len(batches) {
+		return nil, fmt.Errorf("dist: migration point %d outside (0, %d)", switchAt, len(batches))
+	}
+	var snap *ckpt.State
+	o1 := append(append([]Option(nil), opts...), WithCheckpoint(switchAt, func(st *ckpt.State) {
+		if st.Iter == switchAt {
+			snap = st
+		}
+	}))
+	r1, err := Run(m, batches[:switchAt], from, o1...)
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("dist: plan %s produced no checkpoint at iteration %d", from, switchAt)
+	}
+	o2 := append(append([]Option(nil), opts...), WithInitState(snap))
+	r2, err := Run(m, batches[switchAt:], to, o2...)
+	if err != nil {
+		return nil, err
+	}
+	r2.Losses = append(append([]float64(nil), r1.Losses...), r2.Losses...)
+	return r2, nil
+}

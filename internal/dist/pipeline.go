@@ -59,13 +59,18 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 	stages := strategy.ContiguousStages(bounds)
 	resultRank := p2 - 1 // group 0's last stage: the first PE to own a global loss
 	losses, err := runGrid(p1, p2, resultRank, func(world, group, seg *Comm) ([]float64, error) {
-		net := newReplica(m, cfg.seed)
+		net, err := cfg.replica(m)
+		if err != nil {
+			return nil, err
+		}
 		step := newStepper(cfg)
+		seedStageVelocities(cfg, step.mom, net, stages[group.Rank()])
 		ex := newGradExchanger(seg, cfg)
 		st := stages[group.Rank()]
 		lastStage := group.Rank() == group.Size()-1
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
 			loss := dataPipelineStep(group, seg, ex, net, st, x, labels, weight, step)
 			if lastStage {
@@ -76,6 +81,19 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 				if world.Rank() == resultRank {
 					cfg.fire(bi, loss)
 				}
+			}
+			if cfg.snapshotDue(bi) {
+				if seg.Rank() == 0 {
+					// Group 0 (the groups are bit-identical replicas) streams
+					// every stage's owned layers to its last stage — the
+					// result rank, which also owns the loss series.
+					params, vel := gatherPipelineState(group, net, stages, step.mom)
+					if world.Rank() == resultRank {
+						cfg.emit(m.Name, bi, out, params, vel)
+					}
+				}
+				// Checkpoint barrier — see runDataFilter.
+				world.AllReduceScalar(0)
 			}
 		}
 		return out, nil

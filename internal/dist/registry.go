@@ -1,6 +1,9 @@
 package dist
 
 import (
+	"fmt"
+
+	"paradl/internal/ckpt"
 	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
@@ -30,6 +33,30 @@ type runConfig struct {
 	// bucketBytes bounds the gradient bucket size (bytes of float64
 	// payload) at which an exchange launches.
 	bucketBytes int
+	// planStr is the canonical string of the executing plan, stamped by
+	// Run so checkpoints record what produced them.
+	planStr string
+	// startIter is the global iteration index of batches[0] — nonzero on
+	// a resumed run, where the engines' local batch index bi corresponds
+	// to global iteration startIter+bi (hooks, failure matching, and
+	// checkpoint cadence all use the global index).
+	startIter int
+	// prefixLosses is the global loss series before batches[0] (from the
+	// restored checkpoint), so emitted snapshots carry the full history.
+	prefixLosses []float64
+	// initState, when set, replaces the seed-derived initial parameters:
+	// every PE restores the canonical snapshot into its replica before
+	// carving shards, and momentum velocities are re-seeded per shard.
+	initState *ckpt.State
+	// ckptEvery/ckptSink: every ckptEvery global iterations the engines
+	// gather the canonical training state and hand it to ckptSink on the
+	// result PE's goroutine (synchronously, like the iteration hook).
+	ckptEvery int
+	ckptSink  func(*ckpt.State)
+	// failPE/failIter inject a failure: world rank failPE panics at the
+	// top of global iteration failIter, mid-iteration from its peers'
+	// point of view — they die blocked in collectives. failPE < 0 is off.
+	failPE, failIter int
 }
 
 // Option customizes a Run call.
@@ -39,7 +66,7 @@ type Option func(*runConfig)
 // lr 0.01, no momentum, no hook, footnote-2 reduce-scatter enabled,
 // backward/communication overlap on with 256 KiB gradient buckets.
 func defaultConfig() runConfig {
-	return runConfig{seed: 1, lr: 0.01, overlap: true, bucketBytes: defaultBucketBytes}
+	return runConfig{seed: 1, lr: 0.01, overlap: true, bucketBytes: defaultBucketBytes, failPE: -1}
 }
 
 // WithSeed sets the parameter-initialization seed (default 1). Every PE
@@ -89,11 +116,87 @@ func WithBucketBytes(n int) Option { return func(c *runConfig) { c.bucketBytes =
 // A/B parity checks and overhead comparisons.
 func WithInputGradAllReduce() Option { return func(c *runConfig) { c.arInputGrad = true } }
 
-// fire invokes the per-iteration hook if one is registered.
+// WithFailAt injects a failure for the elastic-recovery path: world
+// rank pe panics at the top of global iteration iter, so its peers die
+// mid-collective exactly like a real PE loss. A negative pe disables
+// injection (the WithFailAt(-1, -1) a supervisor appends on recovery
+// attempts). Run reports the death as a *PEFailure error.
+func WithFailAt(pe, iter int) Option {
+	return func(c *runConfig) { c.failPE, c.failIter = pe, iter }
+}
+
+// WithCheckpoint registers a checkpoint sink: every `every` global
+// iterations — right after the optimizer step — the engines gather the
+// canonical unsharded training state (full params, full momentum
+// velocities, cursor, loss history) and pass it to sink on the result
+// PE's goroutine, synchronously with training. The gather is pure data
+// movement: a checkpointing run stays bit-identical to a plain one.
+// every < 1 or a nil sink disables checkpointing.
+func WithCheckpoint(every int, sink func(*ckpt.State)) Option {
+	return func(c *runConfig) { c.ckptEvery, c.ckptSink = every, sink }
+}
+
+// WithInitState resumes from a canonical checkpoint: every PE restores
+// the snapshot's full parameters into its replica before carving
+// shards (so any plan re-shards the same canonical state), momentum
+// velocities are re-seeded shard by shard, and the run's seed, lr,
+// momentum, loss history, and iteration offset all come from the
+// snapshot. Resuming under the checkpoint's own plan is bit-identical
+// to never having stopped; resuming under a different plan is a live
+// migration through the same path.
+func WithInitState(st *ckpt.State) Option {
+	return func(c *runConfig) {
+		c.initState = st
+		if st == nil {
+			return
+		}
+		c.startIter = st.Iter
+		c.seed = st.Seed
+		c.lr = st.LR
+		c.momentum = st.Momentum
+		c.prefixLosses = st.Losses
+	}
+}
+
+// fire invokes the per-iteration hook if one is registered. iter is the
+// engine's local batch index; the hook sees the global iteration.
 func (c *runConfig) fire(iter int, loss float64) {
 	if c.hook != nil {
-		c.hook(iter, loss)
+		c.hook(c.startIter+iter, loss)
 	}
+}
+
+// maybeFail panics with a *PEFailure when this PE is the configured
+// casualty of global iteration startIter+bi. It runs at the top of the
+// iteration body, before any collective: the victim dies cleanly while
+// its peers are already (or soon) blocked in exchanges, so the world
+// observes a mid-iteration loss and aborts.
+func (c *runConfig) maybeFail(worldRank, bi int) {
+	if worldRank == c.failPE && c.startIter+bi == c.failIter {
+		panic(&PEFailure{PE: worldRank, Iter: c.failIter})
+	}
+}
+
+// snapshotDue reports whether the iteration at local batch index bi
+// ends on a checkpoint boundary.
+func (c *runConfig) snapshotDue(bi int) bool {
+	return c.ckptSink != nil && c.ckptEvery > 0 && (c.startIter+bi+1)%c.ckptEvery == 0
+}
+
+// emit assembles the canonical snapshot after local iteration bi and
+// hands it to the sink. tail is the engine's local loss series
+// (batches[0..bi]); the restored prefix is prepended so the snapshot
+// always carries the full global history.
+func (c *runConfig) emit(modelName string, bi int, tail []float64, params, vel []nn.Params) {
+	iter := c.startIter + bi + 1
+	losses := make([]float64, 0, len(c.prefixLosses)+bi+1)
+	losses = append(losses, c.prefixLosses...)
+	losses = append(losses, tail[:bi+1]...)
+	c.ckptSink(&ckpt.State{
+		Model: modelName, Plan: c.planStr, Iter: iter,
+		Seed: c.seed, LR: c.lr, Momentum: c.momentum,
+		Cursor: iter, Losses: losses, Params: params, Vel: vel,
+	})
 }
 
 // stepper adapts the configured optimizer to the runtime's two update
@@ -202,6 +305,15 @@ func Run(m *nn.Model, batches []Batch, pl Plan, opts ...Option) (*Result, error)
 	pl = pl.normalized()
 	if err := pl.Validate(); err != nil {
 		return nil, err // includes unregistered strategies
+	}
+	cfg.planStr = pl.String()
+	if st := cfg.initState; st != nil {
+		if st.Model != m.Name {
+			return nil, fmt.Errorf("dist: checkpoint is for model %q, run is for %q", st.Model, m.Name)
+		}
+		if len(st.Params) != m.G() {
+			return nil, fmt.Errorf("dist: checkpoint has %d layers, model %q has %d", len(st.Params), m.Name, m.G())
+		}
 	}
 	return registry[pl.Strategy](m, batches, pl, &cfg)
 }

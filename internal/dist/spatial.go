@@ -247,20 +247,35 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 		plans[l] = pl
 	}
 	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
-		net := newReplica(m, cfg.seed)
+		net, err := cfg.replica(m)
+		if err != nil {
+			return nil, err
+		}
 		step := newStepper(cfg)
+		seedFullVelocities(cfg, step.mom, net)
 		// Two bucketed exchanges per PE: trunk conv gradients sum over
 		// the whole world, head gradients over the segment.
 		exWorld := newGradExchanger(world, cfg)
 		exSeg := newGradExchanger(seg, cfg)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
 			loss := dataSpatialStep(world, group, seg, exWorld, exSeg, net, x, labels, weight, plans, fcStart, step)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
+			if cfg.snapshotDue(bi) {
+				if world.Rank() == 0 {
+					// Every PE steps the full replica in lockstep, so rank 0's
+					// replica IS the canonical state — no gather traffic.
+					params, vel := cloneNetState(net, step.mom)
+					cfg.emit(m.Name, bi, out, params, vel)
+				}
+				// Checkpoint barrier — see runDataFilter.
+				world.AllReduceScalar(0)
+			}
 		}
 		return out, nil
 	})

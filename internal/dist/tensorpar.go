@@ -44,21 +44,40 @@ func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, lab
 	}
 	rsOK := scatterableInputGrads(m, p2, cfg)
 	losses, err := runGrid(p1, p2, 0, func(world, group, seg *Comm) ([]float64, error) {
-		net := newReplica(m, cfg.seed)
+		net, err := cfg.replica(m)
+		if err != nil {
+			return nil, err
+		}
 		step := newStepper(cfg)
 		ex := newGradExchanger(seg, cfg)
 		shards, err := filterShards(net, group.Rank(), p2)
 		if err != nil {
 			return nil, err
 		}
+		seedFilterVelocities(cfg, step.mom, net, shards)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
 			loss := dataFilterStep(group, seg, ex, net, shards, rsOK, x, labels, weight, step)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
+			if cfg.snapshotDue(bi) {
+				// Collective within the group (every group holds an
+				// identical replica of the canonical state); only the
+				// world's result rank emits.
+				params, vel := gatherFilterState(group, net, shards, step.mom)
+				if world.Rank() == 0 {
+					cfg.emit(m.Name, bi, out, params, vel)
+				}
+				// Checkpoint barrier: no PE may start the next iteration
+				// until the snapshot is durable, or a failure injected
+				// just past the boundary could abort the world mid-gather
+				// and lose the checkpoint recovery should resume from.
+				world.AllReduceScalar(0)
+			}
 		}
 		return out, nil
 	})
@@ -351,19 +370,32 @@ func runChannel(m *nn.Model, batches []Batch, cfg *runConfig, p int) (*Result, e
 		return nil, err
 	}
 	losses, err := runWorld(p, 0, func(c *Comm) ([]float64, error) {
-		net := newReplica(m, cfg.seed)
+		net, err := cfg.replica(m)
+		if err != nil {
+			return nil, err
+		}
 		step := newStepper(cfg)
 		shards, err := channelShards(net, c.Rank(), p)
 		if err != nil {
 			return nil, err
 		}
+		seedChannelVelocities(cfg, step.mom, net, shards)
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			cfg.maybeFail(c.Rank(), bi)
 			loss := channelStep(c, net, shards, &batches[bi], step)
 			if c.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
+			if cfg.snapshotDue(bi) {
+				params, vel := gatherChannelState(c, net, shards, step.mom)
+				if c.Rank() == 0 {
+					cfg.emit(m.Name, bi, out, params, vel)
+				}
+				// Checkpoint barrier — see runDataFilter.
+				c.AllReduceScalar(0)
+			}
 		}
 		return out, nil
 	})

@@ -75,10 +75,35 @@ func (m *Momentum) Step(params []Params, grads []Grads) {
 	}
 }
 
+// Velocity returns the velocity tensor of parameter w, or nil if no
+// update has touched w yet — an absent velocity is semantically a zero
+// tensor (Update creates it lazily). Checkpointing uses this to export
+// the optimizer state alongside the parameters.
+func (m *Momentum) Velocity(w *tensor.Tensor) *tensor.Tensor {
+	if m.vel == nil {
+		return nil
+	}
+	return m.vel[w]
+}
+
+// SeedVelocity installs v as parameter w's velocity, replacing any
+// existing one. Restore paths use it to rebuild the optimizer state a
+// checkpoint recorded, so a resumed run continues the exact heavy-ball
+// trajectory of the original.
+func (m *Momentum) SeedVelocity(w, v *tensor.Tensor) {
+	if m.vel == nil {
+		m.vel = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	m.vel[w] = v
+}
+
 // Update applies the momentum update to one (param, grad) pair. It is
 // exported because sharded runtimes (internal/dist) step parameter
 // slices that never appear in a []Params.
 func (m *Momentum) Update(w, g *tensor.Tensor) {
+	if m.vel == nil {
+		m.vel = map[*tensor.Tensor]*tensor.Tensor{}
+	}
 	v, ok := m.vel[w]
 	if !ok {
 		v = tensor.New(w.Shape()...)

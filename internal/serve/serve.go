@@ -11,7 +11,7 @@
 //	/project  one (strategy, config) projection
 //	/advise   every strategy projected and ranked for one config
 //	/sweep    the full strategy × p grid, including hybrid p1×p2 shapes
-//	/healthz  GET liveness probe
+//	/healthz  GET liveness probe with uptime and build info
 //	/metrics  GET request/cache/singleflight/latency counters (expvar)
 package serve
 
@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"paradl/internal/cluster"
@@ -41,6 +43,7 @@ type Server struct {
 	cache *lruCache
 	group flightGroup
 	met   *metrics
+	start time.Time
 }
 
 // Option configures a Server.
@@ -57,6 +60,7 @@ func New(opts ...Option) *Server {
 		mux:   http.NewServeMux(),
 		cache: newLRU(DefaultCacheEntries),
 		met:   newMetrics(),
+		start: time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -64,10 +68,7 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/project", s.endpoint("project"))
 	s.mux.HandleFunc("/advise", s.endpoint("advise"))
 	s.mux.HandleFunc("/sweep", s.endpoint("sweep"))
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		io.WriteString(w, `{"status":"ok"}`+"\n")
-	})
+	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		s.met.writeJSON(w)
@@ -77,6 +78,36 @@ func New(opts ...Option) *Server {
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Health is the /healthz payload: liveness plus enough identity to
+// tell which build of the planner answered and for how long it has
+// been up.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Module        string  `json:"module,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+}
+
+// healthz answers the liveness probe with uptime and build info.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				h.Revision = kv.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats { return s.met.stats() }
