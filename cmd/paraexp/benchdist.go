@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"paradl/internal/artifact"
 	"paradl/internal/data"
 	"paradl/internal/dist"
 	"paradl/internal/model"
@@ -52,18 +53,25 @@ type BenchCase struct {
 	BytesPerOpBlocking  int64  `json:"bytes_per_op_blocking,omitempty"`
 }
 
-// BenchSnapshot is the benchdist output: environment provenance plus
-// every measured case. One "op" is a full training run of `Batches`
-// iterations on `Model` at batch size `BatchSize` — the workload pinned
-// by dist.BenchBatchSize/BenchBatches.
+// Snapshot identity: bump BenchDistVersion when BenchCase columns or
+// their meaning change, so consumers of committed snapshots can check
+// before comparing across PRs.
+const (
+	BenchDistSchema  = "paradl/bench-dist"
+	BenchDistVersion = 1
+)
+
+// BenchSnapshot is the benchdist output: the shared artefact header
+// (schema identity + environment provenance) plus every measured case.
+// One "op" is a full training run of `Batches` iterations on `Model` at
+// batch size `BatchSize` — the workload pinned by
+// dist.BenchBatchSize/BenchBatches.
 type BenchSnapshot struct {
-	Generated  string      `json:"generated"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Model      string      `json:"model"`
-	BatchSize  int         `json:"batch_size"`
-	Batches    int         `json:"batches"`
-	Cases      []BenchCase `json:"cases"`
+	artifact.Header
+	Model     string      `json:"model"`
+	BatchSize int         `json:"batch_size"`
+	Batches   int         `json:"batches"`
+	Cases     []BenchCase `json:"cases"`
 }
 
 // measure times fn over iters runs after one warm-up, reading allocator
@@ -106,12 +114,10 @@ func writeBenchDist(w io.Writer, iters int) error {
 	defBatches := mkBatches(def)
 
 	snap := &BenchSnapshot{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Model:      def.Name,
-		BatchSize:  dist.BenchBatchSize,
-		Batches:    dist.BenchBatches,
+		Header:    artifact.NewHeader(BenchDistSchema, BenchDistVersion),
+		Model:     def.Name,
+		BatchSize: dist.BenchBatchSize,
+		Batches:   dist.BenchBatches,
 	}
 	for _, spec := range dist.BenchMatrix() {
 		spec := spec

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"paradl/internal/workload"
+)
+
+// The trace experiment emits the seeded workload sweep as a versioned
+// JSON-lines trace (header line + one scenario per line). The header
+// records the generator spec, so the trace regenerates byte-identically
+// from its own first line — commit it, diff it, or feed it back through
+// `-exp scoreboard -trace <file>`:
+//
+//	paraexp -exp trace -scenarios 60 -workload-seed 1 > trace.jsonl
+func writeTraceExp(w io.Writer, o options) error {
+	spec := workload.GenSpec{Seed: o.workloadSeed, N: o.scenarios}
+	scs, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	return workload.WriteTrace(w, spec, scs)
+}
+
+// The scoreboard experiment replays every scenario of a sweep — each
+// candidate plan trained for real via dist.Run AND priced by the
+// measured simulator — and grades the oracle's strategy ranking against
+// both measured orderings: Kendall-τ, top-1 agreement, and regret per
+// scenario plus sweep-level aggregates. The committed artefact:
+//
+//	paraexp -exp scoreboard -scenarios 60 > SCOREBOARD.json
+//
+// With -trace it replays a recorded trace file instead of generating.
+func writeScoreboard(w io.Writer, o options) error {
+	var (
+		sb  *workload.Scoreboard
+		err error
+	)
+	if o.traceFile != "" {
+		f, ferr := os.Open(o.traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		h, scs, rerr := workload.ReadTrace(f)
+		if rerr != nil {
+			return fmt.Errorf("reading trace %s: %w", o.traceFile, rerr)
+		}
+		sb, err = workload.ScoreTrace(h.Spec, scs, o.replayIters)
+	} else {
+		sb, err = workload.BuildScoreboard(workload.GenSpec{Seed: o.workloadSeed, N: o.scenarios}, o.replayIters)
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sb)
+}

@@ -7,8 +7,8 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"time"
 
+	"paradl/internal/artifact"
 	"paradl/internal/serve"
 )
 
@@ -23,11 +23,16 @@ import (
 //
 //	paraexp -exp servebench -serve-requests 50000 > BENCH_serve.json
 
-// ServeBenchSnapshot is the servebench output.
+// Snapshot identity for the committed BENCH_serve.json.
+const (
+	BenchServeSchema  = "paradl/bench-serve"
+	BenchServeVersion = 1
+)
+
+// ServeBenchSnapshot is the servebench output: the shared artefact
+// header plus the two load phases.
 type ServeBenchSnapshot struct {
-	Generated   string           `json:"generated"`
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
+	artifact.Header
 	Model       string           `json:"model"`
 	Endpoint    string           `json:"endpoint"`
 	Concurrency int              `json:"concurrency"`
@@ -90,9 +95,7 @@ func writeServeBench(w io.Writer, requests, concurrency, cold int) error {
 
 	st := s.Stats()
 	snap := &ServeBenchSnapshot{
-		Generated:    time.Now().UTC().Format(time.RFC3339),
-		GoVersion:    runtime.Version(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Header:       artifact.NewHeader(BenchServeSchema, BenchServeVersion),
 		Model:        model,
 		Endpoint:     "/advise",
 		Concurrency:  concurrency,

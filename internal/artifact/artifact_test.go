@@ -1,0 +1,46 @@
+package artifact
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewHeaderStampsProvenance(t *testing.T) {
+	h := NewHeader("paradl/test", 3)
+	if h.Schema != "paradl/test" || h.Version != 3 {
+		t.Fatalf("header identity = %q v%d", h.Schema, h.Version)
+	}
+	if h.Generated == "" || h.GoVersion == "" || h.GOMAXPROCS < 1 {
+		t.Fatalf("missing provenance: %+v", h)
+	}
+	if err := h.Check("paradl/test", 3); err != nil {
+		t.Fatalf("self check: %v", err)
+	}
+}
+
+func TestHeaderCheckRejects(t *testing.T) {
+	h := NewHeader("paradl/test", 2)
+	if err := h.Check("paradl/other", 2); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+	if err := h.Check("paradl/test", 1); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	h.Version = 0
+	if err := h.Check("paradl/test", 2); err == nil {
+		t.Fatal("zero version accepted")
+	}
+}
+
+func TestHeaderLeadsJSON(t *testing.T) {
+	// The header must serialize with schema first so artefacts
+	// self-identify even to a reader that peeks at the first bytes.
+	b, err := json.Marshal(NewHeader("paradl/test", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), `{"schema":"paradl/test","version":1,`) {
+		t.Fatalf("header JSON does not lead with identity: %s", b)
+	}
+}

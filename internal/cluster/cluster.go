@@ -13,7 +13,10 @@
 //     halo exchange used.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // LinkLevel classifies a PE pair by the deepest interconnect level their
 // traffic crosses. Levels are ordered from fastest to slowest.
@@ -186,13 +189,71 @@ func (s *System) Validate() error {
 // string and "default" alias the paper's evaluation machine, so wire
 // requests may omit the cluster; the resolved System always carries its
 // canonical name ("abci-like"), which is what content-addressed config
-// keys embed.
+// keys embed. The geometry variants keep the paper's GPU and link
+// parameters but re-shape the hierarchy, so collectives cross different
+// levels at the same PE count — the cluster axis of the workload
+// sweep.
 func ByName(name string) (*System, error) {
 	switch name {
 	case "", "default", "abci-like":
 		return Default(), nil
+	case "dense-node":
+		return DenseNode(), nil
+	case "dual-gpu":
+		return DualGPU(), nil
+	case "flat-rack":
+		return FlatRack(), nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown system %q (want abci-like)", name)
+		return nil, fmt.Errorf("cluster: unknown system %q (want %s)", name, strings.Join(Names(), "|"))
+	}
+}
+
+// Names lists every named system geometry, paper machine first.
+func Names() []string { return []string{"abci-like", "dense-node", "dual-gpu", "flat-rack"} }
+
+// DenseNode is the paper machine re-packed into DGX-style fat nodes:
+// eight GPUs share one node (and its two uplinks, so segmented
+// collectives self-contend at φ = 4), nine nodes per rack. Groups of
+// up to eight PEs stay on NVLink where the paper machine would already
+// cross the rack fabric.
+func DenseNode() *System {
+	s := Default()
+	s.Name = "dense-node"
+	s.GPUsPerNode = 8
+	s.NodesPerRack = 9
+	s.Racks = 16 // 8·9·16 = 1152 ≥ 1024 GPUs
+	mustValidate(s)
+	return s
+}
+
+// DualGPU is the opposite packing: two GPUs per node, 34 nodes per
+// rack. Almost every collective leaves the node immediately, but each
+// PE pair has an uplink to itself (φ = 1).
+func DualGPU() *System {
+	s := Default()
+	s.Name = "dual-gpu"
+	s.GPUsPerNode = 2
+	s.NodesPerRack = 34
+	s.Racks = 16 // 2·34·16 = 1088 ≥ 1024 GPUs
+	mustValidate(s)
+	return s
+}
+
+// FlatRack keeps the paper's node but flattens the fabric: 68 nodes in
+// one giant rack tier with full bisection (no oversubscribed spine
+// within the first 272 GPUs), modelling a single-tier leaf-spine pod.
+func FlatRack() *System {
+	s := Default()
+	s.Name = "flat-rack"
+	s.NodesPerRack = 68
+	s.Racks = 4 // 4·68·4 = 1088 ≥ 1024 GPUs
+	mustValidate(s)
+	return s
+}
+
+func mustValidate(s *System) {
+	if err := s.Validate(); err != nil {
+		panic(err)
 	}
 }
 

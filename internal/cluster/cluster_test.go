@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -106,5 +107,55 @@ func TestGroupLevelMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Every named geometry must resolve, validate, carry its own canonical
+// name, and still provision ≥ 1024 GPUs (the paper's largest scale).
+func TestNamedGeometries(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("ByName(%q) resolved to %q", name, s.Name)
+		}
+		if s.TotalGPUs() < 1024 {
+			t.Errorf("%s: only %d GPUs, want ≥ 1024", name, s.TotalGPUs())
+		}
+		key := fmt.Sprintf("%d/%d/%d", s.GPUsPerNode, s.NodesPerRack, s.Racks)
+		if seen[key] {
+			t.Errorf("%s: duplicate geometry %s", name, key)
+		}
+		seen[key] = true
+	}
+	if _, err := ByName("no-such-machine"); err == nil {
+		t.Error("unknown geometry accepted")
+	}
+}
+
+// The geometry variants must actually change collective routing: at a
+// fixed 8-PE group the dense node stays on NVLink, the paper machine
+// crosses the rack, and the dual-GPU packing does too.
+func TestGeometriesShiftGroupLevels(t *testing.T) {
+	if lvl := DenseNode().GroupLevel(0, 8); lvl != IntraNode {
+		t.Errorf("dense-node 8-PE group level = %v, want intra-node", lvl)
+	}
+	if lvl := Default().GroupLevel(0, 8); lvl != IntraRack {
+		t.Errorf("abci-like 8-PE group level = %v, want intra-rack", lvl)
+	}
+	if lvl := DualGPU().GroupLevel(0, 8); lvl != IntraRack {
+		t.Errorf("dual-gpu 8-PE group level = %v, want intra-rack", lvl)
+	}
+	// flat-rack defers the inter-rack spine: a group spilling past 17
+	// paper nodes crosses racks on abci-like but not in the flat pod.
+	p := 17*4 + 1
+	if lvl := Default().GroupLevel(0, p); lvl != InterRack {
+		t.Errorf("abci-like %d-PE group level = %v, want inter-rack", p, lvl)
+	}
+	if lvl := FlatRack().GroupLevel(0, p); lvl != IntraRack {
+		t.Errorf("flat-rack %d-PE group level = %v, want intra-rack", p, lvl)
 	}
 }

@@ -12,6 +12,28 @@ type Advice struct {
 	Rank int
 }
 
+// LessProjection is the oracle's ranking order: feasible strategies
+// before infeasible ones, faster total epoch time first. It is the ONE
+// comparator behind Advise, AdviseFeasible, and the workload
+// scoreboard's oracle ordering, so "the oracle's pick" means the same
+// thing everywhere it is scored.
+func LessProjection(a, b *Projection) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Epoch.Total() < b.Epoch.Total()
+}
+
+// rank sorts advices by LessProjection and assigns 1-based ranks.
+func rank(out []Advice) {
+	sort.SliceStable(out, func(i, j int) bool {
+		return LessProjection(out[i].Projection, out[j].Projection)
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+}
+
 // Advise projects every strategy under cfg and returns them sorted by
 // total epoch time, feasible strategies first — the "suggesting the
 // best strategy for a given CNN, dataset, and resource budget" use of
@@ -25,16 +47,7 @@ func Advise(cfg Config) ([]Advice, error) {
 		}
 		out = append(out, Advice{Projection: pr})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i].Projection, out[j].Projection
-		if a.Feasible != b.Feasible {
-			return a.Feasible
-		}
-		return a.Epoch.Total() < b.Epoch.Total()
-	})
-	for i := range out {
-		out[i].Rank = i + 1
-	}
+	rank(out)
 	return out, nil
 }
 
@@ -55,16 +68,7 @@ func AdviseFeasible(cfg Config) []Advice {
 		}
 		out = append(out, Advice{Projection: pr})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i].Projection, out[j].Projection
-		if a.Feasible != b.Feasible {
-			return a.Feasible
-		}
-		return a.Epoch.Total() < b.Epoch.Total()
-	})
-	for i := range out {
-		out[i].Rank = i + 1
-	}
+	rank(out)
 	return out
 }
 

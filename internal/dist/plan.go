@@ -226,6 +226,36 @@ func ParsePlan(s string) (Plan, error) {
 	return pl, nil
 }
 
+// SweepPlans enumerates the candidate plans at total width p: every
+// pure strategy with its width on the proper axis, plus every interior
+// p1×p2 factorization of the three hybrids (the degenerate p1=1 / p2=1
+// edges are exactly the pure strategies already listed). p=1 yields the
+// serial baseline alone. This is the ONE enumeration behind the
+// planner service's /sweep grid and the workload generator's
+// per-scenario candidate set, so "the strategy ordering at width p"
+// ranges over the same plans everywhere it is scored.
+func SweepPlans(p int) []Plan {
+	if p == 1 {
+		return []Plan{{Strategy: core.Serial, P1: 1, P2: 1}}
+	}
+	plans := []Plan{
+		{Strategy: core.Data, P1: p, P2: 1},
+		{Strategy: core.Spatial, P1: 1, P2: p},
+		{Strategy: core.Filter, P1: 1, P2: p},
+		{Strategy: core.Channel, P1: 1, P2: p},
+		{Strategy: core.Pipeline, P1: 1, P2: p},
+	}
+	for p2 := 2; p2 <= p/2; p2++ {
+		if p%p2 != 0 {
+			continue
+		}
+		for _, s := range []core.Strategy{core.DataFilter, core.DataSpatial, core.DataPipeline} {
+			plans = append(plans, Plan{Strategy: s, P1: p / p2, P2: p2})
+		}
+	}
+	return plans
+}
+
 // parseAxis parses one positive grid axis of plan string s.
 func parseAxis(s, a string) (int, error) {
 	n, err := strconv.Atoi(a)

@@ -383,3 +383,56 @@ func TestRunDefaults(t *testing.T) {
 		t.Fatalf("grid %d=%d×%d, want 2=2×1", res.P, res.P1, res.P2)
 	}
 }
+
+// SweepPlans invariants: every plan is valid, totals p, pure strategies
+// appear exactly once, and hybrids cover every interior factorization
+// of p (both orientations, e.g. 2x4 AND 4x2 at p=8).
+func TestSweepPlansEnumeration(t *testing.T) {
+	if got := dist.SweepPlans(1); len(got) != 1 || got[0].Strategy != core.Serial {
+		t.Fatalf("dist.SweepPlans(1) = %v, want serial only", got)
+	}
+	for _, p := range []int{2, 3, 4, 6, 8, 12} {
+		plans := dist.SweepPlans(p)
+		seen := map[string]bool{}
+		hybrids := 0
+		for _, pl := range plans {
+			if err := pl.Validate(); err != nil {
+				t.Fatalf("p=%d: invalid sweep plan %v: %v", p, pl, err)
+			}
+			if pl.P() != p {
+				t.Errorf("p=%d: plan %s totals %d", p, pl, pl.P())
+			}
+			if seen[pl.String()] {
+				t.Errorf("p=%d: duplicate plan %s", p, pl)
+			}
+			seen[pl.String()] = true
+			switch pl.Strategy {
+			case core.DataFilter, core.DataSpatial, core.DataPipeline:
+				hybrids++
+				if pl.P1 < 2 || pl.P2 < 2 {
+					t.Errorf("p=%d: non-interior hybrid %s in sweep", p, pl)
+				}
+			}
+		}
+		pure := []dist.Plan{
+			{Strategy: core.Data, P1: p}, {Strategy: core.Spatial, P2: p},
+			{Strategy: core.Filter, P2: p}, {Strategy: core.Channel, P2: p},
+			{Strategy: core.Pipeline, P2: p},
+		}
+		for _, pp := range pure {
+			if !seen[pp.String()] {
+				t.Errorf("p=%d: pure plan %s missing", p, pp)
+			}
+		}
+		// Interior divisor count d ⇒ 3·d hybrid plans.
+		divisors := 0
+		for d := 2; d <= p/2; d++ {
+			if p%d == 0 {
+				divisors++
+			}
+		}
+		if hybrids != 3*divisors {
+			t.Errorf("p=%d: %d hybrid plans, want %d", p, hybrids, 3*divisors)
+		}
+	}
+}

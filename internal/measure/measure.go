@@ -25,6 +25,7 @@ import (
 	"paradl/internal/cluster"
 	"paradl/internal/collective"
 	"paradl/internal/core"
+	"paradl/internal/dist"
 	"paradl/internal/nn"
 	"paradl/internal/profile"
 	"paradl/internal/simnet"
@@ -59,6 +60,23 @@ func (r *Result) Accuracy(pr *core.Projection) float64 {
 		diff = -diff
 	}
 	return 1 - diff/measured
+}
+
+// MeasurePlan measures the runtime plan pl under cfg: the plan's
+// strategy on the plan's grid. cfg.P/P1/P2 are overwritten from the
+// plan geometry so a trace scenario's candidate plan and the measured
+// schedule can never disagree about the grid shape.
+func MeasurePlan(e *Engine, cfg core.Config, pl dist.Plan) (*Result, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.P = pl.P()
+	cfg.P1, cfg.P2 = 0, 0
+	switch pl.Strategy {
+	case core.DataFilter, core.DataSpatial, core.DataPipeline:
+		cfg.P1, cfg.P2 = pl.P1, pl.P2
+	}
+	return Measure(e, cfg, pl.Strategy)
 }
 
 // IterTotal measures one strategy and returns its per-iteration total

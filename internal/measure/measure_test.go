@@ -5,6 +5,7 @@ import (
 
 	"paradl/internal/cluster"
 	"paradl/internal/core"
+	"paradl/internal/dist"
 	"paradl/internal/model"
 	"paradl/internal/nn"
 	"paradl/internal/profile"
@@ -322,5 +323,51 @@ func TestSerialMatchesOracleExactly(t *testing.T) {
 	pr, _ := core.Project(cfg, core.Serial)
 	if acc := res.Accuracy(pr); acc < 0.999 {
 		t.Fatalf("serial accuracy %.4f should be ≈1", acc)
+	}
+}
+
+// MeasurePlan must be exactly Measure with the grid taken from the
+// plan: bit-identical breakdowns for pure widths and explicit hybrid
+// factorizations, plan validation errors surfaced, and a stale
+// cfg.P/P1/P2 overwritten rather than trusted.
+func TestMeasurePlanMatchesMeasure(t *testing.T) {
+	e := engine(t)
+	m := model.ResNet50()
+	cases := []struct {
+		plan      string
+		p, p1, p2 int
+	}{
+		{"data:8", 8, 0, 0},
+		{"pipeline:4", 4, 0, 0},
+		{"df:4x2", 8, 4, 2},
+		{"ds:2x4", 8, 2, 4},
+	}
+	for _, c := range cases {
+		pl, err := dist.ParsePlan(c.plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := weakCfg(t, m, c.p, 4)
+		cfg.P1, cfg.P2 = c.p1, c.p2
+		want, err := Measure(e, cfg, pl.Strategy)
+		if err != nil {
+			t.Fatalf("Measure(%s): %v", c.plan, err)
+		}
+		// Hand MeasurePlan a config with a WRONG grid: the plan must win.
+		stale := cfg
+		stale.P, stale.P1, stale.P2 = 2, 2, 1
+		got, err := MeasurePlan(e, stale, pl)
+		if err != nil {
+			t.Fatalf("MeasurePlan(%s): %v", c.plan, err)
+		}
+		if got.Iter != want.Iter {
+			t.Errorf("%s: MeasurePlan iter %+v != Measure iter %+v", c.plan, got.Iter, want.Iter)
+		}
+		if got.Config.P != c.p {
+			t.Errorf("%s: P = %d, want %d", c.plan, got.Config.P, c.p)
+		}
+	}
+	if _, err := MeasurePlan(e, weakCfg(t, m, 4, 4), dist.Plan{Strategy: core.Data}); err == nil {
+		t.Error("invalid plan (zero width axis) accepted")
 	}
 }

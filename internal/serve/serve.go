@@ -238,32 +238,6 @@ type SweepResponse struct {
 	Points  []SweepPoint `json:"points"`
 }
 
-// sweepPlans enumerates the plans at total width p: every pure strategy
-// plus every interior p1×p2 factorization of the three hybrids (the
-// degenerate p1=1 / p2=1 edges are exactly the pure strategies already
-// listed).
-func sweepPlans(p int) []dist.Plan {
-	if p == 1 {
-		return []dist.Plan{{Strategy: core.Serial, P1: 1, P2: 1}}
-	}
-	plans := []dist.Plan{
-		{Strategy: core.Data, P1: p, P2: 1},
-		{Strategy: core.Spatial, P1: 1, P2: p},
-		{Strategy: core.Filter, P1: 1, P2: p},
-		{Strategy: core.Channel, P1: 1, P2: p},
-		{Strategy: core.Pipeline, P1: 1, P2: p},
-	}
-	for p2 := 2; p2 <= p/2; p2++ {
-		if p%p2 != 0 {
-			continue
-		}
-		for _, s := range []core.Strategy{core.DataFilter, core.DataSpatial, core.DataPipeline} {
-			plans = append(plans, dist.Plan{Strategy: s, P1: p / p2, P2: p2})
-		}
-	}
-	return plans
-}
-
 // sweepGrid projects the full grid for a normalized sweep request,
 // resolving the model once and reusing per-layer profiles across
 // points with equal per-PE batch. Every point's Config is identical to
@@ -300,7 +274,7 @@ func sweepGrid(req Request) (*SweepResponse, int, error) {
 		if perPE < 1 {
 			perPE = 1
 		}
-		for _, pl := range sweepPlans(p) {
+		for _, pl := range dist.SweepPlans(p) {
 			cfg := core.Config{
 				Model: m, Sys: sys, Times: profileAt(perPE),
 				D: req.D, B: b, P: p,

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paradl/internal/dist"
+)
+
+// GenSpec parameterizes the seeded scenario generator. The full sweep
+// lattice (models × geometries × batch regimes × widths × knob
+// settings) is fixed by TraceVersion; a spec picks N scenarios out of
+// it with a seeded shuffle, so any trace regenerates bit-identically
+// from the (Seed, N) pair its header records.
+type GenSpec struct {
+	Seed int64 `json:"seed"`
+	N    int   `json:"n"`
+}
+
+// The sweep lattice. Every axis is deliberately a fixed, ordered list:
+// the generator's determinism contract is that lattice order — and
+// therefore a recorded seed's sample — only changes with TraceVersion.
+var (
+	// latticeModels are the zoo models the REAL runtime trains in
+	// milliseconds; replay cost is what bounds the list to toy scale.
+	latticeModels = []string{"tinycnn", "tinycnn-nobn", "tinyresnet", "tiny3d"}
+	// latticeClusters are the named system geometries (cluster.Names
+	// minus nothing — all four reshape collective routing).
+	latticeClusters = []string{"abci-like", "dense-node", "dual-gpu", "flat-rack"}
+	// latticeBatches are the global mini-batch regimes.
+	latticeBatches = []int{8, 16, 32}
+	// latticeWidths are the total PE counts; 3 exercises prime widths
+	// (no hybrid factorization), 6 and 8 the interior grids.
+	latticeWidths = []int{2, 3, 4, 6, 8}
+	// latticeBuckets are the gradient bucket sizes: the toy A/B size at
+	// which buckets fill mid-backward, and the production default.
+	latticeBuckets = []int{8 << 10, 256 << 10}
+	latticeBools   = []bool{false, true}
+)
+
+// Fixed per-run training parameters: two iterations keeps a candidate
+// run in the tens of milliseconds; the LR matches the parity suites.
+const (
+	scenarioIters = 2
+	scenarioLR    = 0.05
+)
+
+// LatticeSize returns the number of points in the full sweep lattice —
+// the upper bound on GenSpec.N.
+func LatticeSize() int {
+	return len(latticeModels) * len(latticeClusters) * len(latticeBatches) *
+		len(latticeWidths) * len(latticeBuckets) * len(latticeBools) * len(latticeBools)
+}
+
+// point is one un-sampled lattice coordinate.
+type point struct {
+	model, cluster string
+	batch, p       int
+	bucket         int
+	overlap, fn2   bool
+}
+
+// lattice enumerates the full cross product in fixed axis order.
+func lattice() []point {
+	pts := make([]point, 0, LatticeSize())
+	for _, m := range latticeModels {
+		for _, c := range latticeClusters {
+			for _, b := range latticeBatches {
+				for _, p := range latticeWidths {
+					for _, bk := range latticeBuckets {
+						for _, ov := range latticeBools {
+							for _, fn2 := range latticeBools {
+								pts = append(pts, point{m, c, b, p, bk, ov, fn2})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Generate deterministically samples spec.N scenarios from the sweep
+// lattice: a rand.Source seeded with spec.Seed shuffles the lattice,
+// the first N points become scenarios s000…, and each scenario draws
+// its training seed from the same stream. Calling Generate twice with
+// the same spec yields identical values; serializing them yields
+// identical bytes (the trace reproducibility pin).
+func Generate(spec GenSpec) ([]Scenario, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("workload: generator needs N >= 1 scenarios, got %d", spec.N)
+	}
+	pts := lattice()
+	if spec.N > len(pts) {
+		return nil, fmt.Errorf("workload: N=%d exceeds the %d-point sweep lattice", spec.N, len(pts))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+
+	out := make([]Scenario, 0, spec.N)
+	for i, pt := range pts[:spec.N] {
+		plans := dist.SweepPlans(pt.p)
+		strs := make([]string, len(plans))
+		for j, pl := range plans {
+			strs[j] = pl.String()
+		}
+		sc := Scenario{
+			ID:          fmt.Sprintf("s%03d", i),
+			Seed:        rng.Int63(),
+			Model:       pt.model,
+			Cluster:     pt.cluster,
+			Batch:       pt.batch,
+			Iters:       scenarioIters,
+			P:           pt.p,
+			LR:          scenarioLR,
+			Overlap:     pt.overlap,
+			BucketBytes: pt.bucket,
+			Footnote2:   pt.fn2,
+			Plans:       strs,
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

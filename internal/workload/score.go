@@ -1,0 +1,174 @@
+package workload
+
+import "math"
+
+// KendallTau returns the Kendall τ-b rank correlation between two
+// paired score vectors: +1 when they order identically, −1 when they
+// order exactly oppositely, with the standard tie correction
+// τ = (C − D) / √((n₀−n₁)(n₀−n₂)). Vectors where every pair is tied
+// (denominator zero) score 0 — no ordering information, no agreement
+// claimed. Both vectors must have equal length; pairs are compared by
+// value, so rank vectors and raw seconds are both valid inputs.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic("workload: KendallTau on unequal-length vectors")
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := sign(a[i] - a[j])
+			db := sign(b[i] - b[j])
+			if da == 0 {
+				tiesA++
+			}
+			if db == 0 {
+				tiesB++
+			}
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiesA) * (n0 - tiesB))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// ScenarioScore grades one scenario's oracle ordering against both
+// measured orderings — the REAL runtime wall clock and the measured
+// simulator. Degenerate scenarios (fewer than two comparable
+// candidates — nothing to order) are flagged and excluded from
+// aggregates.
+type ScenarioScore struct {
+	// Comparable is the number of candidates present in all three
+	// orderings (runtime, simulator, oracle).
+	Comparable int  `json:"comparable"`
+	Degenerate bool `json:"degenerate,omitempty"`
+	// TauRuntime/TauSim are Kendall-τ between the oracle's candidate
+	// ranking and each measured ordering.
+	TauRuntime float64 `json:"tau_runtime"`
+	TauSim     float64 `json:"tau_sim"`
+	// Top1Runtime/Top1Sim report whether the oracle's pick (rank 1) is
+	// a measured fastest candidate (ties count as agreement).
+	Top1Runtime bool `json:"top1_runtime"`
+	Top1Sim     bool `json:"top1_sim"`
+	// RegretRuntime/RegretSim are the relative cost of trusting the
+	// oracle: (measured cost of the oracle's pick − measured cost of
+	// the true best) / true best. 0 when the oracle picked a winner.
+	RegretRuntime float64 `json:"regret_runtime"`
+	RegretSim     float64 `json:"regret_sim"`
+}
+
+// ScoreScenario computes a scenario's ranking-fidelity scores from its
+// comparable candidates (as produced by Replayer.Replay, oracle ranks
+// assigned).
+func ScoreScenario(cands []Candidate) ScenarioScore {
+	s := ScenarioScore{Comparable: len(cands)}
+	if len(cands) < 2 {
+		s.Degenerate = true
+		return s
+	}
+	ranks := make([]float64, len(cands))
+	measured := make([]float64, len(cands))
+	sim := make([]float64, len(cands))
+	pick := 0
+	for i, c := range cands {
+		ranks[i] = float64(c.OracleRank)
+		measured[i] = c.MeasuredSec
+		sim[i] = c.SimSec
+		if c.OracleRank == 1 {
+			pick = i
+		}
+	}
+	s.TauRuntime = KendallTau(ranks, measured)
+	s.TauSim = KendallTau(ranks, sim)
+	s.Top1Runtime, s.RegretRuntime = top1AndRegret(measured, pick)
+	s.Top1Sim, s.RegretSim = top1AndRegret(sim, pick)
+	return s
+}
+
+// top1AndRegret grades the oracle's pick against a measured cost
+// vector.
+func top1AndRegret(costs []float64, pick int) (bool, float64) {
+	best := costs[0]
+	for _, c := range costs[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	if best <= 0 {
+		return costs[pick] <= best, 0
+	}
+	return costs[pick] <= best, (costs[pick] - best) / best
+}
+
+// Aggregate summarizes ranking fidelity over a sweep against one
+// measured ordering.
+type Aggregate struct {
+	// Scenarios is the number of scored (non-degenerate) scenarios.
+	Scenarios int `json:"scenarios"`
+	// Degenerate counts scenarios excluded for having < 2 comparable
+	// candidates.
+	Degenerate int     `json:"degenerate"`
+	MeanTau    float64 `json:"mean_tau"`
+	Top1Rate   float64 `json:"top1_rate"`
+	MeanRegret float64 `json:"mean_regret"`
+	MaxRegret  float64 `json:"max_regret"`
+}
+
+// AggregateScores folds per-scenario scores into the two sweep-level
+// aggregates: oracle-vs-runtime and oracle-vs-simulator.
+func AggregateScores(results []*ScenarioResult) (runtime, sim Aggregate) {
+	for _, r := range results {
+		if r.Degenerate {
+			runtime.Degenerate++
+			sim.Degenerate++
+			continue
+		}
+		runtime.add(r.TauRuntime, r.Top1Runtime, r.RegretRuntime)
+		sim.add(r.TauSim, r.Top1Sim, r.RegretSim)
+	}
+	runtime.finish()
+	sim.finish()
+	return runtime, sim
+}
+
+func (a *Aggregate) add(tau float64, top1 bool, regret float64) {
+	a.Scenarios++
+	a.MeanTau += tau
+	if top1 {
+		a.Top1Rate++
+	}
+	a.MeanRegret += regret
+	if regret > a.MaxRegret {
+		a.MaxRegret = regret
+	}
+}
+
+func (a *Aggregate) finish() {
+	if a.Scenarios == 0 {
+		return
+	}
+	n := float64(a.Scenarios)
+	a.MeanTau /= n
+	a.Top1Rate /= n
+	a.MeanRegret /= n
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestKendallTauPerfectOrdering(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if tau := KendallTau(a, b); !almost(tau, 1) {
+		t.Errorf("perfect ordering τ = %g, want 1", tau)
+	}
+	// Monotone but non-linear: τ only sees order.
+	c := []float64{1, 10, 100, 1000, 10000}
+	if tau := KendallTau(a, c); !almost(tau, 1) {
+		t.Errorf("monotone ordering τ = %g, want 1", tau)
+	}
+}
+
+func TestKendallTauReversedOrdering(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1}
+	if tau := KendallTau(a, b); !almost(tau, -1) {
+		t.Errorf("reversed ordering τ = %g, want -1", tau)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// A tie on both sides for the same pair: τ-b still reaches 1.
+	if tau := KendallTau([]float64{1, 1, 2}, []float64{5, 5, 9}); !almost(tau, 1) {
+		t.Errorf("consistent ties τ = %g, want 1", tau)
+	}
+	// A tie on one side only: τ-b = (C−D)/√((n₀−n₁)(n₀−n₂)) = 2/√6.
+	want := 2 / math.Sqrt(6)
+	if tau := KendallTau([]float64{1, 1, 2}, []float64{1, 2, 3}); !almost(tau, want) {
+		t.Errorf("one-sided tie τ = %g, want %g", tau, want)
+	}
+	// Everything tied: no ordering information, τ defined as 0.
+	if tau := KendallTau([]float64{7, 7, 7}, []float64{1, 2, 3}); tau != 0 {
+		t.Errorf("all-tied τ = %g, want 0", tau)
+	}
+	if tau := KendallTau(nil, nil); tau != 0 {
+		t.Errorf("empty τ = %g, want 0", tau)
+	}
+}
+
+// Fuzzed invariants: τ ∈ [−1, 1], symmetry τ(a,b)=τ(b,a),
+// self-correlation 1, and antisymmetry under negation.
+func TestKendallTauFuzzInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(12)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		neg := make([]float64, n)
+		for i := range a {
+			// Coarse values so ties occur often.
+			a[i] = float64(rng.Intn(5))
+			b[i] = float64(rng.Intn(5))
+			neg[i] = -b[i]
+		}
+		tau := KendallTau(a, b)
+		if tau < -1-1e-12 || tau > 1+1e-12 || math.IsNaN(tau) {
+			t.Fatalf("trial %d: τ = %g outside [-1,1] (a=%v b=%v)", trial, tau, a, b)
+		}
+		if rev := KendallTau(b, a); !almost(tau, rev) {
+			t.Fatalf("trial %d: τ(a,b)=%g ≠ τ(b,a)=%g", trial, tau, rev)
+		}
+		if !almost(KendallTau(a, neg), -tau) {
+			t.Fatalf("trial %d: τ(a,-b) ≠ -τ(a,b)", trial)
+		}
+		allTied := true
+		for i := 1; i < n; i++ {
+			if a[i] != a[0] {
+				allTied = false
+			}
+		}
+		if self := KendallTau(a, a); !allTied && !almost(self, 1) {
+			t.Fatalf("trial %d: τ(a,a) = %g, want 1", trial, self)
+		}
+	}
+}
+
+func TestKendallTauLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unequal lengths did not panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}
+
+// cand builds a scored candidate: oracle rank r, runtime seconds m,
+// simulator seconds s.
+func cand(plan string, r int, m, s float64) Candidate {
+	return Candidate{Plan: plan, OracleRank: r, MeasuredSec: m, SimSec: s, OracleSec: float64(r)}
+}
+
+func TestScoreScenarioAgreement(t *testing.T) {
+	// The oracle's ordering matches the runtime exactly and the
+	// simulator exactly oppositely.
+	s := ScoreScenario([]Candidate{
+		cand("data:4", 1, 1.0, 9.0),
+		cand("filter:4", 2, 2.0, 8.0),
+		cand("pipeline:4", 3, 3.0, 7.0),
+	})
+	if s.Degenerate || s.Comparable != 3 {
+		t.Fatalf("unexpected degeneracy: %+v", s)
+	}
+	if !almost(s.TauRuntime, 1) || !almost(s.TauSim, -1) {
+		t.Errorf("τ = (%g, %g), want (1, -1)", s.TauRuntime, s.TauSim)
+	}
+	if !s.Top1Runtime || s.Top1Sim {
+		t.Errorf("top-1 = (%v, %v), want (true, false)", s.Top1Runtime, s.Top1Sim)
+	}
+	if s.RegretRuntime != 0 {
+		t.Errorf("runtime regret = %g, want 0", s.RegretRuntime)
+	}
+	// Sim regret: pick costs 9, best is 7 → (9-7)/7.
+	if want := 2.0 / 7.0; !almost(s.RegretSim, want) {
+		t.Errorf("sim regret = %g, want %g", s.RegretSim, want)
+	}
+}
+
+func TestScoreScenarioTiedBest(t *testing.T) {
+	// The oracle pick ties the measured fastest: agreement, zero regret.
+	s := ScoreScenario([]Candidate{
+		cand("data:2", 1, 2.0, 2.0),
+		cand("filter:2", 2, 2.0, 2.0),
+	})
+	if !s.Top1Runtime || !s.Top1Sim || s.RegretRuntime != 0 || s.RegretSim != 0 {
+		t.Errorf("tied best mis-scored: %+v", s)
+	}
+}
+
+func TestScoreScenarioDegenerate(t *testing.T) {
+	if s := ScoreScenario(nil); !s.Degenerate {
+		t.Error("empty candidate set not degenerate")
+	}
+	if s := ScoreScenario([]Candidate{cand("data:2", 1, 1, 1)}); !s.Degenerate {
+		t.Error("single candidate not degenerate")
+	}
+}
+
+func TestAggregateScores(t *testing.T) {
+	results := []*ScenarioResult{
+		{ScenarioScore: ScenarioScore{Comparable: 3, TauRuntime: 1, TauSim: 0.5, Top1Runtime: true, Top1Sim: true, RegretRuntime: 0, RegretSim: 0.1}},
+		{ScenarioScore: ScenarioScore{Comparable: 3, TauRuntime: 0, TauSim: 0.5, Top1Runtime: false, Top1Sim: true, RegretRuntime: 0.5, RegretSim: 0.3}},
+		{ScenarioScore: ScenarioScore{Comparable: 1, Degenerate: true}},
+	}
+	rt, sim := AggregateScores(results)
+	if rt.Scenarios != 2 || rt.Degenerate != 1 || sim.Scenarios != 2 {
+		t.Fatalf("coverage: rt=%+v sim=%+v", rt, sim)
+	}
+	if !almost(rt.MeanTau, 0.5) || !almost(rt.Top1Rate, 0.5) || !almost(rt.MeanRegret, 0.25) || !almost(rt.MaxRegret, 0.5) {
+		t.Errorf("runtime aggregate: %+v", rt)
+	}
+	if !almost(sim.MeanTau, 0.5) || !almost(sim.Top1Rate, 1) || !almost(sim.MeanRegret, 0.2) || !almost(sim.MaxRegret, 0.3) {
+		t.Errorf("sim aggregate: %+v", sim)
+	}
+}

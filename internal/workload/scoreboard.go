@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"paradl/internal/artifact"
+)
+
+// Scoreboard identity: SCOREBOARD.json at the repo root is the
+// committed ranking-fidelity artefact later PRs must not regress (the
+// CI smoke pins a top-1 floor against the deterministic simulator
+// side).
+const (
+	ScoreboardSchema  = "paradl/scoreboard"
+	ScoreboardVersion = 1
+)
+
+// Scoreboard is the committed artefact: provenance, the generator spec
+// and trace digest that reproduce the sweep, every replayed scenario
+// with its candidates and scores, and the two sweep-level aggregates.
+type Scoreboard struct {
+	artifact.Header
+	// Spec regenerates the trace; TraceSHA256 is the digest of the
+	// regenerated trace bytes (WriteTrace output), pinning which
+	// scenario set these scores grade.
+	Spec        GenSpec `json:"spec"`
+	TraceSHA256 string  `json:"trace_sha256"`
+	// ReplayIters is the timed-runs-per-candidate setting of the
+	// real-runtime measurements.
+	ReplayIters int `json:"replay_iters"`
+
+	Scenarios []*ScenarioResult `json:"scenarios"`
+
+	// AggRuntime grades the oracle against REAL wall-clock ordering
+	// (noisy: one host, goroutine PEs); AggSim against the
+	// deterministic measured simulator (the reproducible floor CI
+	// pins).
+	AggRuntime Aggregate `json:"aggregate_runtime"`
+	AggSim     Aggregate `json:"aggregate_sim"`
+}
+
+// TraceDigest returns the SHA-256 of the serialized trace for a spec —
+// the content address a scoreboard records so its scenario set is
+// verifiable.
+func TraceDigest(spec GenSpec, scs []Scenario) (string, error) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spec, scs); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// BuildScoreboard generates the seeded sweep, replays it, scores it,
+// and assembles the artefact. It is `paraexp -exp scoreboard` behind
+// the CLI flags.
+func BuildScoreboard(spec GenSpec, replayIters int) (*Scoreboard, error) {
+	scs, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return ScoreTrace(spec, scs, replayIters)
+}
+
+// ScoreTrace replays and scores an explicit scenario set (generated or
+// loaded from a trace file) into a scoreboard.
+func ScoreTrace(spec GenSpec, scs []Scenario, replayIters int) (*Scoreboard, error) {
+	digest, err := TraceDigest(spec, scs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReplayer(replayIters)
+	if err != nil {
+		return nil, err
+	}
+	sb := &Scoreboard{
+		Header:      artifact.NewHeader(ScoreboardSchema, ScoreboardVersion),
+		Spec:        spec,
+		TraceSHA256: digest,
+		ReplayIters: replayIters,
+	}
+	for _, sc := range scs {
+		res, err := r.Replay(sc)
+		if err != nil {
+			return nil, fmt.Errorf("workload: replaying %s: %w", sc.ID, err)
+		}
+		res.ScenarioScore = ScoreScenario(res.Candidates)
+		sb.Scenarios = append(sb.Scenarios, res)
+	}
+	sb.AggRuntime, sb.AggSim = AggregateScores(sb.Scenarios)
+	if err := sb.Validate(); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// Validate checks the artefact's structural invariants: schema
+// identity, a non-empty scored sweep, τ within [−1, 1], rates within
+// [0, 1], and non-negative regret. The CI smoke runs this on the
+// freshly generated artefact; regression gates can run it on the
+// committed one.
+func (sb *Scoreboard) Validate() error {
+	if err := sb.Header.Check(ScoreboardSchema, ScoreboardVersion); err != nil {
+		return err
+	}
+	if len(sb.Scenarios) == 0 {
+		return fmt.Errorf("workload: scoreboard with no scenarios")
+	}
+	if len(sb.TraceSHA256) != 64 {
+		return fmt.Errorf("workload: malformed trace digest %q", sb.TraceSHA256)
+	}
+	for _, r := range sb.Scenarios {
+		if err := r.Scenario.Validate(); err != nil {
+			return err
+		}
+		if len(r.Candidates)+len(r.Skipped) != len(r.Plans) {
+			return fmt.Errorf("workload: %s: %d candidates + %d skips ≠ %d plans",
+				r.ID, len(r.Candidates), len(r.Skipped), len(r.Plans))
+		}
+		if r.Comparable != len(r.Candidates) {
+			return fmt.Errorf("workload: %s: comparable=%d but %d candidates", r.ID, r.Comparable, len(r.Candidates))
+		}
+		for _, tau := range []float64{r.TauRuntime, r.TauSim} {
+			if tau < -1 || tau > 1 {
+				return fmt.Errorf("workload: %s: τ=%g outside [-1,1]", r.ID, tau)
+			}
+		}
+		if r.RegretRuntime < 0 || r.RegretSim < 0 {
+			return fmt.Errorf("workload: %s: negative regret", r.ID)
+		}
+	}
+	for side, a := range map[string]Aggregate{"runtime": sb.AggRuntime, "sim": sb.AggSim} {
+		if a.Scenarios+a.Degenerate != len(sb.Scenarios) {
+			return fmt.Errorf("workload: %s aggregate covers %d+%d of %d scenarios",
+				side, a.Scenarios, a.Degenerate, len(sb.Scenarios))
+		}
+		if a.MeanTau < -1 || a.MeanTau > 1 || a.Top1Rate < 0 || a.Top1Rate > 1 || a.MeanRegret < 0 {
+			return fmt.Errorf("workload: %s aggregate out of bounds: %+v", side, a)
+		}
+	}
+	return nil
+}

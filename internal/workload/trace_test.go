@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Seed: 7, N: 40}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec generated different scenario sets")
+	}
+	if len(a) != 40 {
+		t.Fatalf("generated %d scenarios, want 40", len(a))
+	}
+	// A different seed must sample a different sweep.
+	c, err := Generate(GenSpec{Seed: 8, N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical sweeps")
+	}
+}
+
+// The trace reproducibility pin: serializing a generated sweep twice —
+// and regenerating it from the seed its header records — yields
+// byte-identical traces.
+func TestTraceByteIdenticalRegeneration(t *testing.T) {
+	spec := GenSpec{Seed: 3, N: 25}
+	scs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second bytes.Buffer
+	if err := WriteTrace(&first, spec, scs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&second, spec, scs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("serializing the same sweep twice produced different bytes")
+	}
+
+	// Round-trip: read the trace back, regenerate from the recorded
+	// spec, re-serialize — still byte-identical.
+	h, got, err := ReadTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec != spec || h.Scenarios != len(scs) {
+		t.Fatalf("header %+v does not record spec %+v over %d scenarios", h, spec, len(scs))
+	}
+	if !reflect.DeepEqual(got, scs) {
+		t.Fatal("trace round-trip changed scenarios")
+	}
+	regen, err := Generate(h.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := WriteTrace(&third, h.Spec, regen); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), third.Bytes()) {
+		t.Fatal("regenerating from the recorded seed is not byte-identical")
+	}
+
+	d1, err := TraceDigest(spec, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := TraceDigest(h.Spec, regen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || len(d1) != 64 {
+		t.Fatalf("trace digests diverge: %s vs %s", d1, d2)
+	}
+}
+
+func TestGenerateCoversSweepAxes(t *testing.T) {
+	// A healthy sample must touch several models, geometries, batch
+	// regimes, and widths — the sweep is the point.
+	scs, err := Generate(GenSpec{Seed: 1, N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, clusters, batches, widths := map[string]bool{}, map[string]bool{}, map[int]bool{}, map[int]bool{}
+	for _, sc := range scs {
+		models[sc.Model] = true
+		clusters[sc.Cluster] = true
+		batches[sc.Batch] = true
+		widths[sc.P] = true
+		if len(sc.Plans) < 5 {
+			t.Errorf("%s: only %d candidate plans at p=%d", sc.ID, len(sc.Plans), sc.P)
+		}
+	}
+	if len(models) < 3 || len(clusters) < 3 || len(batches) < 2 || len(widths) < 4 {
+		t.Errorf("sweep coverage too thin: %d models %d clusters %d batches %d widths",
+			len(models), len(clusters), len(batches), len(widths))
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(GenSpec{Seed: 1, N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Generate(GenSpec{Seed: 1, N: LatticeSize() + 1}); err == nil {
+		t.Error("N beyond the lattice accepted")
+	}
+	if _, err := Generate(GenSpec{Seed: 1, N: LatticeSize()}); err != nil {
+		t.Errorf("full lattice rejected: %v", err)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	spec := GenSpec{Seed: 5, N: 3}
+	scs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spec, scs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"empty":            "",
+		"wrong schema":     strings.Replace(good, TraceSchema, "paradl/other", 1),
+		"future version":   strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"missing scenario": good[:strings.LastIndex(strings.TrimSpace(good), "\n")+1],
+		"unknown model":    strings.ReplaceAll(good, "tiny", "mega"),
+		"bad json":         good + "{not json\n",
+	}
+	for name, raw := range cases {
+		if raw == good {
+			t.Fatalf("%s: mutation did not change the trace", name)
+		}
+		if _, _, err := ReadTrace(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	scs, err := Generate(GenSpec{Seed: 2, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := scs[0]
+
+	mutate := func(f func(*Scenario)) *Scenario {
+		sc := base
+		sc.Plans = append([]string(nil), base.Plans...)
+		f(&sc)
+		return &sc
+	}
+	bad := map[string]*Scenario{
+		"no id":          mutate(func(s *Scenario) { s.ID = "" }),
+		"unknown model":  mutate(func(s *Scenario) { s.Model = "meganet" }),
+		"unknown geo":    mutate(func(s *Scenario) { s.Cluster = "mystery" }),
+		"zero batch":     mutate(func(s *Scenario) { s.Batch = 0 }),
+		"zero lr":        mutate(func(s *Scenario) { s.LR = 0 }),
+		"no plans":       mutate(func(s *Scenario) { s.Plans = nil }),
+		"bad plan":       mutate(func(s *Scenario) { s.Plans[0] = "warp:9" }),
+		"width mismatch": mutate(func(s *Scenario) { s.P++ }),
+	}
+	for name, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("pristine scenario rejected: %v", err)
+	}
+}
