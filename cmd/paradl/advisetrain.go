@@ -1,12 +1,13 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"paradl/internal/core"
 	"paradl/internal/dist"
@@ -97,7 +98,9 @@ func tryPlan(m *nn.Model, pl dist.Plan, overlap string) error {
 	return err
 }
 
-// adviseHTTP queries a paraserve /advise endpoint and decodes the
+// adviseHTTP queries a paraserve /advise endpoint through the
+// backoff-retrying serve.Client (a saturated planner answers 503 +
+// Retry-After; the client waits it out with jitter) and decodes the
 // ranked response; the wire encoding round-trips the full projection,
 // so the HTTP path yields exactly what core.Advise returns in process.
 func adviseHTTP(serverURL string, req serve.Request) ([]core.Advice, error) {
@@ -106,23 +109,20 @@ func adviseHTTP(serverURL string, req serve.Request) ([]core.Advice, error) {
 		return nil, err
 	}
 	url := strings.TrimSuffix(serverURL, "/") + "/advise"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	raw, status, err := serve.NewClient().PostJSON(ctx, url, body)
 	if err != nil {
 		return nil, fmt.Errorf("querying %s: %w", url, err)
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
+	if status != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
 			return nil, fmt.Errorf("server: %s", e.Error)
 		}
-		return nil, fmt.Errorf("server: status %d: %s", resp.StatusCode, raw)
+		return nil, fmt.Errorf("server: status %d: %s", status, raw)
 	}
 	var advs []core.Advice
 	if err := json.Unmarshal(raw, &advs); err != nil {

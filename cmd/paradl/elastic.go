@@ -111,22 +111,24 @@ func superviseTrain(w io.Writer, m *nn.Model, batches []dist.Batch, pl dist.Plan
 		return nil, err
 	}
 	for _, rec := range er.Recoveries {
+		if rec.Kind == "grow-back" {
+			fmt.Fprintf(w, "grew back: slot healthy at iteration %d; plan %s → %s; resumed from checkpoint at iteration %d\n",
+				rec.FailIter, rec.From, rec.To, rec.ResumeIter)
+			continue
+		}
 		fmt.Fprintf(w, "recovered: PE %d died at iteration %d; plan %s → %s; resumed from checkpoint at iteration %d\n",
 			rec.PE, rec.FailIter, rec.From, rec.To, rec.ResumeIter)
 	}
 	return er.Result, nil
 }
 
-// resumeTrain restores the latest checkpoint from -ckpt-dir and trains
-// the remaining iterations of the fixed toy schedule under pl — a live
-// plan migration whenever pl differs from the plan the checkpoint was
+// resumeTrain restores the newest VALID checkpoint from -ckpt-dir
+// (scanning past torn or corrupted files) and trains the remaining
+// iterations of the fixed toy schedule under pl — a live plan
+// migration whenever pl differs from the plan the checkpoint was
 // written under.
 func resumeTrain(w io.Writer, m *nn.Model, pl dist.Plan, opts []dist.Option, el elasticConfig) (*dist.Result, error) {
-	path, err := ckpt.Latest(el.Dir)
-	if err != nil {
-		return nil, err
-	}
-	st, err := ckpt.Load(path)
+	st, path, err := ckpt.LatestValid(el.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +140,13 @@ func resumeTrain(w io.Writer, m *nn.Model, pl dist.Plan, opts []dist.Option, el 
 		fmt.Fprintf(w, " (migrating to %s)", pl)
 	}
 	fmt.Fprintln(w)
-	tail := data.Toy(m, int64(trainIters*trainBatch)).BatchesFrom(st.Cursor, trainIters-st.Iter, trainBatch)
+	// Prefer the explicit data-cursor stream (v2 headers) for the
+	// resume point; v1 files fall back to the legacy Cursor field.
+	cursor := st.Cursor
+	if ds, ok := st.Stream("data-cursor"); ok {
+		cursor = int(ds.Next)
+	}
+	tail := data.Toy(m, int64(trainIters*trainBatch)).BatchesFrom(cursor, trainIters-st.Iter, trainBatch)
 	res, err := dist.Run(m, tail, pl, append(append([]dist.Option(nil), opts...), dist.WithInitState(st))...)
 	if err != nil {
 		return nil, err

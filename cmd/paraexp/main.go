@@ -8,6 +8,7 @@
 //	paraexp -exp benchdist -bench-iters 10 > BENCH_dist.json
 //	paraexp -exp servebench -serve-requests 50000 > BENCH_serve.json
 //	paraexp -exp scoreboard -scenarios 60 > SCOREBOARD.json
+//	paraexp -exp chaos -scenarios 25 -seed 1 > CHAOS.json
 //
 // Run with -h (or any unknown -exp value) for the full experiment
 // registry with one-line descriptions.
@@ -109,6 +110,8 @@ func registry(csv bool) []experiment {
 			func(w io.Writer, e *report.Env, o options) error { return writeTraceExp(w, o) }},
 		{"scoreboard", "replay a seeded sweep; oracle ranking-fidelity scores (SCOREBOARD.json)", false,
 			func(w io.Writer, e *report.Env, o options) error { return writeScoreboard(w, o) }},
+		{"chaos", "randomized fault-schedule soak; recovery + parity verdicts (CHAOS.json)", false,
+			func(w io.Writer, e *report.Env, o options) error { return writeChaos(w, o) }},
 	}
 	return append(artefacts, measured...)
 }
@@ -136,13 +139,13 @@ func main() {
 	o := options{}
 	flag.IntVar(&o.trials, "trials", 12, "fig6: number of collective trials")
 	flag.Float64Var(&o.congested, "congested", 0.35, "fig6: fraction of congested trials")
-	flag.Int64Var(&o.seed, "seed", 7, "fig6: congestion RNG seed")
+	flag.Int64Var(&o.seed, "seed", 7, "fig6: congestion RNG seed; chaos: base seed the per-scenario schedules derive from")
 	flag.BoolVar(&o.csv, "csv", false, "emit machine-readable CSV (fig3, fig4, fig6, accuracy)")
 	flag.IntVar(&o.benchIters, "bench-iters", 5, "benchdist: timed runs per case")
 	flag.IntVar(&o.serveRequests, "serve-requests", 50000, "servebench: cached-phase request count")
 	flag.IntVar(&o.serveConcurrency, "serve-concurrency", 0, "servebench: in-flight workers (0 = 4×GOMAXPROCS)")
 	flag.IntVar(&o.serveCold, "serve-cold", 64, "servebench: cold-phase request count (all-distinct keys)")
-	flag.IntVar(&o.scenarios, "scenarios", 60, "trace/scoreboard: scenarios sampled from the sweep lattice")
+	flag.IntVar(&o.scenarios, "scenarios", 60, "trace/scoreboard: scenarios sampled from the sweep lattice; chaos: fault schedules soaked")
 	flag.Int64Var(&o.workloadSeed, "workload-seed", 1, "trace/scoreboard: generator seed (recorded in the trace header)")
 	flag.IntVar(&o.replayIters, "replay-iters", 1, "scoreboard: timed real-runtime runs per candidate")
 	flag.StringVar(&o.traceFile, "trace", "", "scoreboard: replay this JSON-lines trace file instead of generating")

@@ -31,12 +31,15 @@ const drainTimeout = 10 * time.Second
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries, "projection cache capacity (entries)")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "planning requests served concurrently")
+	maxQueue := flag.Int("max-queue", serve.DefaultMaxQueue, "admission queue depth beyond which requests are shed with 503")
+	reqTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline (queue wait included)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, *cacheEntries); err != nil {
+	if err := run(ctx, *addr, *cacheEntries, *maxConcurrent, *maxQueue, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "paraserve:", err)
 		os.Exit(1)
 	}
@@ -44,17 +47,25 @@ func main() {
 
 // run listens on addr and serves the planner until ctx is cancelled
 // (SIGINT/SIGTERM in the binary), then drains and exits cleanly.
-func run(ctx context.Context, addr string, cacheEntries int) error {
+func run(ctx context.Context, addr string, cacheEntries, maxConcurrent, maxQueue int, reqTimeout time.Duration) error {
 	if cacheEntries < 1 {
 		return fmt.Errorf("cache-entries must be positive, got %d", cacheEntries)
 	}
-	s := serve.New(serve.WithCacheEntries(cacheEntries))
+	if maxConcurrent < 1 {
+		return fmt.Errorf("max-concurrent must be positive, got %d", maxConcurrent)
+	}
+	s := serve.New(
+		serve.WithCacheEntries(cacheEntries),
+		serve.WithAdmission(maxConcurrent, maxQueue),
+		serve.WithRequestTimeout(reqTimeout),
+	)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "paraserve: listening on %s (cache %d entries)\n", ln.Addr(), cacheEntries)
-	if err := serveUntil(ctx, ln, s.Handler()); err != nil {
+	fmt.Fprintf(os.Stderr, "paraserve: listening on %s (cache %d entries, %d slots + %d queue, %s deadline)\n",
+		ln.Addr(), cacheEntries, maxConcurrent, maxQueue, reqTimeout)
+	if err := serveUntil(ctx, ln, s.Handler(), s.BeginDrain); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "paraserve: drained in-flight requests, shut down cleanly")
@@ -62,9 +73,11 @@ func run(ctx context.Context, addr string, cacheEntries int) error {
 }
 
 // serveUntil serves h on ln until ctx is cancelled, then shuts down
-// gracefully: the listener closes at once so no new work is accepted,
-// while requests already in flight get up to drainTimeout to finish.
-func serveUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
+// gracefully: beginDrain (when non-nil) flips readiness to draining
+// first (load balancers stop routing, new planning work is shed with
+// 503), the listener closes, and requests already in flight get up to
+// drainTimeout to finish.
+func serveUntil(ctx context.Context, ln net.Listener, h http.Handler, beginDrain func()) error {
 	srv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -72,6 +85,9 @@ func serveUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	if beginDrain != nil {
+		beginDrain()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()

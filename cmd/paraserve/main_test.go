@@ -23,8 +23,9 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	s := serve.New()
 	done := make(chan error, 1)
-	go func() { done <- serveUntil(ctx, ln, serve.New().Handler()) }()
+	go func() { done <- serveUntil(ctx, ln, s.Handler(), s.BeginDrain) }()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 
 	var health serve.Health
@@ -46,6 +47,15 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if health.Status != "ok" || health.UptimeSeconds < 0 || health.GoVersion == "" {
 		t.Fatalf("healthz payload %+v, want status=ok, nonnegative uptime, build info", health)
+	}
+
+	ready, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		t.Fatalf("readyz answered %d before drain, want 200", ready.StatusCode)
 	}
 
 	resp, err := http.Post(base+"/advise", "application/json",
@@ -94,7 +104,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		io.WriteString(w, "drained")
 	})
 	done := make(chan error, 1)
-	go func() { done <- serveUntil(ctx, ln, slow) }()
+	go func() { done <- serveUntil(ctx, ln, slow, nil) }()
 
 	type reply struct {
 		body string
@@ -134,10 +144,13 @@ func TestGracefulShutdownDrains(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "127.0.0.1:0", 0); err == nil {
+	if err := run(ctx, "127.0.0.1:0", 0, 1, 1, time.Second); err == nil {
 		t.Fatal("want error for zero cache entries")
 	}
-	if err := run(ctx, "256.0.0.1:bad", 8); err == nil {
+	if err := run(ctx, "127.0.0.1:0", 8, 0, 1, time.Second); err == nil {
+		t.Fatal("want error for zero concurrency")
+	}
+	if err := run(ctx, "256.0.0.1:bad", 8, 1, 1, time.Second); err == nil {
 		t.Fatal("want error for bad address")
 	}
 }

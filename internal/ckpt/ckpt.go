@@ -55,12 +55,46 @@ type State struct {
 	LR       float64
 	Momentum float64
 	Cursor   int
-	Losses   []float64
-	Params   []nn.Params
-	Vel      []nn.Params
+	// Streams records every named deterministic RNG/data stream the run
+	// consumes and the next position each will draw — today the data
+	// cursor, tomorrow dropout/augmentation streams — so a stochastic
+	// layer added later resumes bit-identically instead of re-deriving
+	// its stream from ambient state. Version-1 checkpoints predate the
+	// field and decode with Streams nil.
+	Streams []Stream
+	Losses  []float64
+	Params  []nn.Params
+	Vel     []nn.Params
+}
+
+// Stream is one named deterministic stream position: the seed that
+// parameterizes the stream and the next index it will consume. Two
+// runs holding equal (Seed, Next) draw identical continuations.
+type Stream struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	Next int64  `json:"next"`
+}
+
+// Stream returns the recorded position of the named stream, or false
+// when the checkpoint predates stream recording (version-1 files) or
+// never tracked it.
+func (s *State) Stream(name string) (Stream, bool) {
+	for _, st := range s.Streams {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return Stream{}, false
 }
 
 const magic = "PDLCKPT1"
+
+// version is the header revision Encode writes. Decode accepts every
+// revision in [1, version]: version 2 added the Streams directory (a
+// header-only JSON field), so version-1 payload geometry is unchanged
+// and old files load with Streams nil.
+const version = 2
 
 // header is the JSON metadata block; the float64 series (losses and
 // tensor values) live in the binary payload, never in JSON, so decode
@@ -74,6 +108,7 @@ type header struct {
 	LR       float64    `json:"lr"`
 	Momentum float64    `json:"momentum"`
 	Cursor   int        `json:"cursor"`
+	Streams  []Stream   `json:"streams,omitempty"` // since version 2
 	NLosses  int        `json:"nlosses"`
 	NLayers  int        `json:"nlayers"`
 	Dir      []dirEntry `json:"dir"`
@@ -110,8 +145,9 @@ func (s *State) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("ckpt: %d velocity layers vs %d parameter layers", len(s.Vel), len(s.Params))
 	}
 	h := header{
-		Version: 1, Model: s.Model, Plan: s.Plan, Iter: s.Iter,
+		Version: version, Model: s.Model, Plan: s.Plan, Iter: s.Iter,
 		Seed: s.Seed, LR: s.LR, Momentum: s.Momentum, Cursor: s.Cursor,
+		Streams: s.Streams,
 		NLosses: len(s.Losses), NLayers: len(s.Params),
 	}
 	var tensors []*tensor.Tensor
@@ -182,8 +218,8 @@ func Decode(b []byte) (*State, error) {
 	if err := json.Unmarshal(rest[:hlen], &h); err != nil {
 		return nil, fmt.Errorf("ckpt: decoding header: %w", err)
 	}
-	if h.Version != 1 {
-		return nil, fmt.Errorf("ckpt: unsupported version %d", h.Version)
+	if h.Version < 1 || h.Version > version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d (this build reads 1..%d)", h.Version, version)
 	}
 	payload := rest[hlen:]
 	n := h.NLosses
@@ -204,7 +240,8 @@ func Decode(b []byte) (*State, error) {
 	s := &State{
 		Model: h.Model, Plan: h.Plan, Iter: h.Iter, Seed: h.Seed,
 		LR: h.LR, Momentum: h.Momentum, Cursor: h.Cursor,
-		Params: make([]nn.Params, h.NLayers),
+		Streams: h.Streams,
+		Params:  make([]nn.Params, h.NLayers),
 	}
 	s.Losses, payload = readFloats(payload, h.NLosses)
 	for _, e := range h.Dir {
@@ -297,6 +334,27 @@ func Load(path string) (*State, error) {
 	return s, nil
 }
 
+// CorruptFile flips one bit of the byte at offset off (reduced modulo
+// the file size) — the checkpoint-corruption fault of the chaos
+// harness. The SHA-256 trailer guarantees the damaged file fails Load
+// loudly, and LatestValid falls back to the previous snapshot, so an
+// injected corruption costs recovery PROGRESS (an older resume point),
+// never correctness.
+func CorruptFile(path string, off int64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("ckpt: cannot corrupt empty file %s", path)
+	}
+	if off < 0 {
+		off = -off
+	}
+	b[off%int64(len(b))] ^= 0x40
+	return os.WriteFile(path, b, 0o644)
+}
+
 // Latest returns the path of the highest-iteration checkpoint in dir
 // (by the canonical file-name ordering; temp files are invisible).
 func Latest(dir string) (string, error) {
@@ -309,4 +367,31 @@ func Latest(dir string) (string, error) {
 	}
 	sort.Strings(paths) // zero-padded iters: lexical order IS numeric order
 	return paths[len(paths)-1], nil
+}
+
+// LatestValid loads the newest checkpoint in dir that passes integrity
+// verification, skipping torn, truncated, or corrupted files — the
+// crash-recovery read path. Because Save is atomic (temp + rename), a
+// writer killed mid-write leaves only an invisible temp file; but a
+// corrupted or non-atomically produced newest file must never mask the
+// previous durable snapshot, so the scan falls back file by file until
+// a checksum verifies. It errors only when NO valid checkpoint exists.
+func LatestValid(dir string) (*State, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.pdl"))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(paths) == 0 {
+		return nil, "", fmt.Errorf("ckpt: no checkpoint files in %s", dir)
+	}
+	sort.Strings(paths)
+	var lastErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		s, err := Load(paths[i])
+		if err == nil {
+			return s, paths[i], nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("ckpt: no valid checkpoint in %s: %w", dir, lastErr)
 }

@@ -1,0 +1,126 @@
+package ckpt
+
+import "sync"
+
+// Writer persists checkpoints asynchronously: Put hands a snapshot to
+// a background goroutine and returns immediately — no encoding, no
+// hashing, no disk I/O on the caller's (training) path. The queue is a
+// one-slot double buffer bounded by construction: while a write is in
+// flight, newer snapshots replace the pending one instead of piling
+// up, so a slow disk costs checkpoint FREQUENCY, never training
+// latency or memory. Every write goes through the atomic Save path
+// (temp + rename + SHA-256), so a crash at any moment leaves the
+// previous checkpoint loadable — the crash-consistency property the
+// ckpt tests pin at 200 random kill offsets.
+//
+// States handed to Put must not be mutated afterwards; the dist
+// engines satisfy this by construction (checkpoint gathers clone every
+// tensor).
+type Writer struct {
+	dir string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending *State // back buffer: newest snapshot awaiting disk
+	writing bool   // front buffer currently being saved
+	closed  bool
+	saved   int   // snapshots durably renamed into place
+	dropped int   // snapshots displaced by a newer one before writing
+	err     error // first write failure, surfaced by Drain/Close
+}
+
+// WriterStats snapshots a Writer's accounting.
+type WriterStats struct {
+	Saved   int // checkpoints durably written
+	Dropped int // checkpoints displaced by newer ones (bounded queue)
+}
+
+// NewWriter starts the background writer for dir.
+func NewWriter(dir string) *Writer {
+	w := &Writer{dir: dir}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// Put enqueues s for persistence and returns without blocking on I/O:
+// it swaps a pointer under a mutex (zero allocations — pinned by
+// test). If a snapshot is already pending, the newer one wins and the
+// displaced snapshot counts as dropped. Put after Close is a no-op
+// recorded as a drop.
+func (w *Writer) Put(s *State) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		w.dropped++
+		return
+	}
+	if w.pending != nil {
+		w.dropped++
+	}
+	w.pending = s
+	w.cond.Broadcast()
+}
+
+// Drain blocks until every enqueued snapshot is durably on disk (or
+// failed) and returns the first write error. The supervisor calls it
+// before reading the directory back, so recovery never races the
+// writer it is recovering from.
+func (w *Writer) Drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.pending != nil || w.writing {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Close drains outstanding work, stops the background goroutine, and
+// returns the first write error. Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	w.cond.Broadcast()
+	for w.pending != nil || w.writing {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Stats reports the writer's saved/dropped accounting so far.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WriterStats{Saved: w.saved, Dropped: w.dropped}
+}
+
+func (w *Writer) loop() {
+	w.mu.Lock()
+	for {
+		for w.pending == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.pending == nil { // closed and drained
+			w.mu.Unlock()
+			return
+		}
+		s := w.pending
+		w.pending = nil
+		w.writing = true
+		w.mu.Unlock()
+
+		_, err := Save(w.dir, s)
+
+		w.mu.Lock()
+		w.writing = false
+		if err != nil {
+			if w.err == nil {
+				w.err = err
+			}
+		} else {
+			w.saved++
+		}
+		w.cond.Broadcast()
+	}
+}

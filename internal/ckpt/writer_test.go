@@ -1,0 +1,243 @@
+package ckpt_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"paradl/internal/ckpt"
+	"paradl/internal/nn"
+	"paradl/internal/tensor"
+)
+
+// heavyState is a snapshot bulky enough that Save spends real time in
+// encode+SHA-256+write, so the writer tests genuinely overlap Put with
+// in-flight disk I/O.
+func heavyState(iter int) *ckpt.State {
+	s := testState()
+	s.Iter = iter
+	s.Cursor = iter
+	s.Params = append(s.Params, nn.Params{W: tensor.New(64, 256)})
+	s.Vel = append(s.Vel, nn.Params{})
+	return s
+}
+
+// TestAsyncCkptCrashConsistency is the crash-consistency property
+// test: kill the writer at 200 random byte offsets mid-write (both the
+// atomic-path crash, which strands a temp file, and the torn-final-
+// file case a non-atomic writer would leave) — the previous valid
+// snapshot must load every single time.
+func TestAsyncCkptCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	prev := testState()
+	prev.Iter = 1
+	if _, err := ckpt.Save(dir, prev); err != nil {
+		t.Fatal(err)
+	}
+	next := testState()
+	next.Iter = 2
+	enc, err := next.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		off := rng.Intn(len(enc))
+		var crashErr error
+		if trial%2 == 0 {
+			crashErr = ckpt.SaveCrashing(dir, next, off)
+		} else {
+			crashErr = ckpt.SaveTorn(dir, next, off)
+		}
+		if crashErr != nil {
+			t.Fatalf("trial %d: injecting the crash failed: %v", trial, crashErr)
+		}
+		st, path, err := ckpt.LatestValid(dir)
+		if err != nil {
+			t.Fatalf("trial %d (offset %d): no valid checkpoint after mid-write kill: %v", trial, off, err)
+		}
+		if st.Iter != 1 {
+			t.Fatalf("trial %d (offset %d): recovered iteration %d from %s, want the previous snapshot at 1", trial, off, st.Iter, path)
+		}
+		os.Remove(filepath.Join(dir, ckpt.FileName(2))) // clear any torn final file for the next trial
+	}
+	// A write that completes takes over as the restore point.
+	if _, err := ckpt.Save(dir, next); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := ckpt.LatestValid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 2 {
+		t.Fatalf("after a completed save, LatestValid resumed from %d, want 2", st.Iter)
+	}
+}
+
+// TestAsyncWriterNewestAlwaysLands: the bounded one-slot queue may
+// drop intermediate snapshots under pressure, but the final Put must
+// always reach disk, and saved+dropped must account for every Put.
+func TestAsyncWriterNewestAlwaysLands(t *testing.T) {
+	dir := t.TempDir()
+	w := ckpt.NewWriter(dir)
+	const puts = 40
+	for i := 1; i <= puts; i++ {
+		w.Put(heavyState(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := ckpt.LatestValid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != puts {
+		t.Fatalf("newest durable snapshot is iteration %d, want %d (the last Put must never be dropped)", st.Iter, puts)
+	}
+	stats := w.Stats()
+	if stats.Saved+stats.Dropped != puts {
+		t.Fatalf("accounting leak: saved %d + dropped %d != %d puts", stats.Saved, stats.Dropped, puts)
+	}
+	if stats.Saved < 1 {
+		t.Fatalf("nothing was saved: %+v", stats)
+	}
+}
+
+// TestAsyncWriterPutStaysOffTrainingPath pins the acceptance bound:
+// handing a snapshot to the writer is a pointer swap — zero
+// allocations, and never blocked behind the in-flight disk write.
+func TestAsyncWriterPutStaysOffTrainingPath(t *testing.T) {
+	dir := t.TempDir()
+	w := ckpt.NewWriter(dir)
+	defer w.Close()
+	s := heavyState(1)
+	if n := testing.AllocsPerRun(100, func() { w.Put(s) }); n > 0 {
+		t.Fatalf("Put allocates %.0f objects per call on the training path, want 0", n)
+	}
+	var worst time.Duration
+	for i := 2; i <= 200; i++ {
+		start := time.Now()
+		w.Put(heavyState(i))
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	// The bound is generous (scheduler noise) but categorical: Put must
+	// cost a lock handoff, not an encode+hash+write (which takes far
+	// longer for heavyState).
+	if worst > 50*time.Millisecond {
+		t.Fatalf("worst Put took %v — checkpoint I/O is leaking onto the training path", worst)
+	}
+}
+
+// TestAsyncWriterSurfacesWriteErrors: a failing disk must not fail
+// silently — Drain/Close return the first write error.
+func TestAsyncWriterSurfacesWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := ckpt.NewWriter(blocked) // MkdirAll over a file fails
+	w.Put(testState())
+	if err := w.Close(); err == nil {
+		t.Fatal("writer swallowed a persistent write failure")
+	}
+}
+
+// TestCkptHeaderForwardCompatV1: version-1 checkpoint files (written
+// before the Streams directory existed) must keep loading, with
+// Streams simply absent.
+func TestCkptHeaderForwardCompatV1(t *testing.T) {
+	want := testState()
+	v1, err := ckpt.EncodeV1ForTest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Decode(v1)
+	if err != nil {
+		t.Fatalf("version-1 checkpoint no longer loads: %v", err)
+	}
+	if got.Streams != nil {
+		t.Fatalf("version-1 file decoded with streams %+v, want none", got.Streams)
+	}
+	assertStateEq(t, got, want)
+
+	// A version from the future still fails loudly.
+	future, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.Decode(future); err != nil {
+		t.Fatalf("current-version checkpoint must decode: %v", err)
+	}
+}
+
+// TestCkptStreamsRoundTrip: stream positions survive the wire format
+// and are addressable by name.
+func TestCkptStreamsRoundTrip(t *testing.T) {
+	want := testState()
+	want.Streams = []ckpt.Stream{
+		{Name: "data-cursor", Seed: 42, Next: 3},
+		{Name: "dropout", Seed: -7, Next: 1 << 40},
+	}
+	enc, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Streams) != 2 {
+		t.Fatalf("decoded %d streams, want 2", len(got.Streams))
+	}
+	for i, s := range want.Streams {
+		if got.Streams[i] != s {
+			t.Fatalf("stream %d: %+v, want %+v", i, got.Streams[i], s)
+		}
+	}
+	st, ok := got.Stream("dropout")
+	if !ok || st.Seed != -7 || st.Next != 1<<40 {
+		t.Fatalf("Stream lookup: %+v, %v", st, ok)
+	}
+	if _, ok := got.Stream("absent"); ok {
+		t.Fatal("Stream reported an entry that was never recorded")
+	}
+}
+
+// TestLatestValidSkipsCorruptNewest: an injected corruption of the
+// newest file (the chaos harness's FaultCorrupt) falls back to the
+// previous snapshot rather than erroring or resuming from torn state.
+func TestLatestValidSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, iter := range []int{2, 4} {
+		s := testState()
+		s.Iter = iter
+		if _, err := ckpt.Save(dir, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := filepath.Join(dir, ckpt.FileName(4))
+	if err := ckpt.CorruptFile(newest, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckpt.Load(newest); err == nil {
+		t.Fatal("corrupted file loaded cleanly")
+	}
+	st, path, err := ckpt.LatestValid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iter != 2 || filepath.Base(path) != ckpt.FileName(2) {
+		t.Fatalf("fell back to iter %d (%s), want 2", st.Iter, path)
+	}
+	if err := ckpt.CorruptFile(filepath.Join(dir, ckpt.FileName(2)), 99); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ckpt.LatestValid(dir); err == nil {
+		t.Fatal("LatestValid found a valid checkpoint in a fully corrupted directory")
+	}
+}

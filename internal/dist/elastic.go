@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -16,9 +17,14 @@ import (
 type Policy struct {
 	// CkptEvery is the checkpoint cadence in iterations (default 1).
 	CkptEvery int
-	// CkptDir, when non-empty, persists every checkpoint to disk via
-	// ckpt.Save in addition to the in-memory copy recovery restores
-	// from. A persistence failure surfaces as the run's error even when
+	// CkptDir, when non-empty, persists every checkpoint to disk
+	// through an async ckpt.Writer: the training path hands snapshots
+	// off and keeps going while the writer does the atomic
+	// temp+rename+SHA-256 in the background. With a directory set, the
+	// durable, integrity-checked newest file (ckpt.LatestValid) is the
+	// restore point after a failure — not the in-memory copy — so
+	// recovery proves out the same path a real process restart would
+	// take. A persistence failure surfaces as the run's error even when
 	// training itself succeeds — a silently unprotected run is worse
 	// than a failed one.
 	CkptDir string
@@ -29,16 +35,29 @@ type Policy struct {
 	// recovery attempt — the usual exponential courtesy toward whatever
 	// killed the PE.
 	Backoff time.Duration
+	// Ctx, when non-nil, bounds the whole supervised run: a cancelled
+	// context stops the supervisor between legs and interrupts backoff
+	// sleeps, so callers get control back promptly instead of waiting
+	// out the ladder.
+	Ctx context.Context
+	// Faults, when non-nil, scripts chaos for the run: scheduled
+	// crashes (which supersede any WithFailAt in the run options),
+	// straggler stalls, checkpoint corruptions (CkptDir required to
+	// have any effect), and heal events that trigger grow-back.
+	Faults *FaultSchedule
 }
 
-// Recovery records one supervisor intervention: which PE died where,
-// the plan migration it forced, and the iteration training resumed
-// from (0 when no checkpoint existed yet and the run restarted).
+// Recovery records one supervisor intervention: a crash (shrink) or a
+// grow-back (the failed slot healed), the plan migration it forced,
+// and the iteration training resumed from (0 when no checkpoint
+// existed yet and the run restarted).
 type Recovery struct {
-	PE         int    // world rank of the dead PE
-	FailIter   int    // global iteration it died in
-	From, To   string // plan strings before / after re-planning
-	ResumeIter int    // first iteration of the resumed leg
+	Kind       string `json:"kind"`        // "crash" or "grow-back"
+	PE         int    `json:"pe"`          // world rank of the dead PE (-1 for grow-back)
+	FailIter   int    `json:"fail_iter"`   // global iteration it died in (heal iteration for grow-back)
+	From       string `json:"from"`        // plan string before re-planning
+	To         string `json:"to"`          // plan string after re-planning
+	ResumeIter int    `json:"resume_iter"` // first iteration of the resumed leg
 }
 
 // ElasticResult is a supervised run's outcome: the final leg's Result
@@ -51,17 +70,29 @@ type ElasticResult struct {
 }
 
 // RunElastic trains under supervision: the world checkpoints its
-// canonical state every CkptEvery iterations, and when a PE dies
-// (WithFailAt, or any injected *PEFailure) the supervisor consults the
+// canonical state every CkptEvery iterations (asynchronously when
+// CkptDir is set), and when a PE dies (WithFailAt, a scheduled
+// FaultCrash, or any injected *PEFailure) the supervisor consults the
 // oracle for the best trainable plan at the shrunken world size,
 // restores the last checkpoint, and continues — falling down a
 // graceful-degradation ladder (oracle picks, then plain data
 // parallelism, then narrower, then serial) until something trains or
-// MaxRetries is spent. Non-failure errors (bad plans, incompatible
-// models) pass straight through: only PE death is recoverable.
+// MaxRetries is spent. When a scheduled FaultHeal marks the failed
+// slot healthy again, the ladder runs the other way: the supervisor
+// stops the shrunken world at the heal point, re-plans at full width,
+// and migrates back through the same checkpoint path (grow-back).
+// Because every leg resumes from canonical unsharded state, the
+// stitched loss series matches an uninterrupted run to ≤1e-6 no matter
+// how many shrinks and grow-backs happened. Non-failure errors (bad
+// plans, incompatible models) pass straight through: only PE death is
+// recoverable.
 func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Option) (*ElasticResult, error) {
 	if len(batches) == 0 {
 		return nil, fmt.Errorf("dist: elastic run needs at least one batch")
+	}
+	ctx := pol.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	every := pol.CkptEvery
 	if every <= 0 {
@@ -71,26 +102,33 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 	if maxRetries <= 0 {
 		maxRetries = 3
 	}
+	fullP := pl.P()
+	globalBatch := batches[0].X.Dim(0)
+	sched := newScheduleState(pol.Faults)
 
 	var (
-		latest     *ckpt.State // most recent snapshot, the restore point
-		saveErr    error       // first persistence failure, surfaced at the end
+		latest     *ckpt.State  // most recent snapshot, the restore point
+		writer     *ckpt.Writer // async persistence when CkptDir is set
 		recoveries []Recovery
 	)
+	if pol.CkptDir != "" {
+		writer = ckpt.NewWriter(pol.CkptDir)
+		defer writer.Close()
+	}
 	sink := func(st *ckpt.State) {
 		latest = st
-		if pol.CkptDir != "" && saveErr == nil {
-			if _, err := ckpt.Save(pol.CkptDir, st); err != nil {
-				saveErr = err
-			}
+		if writer != nil {
+			writer.Put(st) // pointer handoff; I/O happens off the training path
 		}
 	}
 
-	// leg runs one supervised stretch under plan p, resuming from the
-	// latest checkpoint when one exists. disarm appends WithFailAt(-1,-1)
-	// AFTER the caller's options, overriding any injected failure so a
-	// recovery attempt does not re-trip the same trap.
-	leg := func(p Plan, disarm bool) (*Result, []float64, error) {
+	// leg runs one supervised stretch under plan p over global
+	// iterations [latest.Iter, end), resuming from the latest checkpoint
+	// when one exists. disarm appends WithFailAt(-1,-1) AFTER the
+	// caller's options, overriding any injected failure so a recovery
+	// attempt does not re-trip the same trap; scheduled faults for the
+	// window re-arm after that (the schedule supersedes WithFailAt).
+	leg := func(p Plan, end int, disarm bool) (*Result, []float64, error) {
 		start := 0
 		var prefix []float64
 		runOpts := append(append([]Option(nil), opts...), WithCheckpoint(every, sink))
@@ -102,75 +140,170 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 		if disarm {
 			runOpts = append(runOpts, WithFailAt(-1, -1))
 		}
-		res, err := Run(m, batches[start:], p, runOpts...)
+		runOpts = append(runOpts, sched.arm(p.P(), start, end)...)
+		res, err := Run(m, batches[start:end], p, runOpts...)
 		return res, prefix, err
 	}
 	finish := func(res *Result, prefix []float64) (*ElasticResult, error) {
-		if saveErr != nil {
-			return nil, fmt.Errorf("dist: training finished but checkpointing to %s failed: %w", pol.CkptDir, saveErr)
+		if writer != nil {
+			if err := writer.Drain(); err != nil {
+				return nil, fmt.Errorf("dist: training finished but checkpointing to %s failed: %w", pol.CkptDir, err)
+			}
 		}
 		res.Losses = append(prefix, res.Losses...)
 		return &ElasticResult{Result: res, Recoveries: recoveries}, nil
 	}
+	// restorePoint re-establishes the restore state after a failure.
+	// With a checkpoint directory, the durable newest VALID file is the
+	// truth: drain the writer (so recovery never races the write it
+	// depends on), let scheduled corruptions do their damage, then scan
+	// back from the newest file until one passes its SHA-256. Without a
+	// directory, the in-memory snapshot stands.
+	restorePoint := func(failIter int) {
+		if writer == nil {
+			return
+		}
+		_ = writer.Drain() // a write error still surfaces at finish
+		sched.applyCorruptions(pol.CkptDir, failIter)
+		if st, _, err := ckpt.LatestValid(pol.CkptDir); err == nil {
+			latest = st
+		} else {
+			latest = nil // nothing durable survived: restart from scratch
+		}
+	}
+	resumeIter := func() int {
+		if latest != nil {
+			return latest.Iter
+		}
+		return 0
+	}
 
 	cur := pl
 	disarm := false
-	for attempt := 0; ; {
-		res, prefix, err := leg(cur, disarm)
+	attempt := 0
+	var cands []Plan      // untried alternatives for the in-progress re-plan
+	var pending *Recovery // logged once the re-planned world actually runs
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: elastic supervisor cancelled: %w", err)
+		}
+		start := resumeIter()
+		// A heal the checkpoint already covers: grow immediately.
+		if cur.P() < fullP && sched.healDue(start) {
+			sched.consumeHeal(start)
+			cands = growCandidates(m, pl, fullP, globalBatch, len(batches))
+			grown := cands[0]
+			cands = cands[1:]
+			pending = &Recovery{Kind: "grow-back", PE: -1, FailIter: start, From: cur.String(), To: grown.String(), ResumeIter: start}
+			cur, disarm = grown, true
+			continue
+		}
+		end := sched.growBoundary(start, len(batches), cur.P() < fullP)
+		res, prefix, err := leg(cur, end, disarm)
 		if err == nil {
-			return finish(res, prefix)
+			if pending != nil { // the migrated world ran: log the recovery
+				recoveries = append(recoveries, *pending)
+				pending = nil
+			}
+			cands = nil
+			if end == len(batches) {
+				return finish(res, prefix)
+			}
+			// The leg stopped at a heal boundary: the failed slot is
+			// healthy again — re-plan at full width and migrate back
+			// through the checkpoint. If the cadence left the newest
+			// snapshot short of the boundary, the grown world replays the
+			// gap; replay through canonical state is parity-exact.
+			sched.consumeHeal(end)
+			cands = growCandidates(m, pl, fullP, globalBatch, len(batches))
+			grown := cands[0]
+			cands = cands[1:]
+			pending = &Recovery{Kind: "grow-back", PE: -1, FailIter: end, From: cur.String(), To: grown.String(), ResumeIter: resumeIter()}
+			cur, disarm = grown, true
+			continue
 		}
 		var pf *PEFailure
 		if !errors.As(err, &pf) {
+			// Not a PE death. Mid-re-plan it means the candidate is
+			// untrainable for this model: fall to the next rung. Otherwise
+			// it is a hard error.
+			if len(cands) > 0 {
+				next := cands[0]
+				cands = cands[1:]
+				if pending != nil {
+					pending.To = next.String()
+				}
+				cur = next
+				continue
+			}
+			if pending != nil {
+				return nil, fmt.Errorf("dist: no %s plan is trainable for %q (last candidate %s: %v)", pending.Kind, m.Name, cur, err)
+			}
 			return nil, err
 		}
+		// A PE died. If a migration was pending, the re-planned world
+		// really ran (and died again): the migration happened, log it.
+		if pending != nil {
+			recoveries = append(recoveries, *pending)
+			pending = nil
+		}
+		cands = nil
+		sched.consumeCrash(pf)
 		disarm = true
 		attempt++
 		if attempt > maxRetries {
 			return nil, fmt.Errorf("dist: elastic run gave up after %d recovery attempts: %w", maxRetries, err)
 		}
 		if pol.Backoff > 0 {
-			time.Sleep(pol.Backoff << (attempt - 1))
+			if serr := sleepCtx(ctx, pol.Backoff<<(attempt-1)); serr != nil {
+				return nil, fmt.Errorf("dist: elastic supervisor cancelled during backoff: %w", serr)
+			}
 		}
+		restorePoint(pf.Iter)
 		pNew := cur.P() - 1
 		if pNew < 1 {
 			return nil, fmt.Errorf("dist: no PEs left to recover with: %w", err)
 		}
-		resumeIter := 0
-		if latest != nil {
-			resumeIter = latest.Iter
+		cands = recoveryPlans(m, pNew, globalBatch, len(batches))
+		if len(cands) == 0 { // unreachable: the ladder always ends at serial
+			return nil, fmt.Errorf("dist: no recovery plan at p=%d for %q: %w", pNew, m.Name, err)
 		}
-		globalBatch := batches[0].X.Dim(0)
-		cands := recoveryPlans(m, pNew, globalBatch, len(batches))
-		var candErr error
-		migrated := false
-		for _, cand := range cands {
-			res, prefix, err := leg(cand, true)
-			if err == nil {
-				recoveries = append(recoveries, Recovery{
-					PE: pf.PE, FailIter: pf.Iter,
-					From: cur.String(), To: cand.String(), ResumeIter: resumeIter,
-				})
-				return finish(res, prefix)
-			}
-			var again *PEFailure
-			if errors.As(err, &again) {
-				// The shrunken world died too: record the migration and
-				// hand the fresh failure back to the supervisor loop.
-				recoveries = append(recoveries, Recovery{
-					PE: pf.PE, FailIter: pf.Iter,
-					From: cur.String(), To: cand.String(), ResumeIter: resumeIter,
-				})
-				cur, migrated = cand, true
-				break
-			}
-			candErr = err // plan not trainable for this model: next rung
-		}
-		if migrated {
+		next := cands[0]
+		cands = cands[1:]
+		pending = &Recovery{Kind: "crash", PE: pf.PE, FailIter: pf.Iter, From: cur.String(), To: next.String(), ResumeIter: resumeIter()}
+		cur = next
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes
+// first, returning the context's error on early wake.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// growCandidates ranks the plans worth trying when the world grows
+// back to full width p: the plan the run originally asked for first
+// (growing back should land where the user started whenever that plan
+// still preserves semantics), then the standard recovery ladder at p.
+func growCandidates(m *nn.Model, original Plan, p, globalBatch, nBatches int) []Plan {
+	var out []Plan
+	if original.P() == p && original.Validate() == nil && semanticsPreserving(m, original) {
+		out = append(out, original)
+	}
+	for _, c := range recoveryPlans(m, p, globalBatch, nBatches) {
+		if len(out) > 0 && c.String() == out[0].String() {
 			continue
 		}
-		return nil, fmt.Errorf("dist: no recovery plan at p=%d is trainable for %q (last candidate: %v): %w", pNew, m.Name, candErr, err)
+		out = append(out, c)
 	}
+	return out
 }
 
 // recoveryPlans ranks the plans worth trying at the shrunken world

@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"paradl/internal/ckpt"
+)
+
+// FaultKind names one class of injectable adversity.
+type FaultKind string
+
+const (
+	// FaultCrash kills a PE at the top of a global iteration — the
+	// generalization of WithFailAt to many deaths per run.
+	FaultCrash FaultKind = "crash"
+	// FaultStraggle stalls a PE's compute for Delay at one iteration,
+	// so its peers wait in collectives (the slow-node case; it degrades
+	// time, never correctness).
+	FaultStraggle FaultKind = "straggle"
+	// FaultCorrupt flips a byte of the newest on-disk checkpoint
+	// between save and restore; recovery must fall back to an older
+	// valid snapshot (requires Policy.CkptDir).
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultHeal marks the failed PE slot healthy again at Iter: the
+	// supervisor grows the shrunken world back toward full width.
+	FaultHeal FaultKind = "heal"
+)
+
+// Fault is one scheduled adversity. PE is a world rank in the plan the
+// fault fires under; after the world shrinks, targets are remapped
+// modulo the current world size so every scheduled fault stays
+// meaningful at any width.
+type Fault struct {
+	Kind  FaultKind     `json:"kind"`
+	PE    int           `json:"pe,omitempty"`    // crash/straggle target
+	Iter  int           `json:"iter"`            // global iteration the fault arms at
+	Delay time.Duration `json:"delay,omitempty"` // straggle stall
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultStraggle:
+		return fmt.Sprintf("straggle(pe=%d,iter=%d,%v)", f.PE, f.Iter, f.Delay)
+	case FaultCorrupt:
+		return fmt.Sprintf("corrupt(iter=%d)", f.Iter)
+	case FaultHeal:
+		return fmt.Sprintf("heal(iter=%d)", f.Iter)
+	default:
+		return fmt.Sprintf("crash(pe=%d,iter=%d)", f.PE, f.Iter)
+	}
+}
+
+// FaultSchedule scripts a chaos run: a seeded, replayable list of
+// faults the elastic supervisor injects while training. The same seed
+// always yields the same schedule (RandomFaultSchedule) and the same
+// injected byte offsets (corruption), so every chaos scenario is
+// reproducible from one integer.
+type FaultSchedule struct {
+	Seed   int64   `json:"seed"`
+	Faults []Fault `json:"faults"`
+}
+
+// Counts tallies the schedule by kind — the chaos harness reports
+// these per scenario.
+func (s *FaultSchedule) Counts() map[FaultKind]int {
+	m := map[FaultKind]int{}
+	if s != nil {
+		for _, f := range s.Faults {
+			m[f.Kind]++
+		}
+	}
+	return m
+}
+
+// RandomFaultSchedule draws a replayable schedule for a p-wide run of
+// iters iterations from seed: 1–3 crashes at distinct iterations, up
+// to two stragglers, a checkpoint corruption with probability ~1/3,
+// and — when the run is long enough to profit — a heal event after the
+// first crash so the supervisor exercises grow-back. Faults are sorted
+// by iteration for stable JSON output.
+func RandomFaultSchedule(seed int64, p, iters int) *FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &FaultSchedule{Seed: seed}
+	if p < 1 || iters < 1 {
+		return s
+	}
+	nCrash := 1 + rng.Intn(3)
+	crashIters := map[int]bool{}
+	firstCrash := iters
+	for i := 0; i < nCrash; i++ {
+		it := rng.Intn(iters)
+		if crashIters[it] {
+			continue // distinct iterations keep one-death-per-leg semantics simple
+		}
+		crashIters[it] = true
+		if it < firstCrash {
+			firstCrash = it
+		}
+		s.Faults = append(s.Faults, Fault{Kind: FaultCrash, PE: rng.Intn(p), Iter: it})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Faults = append(s.Faults, Fault{
+			Kind:  FaultStraggle,
+			PE:    rng.Intn(p),
+			Iter:  rng.Intn(iters),
+			Delay: time.Duration(200+rng.Intn(1800)) * time.Microsecond,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		s.Faults = append(s.Faults, Fault{Kind: FaultCorrupt, Iter: firstCrash})
+	}
+	if firstCrash+1 < iters && rng.Intn(2) == 0 {
+		s.Faults = append(s.Faults, Fault{Kind: FaultHeal, Iter: firstCrash + 1 + rng.Intn(iters-firstCrash-1)})
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].Iter < s.Faults[j].Iter })
+	return s
+}
+
+// scheduleState is the supervisor's mutable view of a FaultSchedule:
+// crashes and heals are consumed as they fire, corruptions as they are
+// applied; stragglers re-arm on every leg covering their iteration
+// (replaying a window replays its slowness — deterministic either way).
+type scheduleState struct {
+	seed      int64
+	crashes   []Fault
+	straggles []Fault
+	corrupts  []Fault
+	heals     []int // sorted ascending
+}
+
+func newScheduleState(fs *FaultSchedule) *scheduleState {
+	s := &scheduleState{}
+	if fs == nil {
+		return s
+	}
+	s.seed = fs.Seed
+	for _, f := range fs.Faults {
+		switch f.Kind {
+		case FaultCrash:
+			s.crashes = append(s.crashes, f)
+		case FaultStraggle:
+			s.straggles = append(s.straggles, f)
+		case FaultCorrupt:
+			s.corrupts = append(s.corrupts, f)
+		case FaultHeal:
+			s.heals = append(s.heals, f.Iter)
+		}
+	}
+	sort.Ints(s.heals)
+	return s
+}
+
+// arm translates the schedule's faults for a leg over global
+// iterations [start, end) in a p-wide world into run options: the
+// earliest pending crash in the window (the engines model one death
+// per leg; later crashes fire on subsequent legs) and every straggler
+// stall in the window. Targets are remapped modulo p.
+func (s *scheduleState) arm(p, start, end int) []Option {
+	var opts []Option
+	armed := -1
+	for i, f := range s.crashes {
+		if f.Iter < start || f.Iter >= end {
+			continue
+		}
+		if armed < 0 || f.Iter < s.crashes[armed].Iter {
+			armed = i
+		}
+	}
+	if armed >= 0 {
+		f := s.crashes[armed]
+		opts = append(opts, WithFailAt(f.PE%p, f.Iter))
+	}
+	for _, f := range s.straggles {
+		if f.Iter >= start && f.Iter < end && f.Delay > 0 {
+			opts = append(opts, WithDelay(f.PE%p, f.Iter, f.Delay))
+		}
+	}
+	return opts
+}
+
+// consumeCrash retires the scheduled crash that produced pf (matched
+// by iteration — arm injects at most one crash per leg). A failure
+// injected by the caller's own WithFailAt matches nothing and consumes
+// nothing.
+func (s *scheduleState) consumeCrash(pf *PEFailure) {
+	for i, f := range s.crashes {
+		if f.Iter == pf.Iter {
+			s.crashes = append(s.crashes[:i], s.crashes[i+1:]...)
+			return
+		}
+	}
+}
+
+// growBoundary returns the end of the next leg: len(batches) at full
+// width, else the earliest pending heal iteration strictly inside
+// (start, n) — the point where the supervisor stops the shrunken world
+// and grows back.
+func (s *scheduleState) growBoundary(start, n int, shrunken bool) int {
+	if !shrunken {
+		return n
+	}
+	for _, h := range s.heals {
+		if h > start && h < n {
+			return h
+		}
+	}
+	return n
+}
+
+// healDue reports a pending heal at or before start — the checkpoint
+// already covers the heal point, so the world can grow immediately
+// without running a leg.
+func (s *scheduleState) healDue(start int) bool {
+	return len(s.heals) > 0 && s.heals[0] <= start
+}
+
+// consumeHeal retires every heal at or before iter (stacked heals
+// collapse into one grow-back — the world is already full).
+func (s *scheduleState) consumeHeal(iter int) {
+	for len(s.heals) > 0 && s.heals[0] <= iter {
+		s.heals = s.heals[1:]
+	}
+}
+
+// applyCorruptions fires every pending corruption scheduled at or
+// before failIter against the newest checkpoint file in dir. The
+// flipped byte's offset derives from the schedule seed, so a replay
+// corrupts identically. Corruption is an injected fault: errors here
+// (e.g. no file yet) mean there was nothing to corrupt, and are
+// ignored — LatestValid decides what the damage cost.
+func (s *scheduleState) applyCorruptions(dir string, failIter int) {
+	rest := s.corrupts[:0]
+	for _, f := range s.corrupts {
+		if f.Iter > failIter {
+			rest = append(rest, f)
+			continue
+		}
+		if path, err := ckpt.Latest(dir); err == nil {
+			_ = ckpt.CorruptFile(path, s.seed+int64(f.Iter)*7919)
+		}
+	}
+	s.corrupts = rest
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"paradl/internal/ckpt"
 	"paradl/internal/core"
@@ -57,7 +58,14 @@ type runConfig struct {
 	// top of global iteration failIter, mid-iteration from its peers'
 	// point of view — they die blocked in collectives. failPE < 0 is off.
 	failPE, failIter int
+	// delays inject stragglers: world rank pe stalls for the mapped
+	// duration at the top of global iteration iter, so its peers wait
+	// in collectives exactly like behind a real slow node.
+	delays map[delayPoint]time.Duration
 }
+
+// delayPoint keys one straggler stall: (world rank, global iteration).
+type delayPoint struct{ pe, iter int }
 
 // Option customizes a Run call.
 type Option func(*runConfig)
@@ -125,6 +133,21 @@ func WithFailAt(pe, iter int) Option {
 	return func(c *runConfig) { c.failPE, c.failIter = pe, iter }
 }
 
+// WithDelay injects a straggler: world rank pe stalls for d at the top
+// of global iteration iter before computing, so its peers observe a
+// slow node (they block in the iteration's collectives until it
+// catches up). Stalls change timing only — the loss trajectory is
+// bit-identical to an unstalled run. Multiple WithDelay options
+// accumulate; chaos schedules arm one per straggle fault.
+func WithDelay(pe, iter int, d time.Duration) Option {
+	return func(c *runConfig) {
+		if c.delays == nil {
+			c.delays = map[delayPoint]time.Duration{}
+		}
+		c.delays[delayPoint{pe, iter}] = d
+	}
+}
+
 // WithCheckpoint registers a checkpoint sink: every `every` global
 // iterations — right after the optimizer step — the engines gather the
 // canonical unsharded training state (full params, full momentum
@@ -172,6 +195,9 @@ func (c *runConfig) fire(iter int, loss float64) {
 // its peers are already (or soon) blocked in exchanges, so the world
 // observes a mid-iteration loss and aborts.
 func (c *runConfig) maybeFail(worldRank, bi int) {
+	if d, ok := c.delays[delayPoint{worldRank, c.startIter + bi}]; ok {
+		time.Sleep(d) // straggle first: a slow node can still die
+	}
 	if worldRank == c.failPE && c.startIter+bi == c.failIter {
 		panic(&PEFailure{PE: worldRank, Iter: c.failIter})
 	}
@@ -196,6 +222,11 @@ func (c *runConfig) emit(modelName string, bi int, tail []float64, params, vel [
 		Model: modelName, Plan: c.planStr, Iter: iter,
 		Seed: c.seed, LR: c.lr, Momentum: c.momentum,
 		Cursor: iter, Losses: losses, Params: params, Vel: vel,
+		// The data-cursor stream records the RNG lineage of the input
+		// pipeline explicitly (seed + next draw index), so stochastic
+		// consumers resume bit-identically even if Cursor's meaning
+		// ever diverges from "iterations completed".
+		Streams: []ckpt.Stream{{Name: "data-cursor", Seed: c.seed, Next: int64(iter)}},
 	})
 }
 

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Admission defaults: generous enough that well-behaved clients (the
+// load harness, CI e2e) never see a 503, tight enough that a storm
+// sheds load instead of taking the planner down.
+const (
+	DefaultMaxConcurrent  = 256
+	DefaultMaxQueue       = 1024
+	DefaultRequestTimeout = 5 * time.Second
+	// defaultRetryAfter is the Retry-After hint on shed requests.
+	defaultRetryAfter = time.Second
+)
+
+// admission is the overload gate in front of the planning endpoints: a
+// fixed number of concurrency slots plus a bounded wait queue. A
+// request that finds a free slot proceeds at once; otherwise it queues
+// until a slot frees, its deadline expires, or the queue itself is
+// full — the latter two shed the request with 503 + Retry-After, which
+// is the overload contract: the planner answers "later", it never
+// wedges. Draining (graceful shutdown) sheds everything immediately.
+type admission struct {
+	slots      chan struct{}
+	maxQueue   int64
+	queued     atomic.Int64
+	timeout    time.Duration
+	retryAfter time.Duration
+	draining   atomic.Bool
+}
+
+func newAdmission(maxConcurrent, maxQueue int, timeout time.Duration) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	return &admission{
+		slots:      make(chan struct{}, maxConcurrent),
+		maxQueue:   int64(maxQueue),
+		timeout:    timeout,
+		retryAfter: defaultRetryAfter,
+	}
+}
+
+// admitErr classifies a shed request.
+type admitErr string
+
+const (
+	admitDraining  admitErr = "serve: draining, not accepting new work"
+	admitQueueFull admitErr = "serve: admission queue full, retry later"
+	admitTimeout   admitErr = "serve: request deadline expired waiting for a slot"
+)
+
+func (e admitErr) Error() string { return string(e) }
+
+// acquire claims a concurrency slot within ctx's deadline. On success
+// the returned release func MUST be called exactly once. On failure it
+// returns the shed classification.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	if a.draining.Load() {
+		return nil, admitDraining
+	}
+	select {
+	case a.slots <- struct{}{}: // fast path: free slot, no queueing
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, admitQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		if a.draining.Load() { // drain began while we waited
+			a.release()
+			return nil, admitDraining
+		}
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, admitTimeout
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// saturated reports a full wait queue — the not-ready condition.
+func (a *admission) saturated() bool { return a.queued.Load() >= a.maxQueue }
+
+// retryAfterHeader renders the Retry-After hint in whole seconds
+// (minimum 1 — zero would invite an immediate retry storm).
+func (a *admission) retryAfterHeader() string {
+	secs := int(a.retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

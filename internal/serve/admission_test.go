@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func adviseBody(t *testing.T) []byte {
+	t.Helper()
+	b, err := json.Marshal(Request{Model: "resnet50", GPUs: 8, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestAdmissionShedsWhenSaturated: with one slot and no queue, a
+// request arriving while the slot is busy gets 503 + Retry-After
+// instead of waiting — and the shed counter records it.
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	s := New(WithAdmission(1, 0))
+	// Occupy the only slot directly so the test controls when it frees.
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/advise", bytes.NewReader(adviseBody(t)))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("503 without a Retry-After hint")
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+	release()
+	// With the slot free the same request succeeds.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/advise", bytes.NewReader(adviseBody(t)))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after release: %d, want 200: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestAdmissionQueueAdmitsWhenSlotFrees: a queued request proceeds
+// once the in-flight one releases — bounded waiting, not rejection.
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := newAdmission(1, 4, time.Second)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r2, err := a.acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the second acquire queue
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued request was shed: %v", err)
+	}
+}
+
+// TestAdmissionDeadlineShedsQueuedRequest: a request whose deadline
+// expires while queued is shed promptly.
+func TestAdmissionDeadlineShedsQueuedRequest(t *testing.T) {
+	a := newAdmission(1, 4, time.Second)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx); err != admitTimeout {
+		t.Fatalf("got %v, want %v", err, admitTimeout)
+	}
+}
+
+// TestReadyzReflectsDrain: readiness flips to 503 on BeginDrain while
+// liveness stays 200, and planning requests are shed immediately.
+func TestReadyzReflectsDrain(t *testing.T) {
+	s := New()
+	probe := func(path string) int {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code
+	}
+	if code := probe("/readyz"); code != http.StatusOK {
+		t.Fatalf("fresh server not ready: %d", code)
+	}
+	s.BeginDrain()
+	if code := probe("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server still ready: %d", code)
+	}
+	if code := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("draining server reported dead: %d", code)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/advise", bytes.NewReader(adviseBody(t))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted planning work: %d", rec.Code)
+	}
+}
+
+// TestClientRetriesOverloadUntilSuccess: the retry client absorbs a
+// burst of 503s (with and without Retry-After) and lands the request.
+func TestClientRetriesOverloadUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+	c := &Client{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	raw, code, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || !bytes.Contains(raw, []byte("ok")) {
+		t.Fatalf("status %d body %s", code, raw)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts: permanent overload surfaces as an
+// error after the configured attempts, not an infinite retry loop.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := &Client{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	if _, _, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`)); err == nil {
+		t.Fatal("client reported success against a permanently saturated server")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts=3", n)
+	}
+}
+
+// TestClientDoesNotRetryHardErrors: a 400 is the caller's problem; the
+// client must return it untouched on the first attempt.
+func TestClientDoesNotRetryHardErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad"}`)
+	}))
+	defer srv.Close()
+	c := &Client{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	raw, code, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusBadRequest || !bytes.Contains(raw, []byte("bad")) {
+		t.Fatalf("status %d body %s", code, raw)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("client retried a 400: %d calls", n)
+	}
+}
+
+// TestAdmissionOverloadStorm: many more concurrent requests than slots
+// + queue; every request must get SOME definitive answer (200 or 503)
+// — the overload contract — and at least one succeeds.
+func TestAdmissionOverloadStorm(t *testing.T) {
+	s := New(WithAdmission(2, 2), WithRequestTimeout(2*time.Second))
+	body := adviseBody(t)
+	const n = 64
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/advise", bytes.NewReader(body)))
+			switch rec.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", rec.Code, rec.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok.Load()+shed.Load() != n {
+		t.Fatalf("answers %d ok + %d shed != %d requests", ok.Load(), shed.Load(), n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("storm starved every request — admission should still serve at capacity")
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a retrying planner client: it POSTs JSON and, on overload
+// (503/429), transient gateway errors (502/504), or transport
+// failures, retries with jittered exponential backoff, honoring the
+// server's Retry-After hint when one is present. This is the client
+// half of the overload contract: the server sheds, the client backs
+// off, and the pair converges instead of melting down in a retry
+// storm.
+type Client struct {
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// MaxAttempts bounds total tries, first included (default 4).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule (default 100ms); the
+	// sleep before attempt k is jittered in [½,1]·Base·2^(k-1), capped
+	// at MaxBackoff (default 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a Client with the default retry schedule.
+func NewClient() *Client { return &Client{} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) limits() (attempts int, base, cap time.Duration) {
+	attempts, base, cap = c.MaxAttempts, c.BaseBackoff, c.MaxBackoff
+	if attempts < 1 {
+		attempts = 4
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	return attempts, base, cap
+}
+
+// retryable reports whether a status code is worth another attempt.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// PostJSON POSTs body to url and returns the response body and status,
+// retrying per the client's schedule. A non-retryable status is
+// returned as-is (the caller decodes the error payload); exhausting
+// the schedule returns the last failure.
+func (c *Client) PostJSON(ctx context.Context, url string, body []byte) ([]byte, int, error) {
+	attempts, base, maxB := c.limits()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		raw, code, hint, err := c.post(ctx, url, body)
+		switch {
+		case err != nil:
+			lastErr = err
+		case !retryable(code):
+			return raw, code, nil
+		default:
+			lastErr = fmt.Errorf("serve: %s answered %d: %s", url, code, bytes.TrimSpace(raw))
+		}
+		if attempt >= attempts {
+			return nil, 0, fmt.Errorf("serve: giving up after %d attempts: %w", attempts, lastErr)
+		}
+		d := c.backoff(attempt, base, maxB)
+		if hint > d {
+			d = hint // the server knows its own drain horizon better
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, url string, body []byte) (raw []byte, code int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return raw, resp.StatusCode, retryAfter, nil
+}
+
+// backoff draws the jittered sleep before the next attempt: uniformly
+// in [½,1] of the exponential step, so synchronized clients desync.
+func (c *Client) backoff(attempt int, base, maxB time.Duration) time.Duration {
+	d := base << (attempt - 1)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	j := c.rng.Int63n(int64(d)/2 + 1)
+	c.mu.Unlock()
+	return d/2 + time.Duration(j)
+}

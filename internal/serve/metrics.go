@@ -19,6 +19,7 @@ type metrics struct {
 	computations *expvar.Int // response computations actually performed
 	projections  *expvar.Int // individual core.Project evaluations
 	errors       *expvar.Int // requests answered with an error status
+	shed         *expvar.Int // requests shed by admission (503 + Retry-After)
 	latency      *expvar.Map // request latency histogram
 }
 
@@ -48,6 +49,7 @@ func newMetrics() *metrics {
 		computations: new(expvar.Int),
 		projections:  new(expvar.Int),
 		errors:       new(expvar.Int),
+		shed:         new(expvar.Int),
 		latency:      new(expvar.Map).Init(),
 	}
 	for _, b := range latencyBuckets {
@@ -70,9 +72,9 @@ func (m *metrics) observe(d time.Duration) {
 // expvar, so each String() is already valid JSON.
 func (m *metrics) writeJSON(w io.Writer) {
 	fmt.Fprintf(w,
-		`{"requests":%s,"cache_hits":%s,"cache_misses":%s,"singleflight_coalesced":%s,"computations":%s,"projections":%s,"errors":%s,"latency":%s}`,
+		`{"requests":%s,"cache_hits":%s,"cache_misses":%s,"singleflight_coalesced":%s,"computations":%s,"projections":%s,"errors":%s,"shed":%s,"latency":%s}`,
 		m.requests.String(), m.hits.String(), m.misses.String(), m.coalesced.String(),
-		m.computations.String(), m.projections.String(), m.errors.String(), m.latency.String())
+		m.computations.String(), m.projections.String(), m.errors.String(), m.shed.String(), m.latency.String())
 	io.WriteString(w, "\n")
 }
 
@@ -86,6 +88,7 @@ type Stats struct {
 	Computations int64
 	Projections  int64
 	Errors       int64
+	Shed         int64
 }
 
 func (m *metrics) stats() Stats {
@@ -101,5 +104,6 @@ func (m *metrics) stats() Stats {
 	s.Computations = m.computations.Value()
 	s.Projections = m.projections.Value()
 	s.Errors = m.errors.Value()
+	s.Shed = m.shed.Value()
 	return s
 }

@@ -12,10 +12,17 @@
 //	/advise   every strategy projected and ranked for one config
 //	/sweep    the full strategy × p grid, including hybrid p1×p2 shapes
 //	/healthz  GET liveness probe with uptime and build info
+//	/readyz   GET readiness probe: 503 while draining or queue-saturated
 //	/metrics  GET request/cache/singleflight/latency counters (expvar)
+//
+// The planning endpoints sit behind an admission gate: a fixed number
+// of concurrency slots with a bounded wait queue and per-request
+// deadlines. Overload answers 503 + Retry-After instead of queueing
+// unboundedly — pair with Client, which backs off with jitter.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,6 +50,7 @@ type Server struct {
 	cache *lruCache
 	group flightGroup
 	met   *metrics
+	adm   *admission
 	start time.Time
 }
 
@@ -54,12 +62,29 @@ func WithCacheEntries(n int) Option {
 	return func(s *Server) { s.cache = newLRU(n) }
 }
 
+// WithAdmission bounds the planning endpoints to maxConcurrent
+// in-flight requests with a wait queue of at most maxQueue; beyond
+// that the server sheds with 503 + Retry-After.
+func WithAdmission(maxConcurrent, maxQueue int) Option {
+	return func(s *Server) {
+		s.adm = newAdmission(maxConcurrent, maxQueue, s.adm.timeout)
+	}
+}
+
+// WithRequestTimeout bounds each planning request's total time in the
+// admission gate (queue wait included); an expired deadline sheds the
+// request with 503.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.adm.timeout = d }
+}
+
 // New builds a planner server.
 func New(opts ...Option) *Server {
 	s := &Server{
 		mux:   http.NewServeMux(),
 		cache: newLRU(DefaultCacheEntries),
 		met:   newMetrics(),
+		adm:   newAdmission(DefaultMaxConcurrent, DefaultMaxQueue, DefaultRequestTimeout),
 		start: time.Now(),
 	}
 	for _, o := range opts {
@@ -69,12 +94,19 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/advise", s.endpoint("advise"))
 	s.mux.HandleFunc("/sweep", s.endpoint("sweep"))
 	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/readyz", s.readyz)
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		s.met.writeJSON(w)
 	})
 	return s
 }
+
+// BeginDrain flips the server to not-ready and sheds all new planning
+// work: readiness probes fail (so load balancers stop routing here)
+// while /healthz keeps answering — the process is alive, just leaving.
+// In-flight requests are unaffected; pair with http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.adm.draining.Store(true) }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -109,6 +141,26 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(h)
 }
 
+// readyz answers the readiness probe: 200 while the server is taking
+// work, 503 with a reason while it is draining or its admission queue
+// is saturated. Distinct from /healthz on purpose — an overloaded
+// planner is alive (don't restart it) but should get no new traffic.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.adm.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.adm.saturated():
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", s.adm.retryAfterHeader())
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats { return s.met.stats() }
 
@@ -128,6 +180,18 @@ func (s *Server) endpoint(name string) http.HandlerFunc {
 			s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST a JSON request to /%s", name))
 			return
 		}
+		// Per-request deadline covers the whole stay in the gate; shed
+		// with 503 + Retry-After rather than queue without bound.
+		ctx, cancel := context.WithTimeout(r.Context(), s.adm.timeout)
+		defer cancel()
+		release, aerr := s.adm.acquire(ctx)
+		if aerr != nil {
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", s.adm.retryAfterHeader())
+			s.fail(w, http.StatusServiceUnavailable, aerr)
+			return
+		}
+		defer release()
 		var req Request
 		if err := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes)).Decode(&req); err != nil {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
