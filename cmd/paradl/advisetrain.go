@@ -77,7 +77,7 @@ func runAdviseTrain(w io.Writer, serverURL, trainModel, overlap string, gpus int
 			continue
 		}
 		fmt.Fprintf(w, "  rank %d: %v → plan %s, chosen\n", a.Rank, a.Projection.Strategy, pl)
-		return runPlanParity(w, pl, overlap, m)
+		return runPlanParity(w, pl, overlap, m, "")
 	}
 	return fmt.Errorf("no advised strategy is trainable for %s at %d PEs", m.Name, gpus)
 }

@@ -17,6 +17,7 @@ import (
 	"paradl/internal/dist"
 	"paradl/internal/model"
 	"paradl/internal/nn"
+	"paradl/internal/trace"
 )
 
 // elasticConfig carries the -ckpt-every/-ckpt-dir/-resume/-kill flag
@@ -52,7 +53,7 @@ func parseKill(s string) (pe, iter int, err error) {
 // and in every case still ends with the §4.5.2 value-parity table
 // against sequential SGD, because elasticity must not change what is
 // computed.
-func runElasticTrain(w io.Writer, planStr, overlap, modelName string, el elasticConfig) error {
+func runElasticTrain(w io.Writer, planStr, overlap, modelName string, el elasticConfig, traceOut string) error {
 	if overlap != "on" && overlap != "off" {
 		return fmt.Errorf("-overlap must be on or off, got %q", overlap)
 	}
@@ -78,6 +79,14 @@ func runElasticTrain(w io.Writer, planStr, overlap, modelName string, el elastic
 		return err
 	}
 
+	// The elastic run gets the recorder (one Recorder spans every leg of
+	// the supervised run — recovery spans land on the supervisor track);
+	// the sequential baseline stays untraced.
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.NewRecorder()
+		opts = append(append([]dist.Option(nil), opts...), dist.WithTrace(rec))
+	}
 	var res *dist.Result
 	if el.Resume {
 		res, err = resumeTrain(w, m, pl, opts, el)
@@ -86,6 +95,11 @@ func runElasticTrain(w io.Writer, planStr, overlap, modelName string, el elastic
 	}
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := writeTrace(traceOut, rec); err != nil {
+			return err
+		}
 	}
 	return printElasticParity(w, pl, overlap, m, seq, res)
 }

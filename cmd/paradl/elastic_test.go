@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -15,8 +17,9 @@ import (
 // built-in parity gate.
 func TestElasticTrainKillSmoke(t *testing.T) {
 	var out bytes.Buffer
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	err := runElasticTrain(&out, "data:4", "on", trainDefaultModel,
-		elasticConfig{Every: 1, Kill: "3@2"})
+		elasticConfig{Every: 1, Kill: "3@2"}, tracePath)
 	if err != nil {
 		t.Fatalf("elastic -train: %v\n%s", err, out.String())
 	}
@@ -30,6 +33,33 @@ func TestElasticTrainKillSmoke(t *testing.T) {
 	if !strings.Contains(s, "reproduces sequential SGD value-by-value") {
 		t.Fatalf("parity gate did not pass:\n%s", s)
 	}
+	// -trace on the elastic path: valid trace_event JSON whose
+	// supervisor track carries the recovery span.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("-trace wrote nothing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+		if n, ok := e.Args["name"].(string); ok {
+			names[n] = true // thread_name metadata carries track labels
+		}
+	}
+	for _, want := range []string{"recovery", "supervisor", "compute-forward"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q event (have %v)", want, names)
+		}
+	}
 }
 
 // TestElasticTrainCheckpointResumeMigrate: a checkpointing run under
@@ -39,7 +69,7 @@ func TestElasticTrainCheckpointResumeMigrate(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
 	if err := runElasticTrain(&out, "data:4", "on", trainDefaultModel,
-		elasticConfig{Every: 1, Dir: dir}); err != nil {
+		elasticConfig{Every: 1, Dir: dir}, ""); err != nil {
 		t.Fatalf("checkpointing run: %v\n%s", err, out.String())
 	}
 	paths, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.pdl"))
@@ -50,7 +80,7 @@ func TestElasticTrainCheckpointResumeMigrate(t *testing.T) {
 	// -resume must refuse a nothing-left resume.
 	var done bytes.Buffer
 	if err := runElasticTrain(&done, "df:2x2", "on", trainDefaultModel,
-		elasticConfig{Dir: dir, Resume: true}); err == nil {
+		elasticConfig{Dir: dir, Resume: true}, ""); err == nil {
 		t.Fatal("-resume past the end of the schedule must error")
 	}
 	// Roll back to the iteration-2 checkpoint and migrate data:4 → df:2x2.
@@ -64,7 +94,7 @@ func TestElasticTrainCheckpointResumeMigrate(t *testing.T) {
 	}
 	var res bytes.Buffer
 	if err := runElasticTrain(&res, "df:2x2", "on", trainDefaultModel,
-		elasticConfig{Dir: mid, Resume: true}); err != nil {
+		elasticConfig{Dir: mid, Resume: true}, ""); err != nil {
 		t.Fatalf("-resume with migration: %v\n%s", err, res.String())
 	}
 	s := res.String()
@@ -93,7 +123,7 @@ func TestParseKill(t *testing.T) {
 func TestElasticTrainKillOutOfRange(t *testing.T) {
 	var out bytes.Buffer
 	if err := runElasticTrain(&out, "data:2", "on", trainDefaultModel,
-		elasticConfig{Every: 1, Kill: "7@1"}); err == nil {
+		elasticConfig{Every: 1, Kill: "7@1"}, ""); err == nil {
 		t.Fatal("-kill 7@1 on a 2-PE plan must error")
 	}
 }

@@ -22,6 +22,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -33,6 +35,7 @@ import (
 	"paradl/internal/nn"
 	"paradl/internal/profile"
 	"paradl/internal/report"
+	"paradl/internal/trace"
 )
 
 func main() {
@@ -58,6 +61,9 @@ func main() {
 		ckptDir     = flag.String("ckpt-dir", "", "with -train: persist checkpoints into this directory; also the source for -resume")
 		resume      = flag.Bool("resume", false, "with -train: resume from the latest checkpoint in -ckpt-dir instead of starting fresh (the -train plan may differ from the checkpoint's — live migration)")
 		kill        = flag.String("kill", "", "with -train: inject a PE failure as pe@iter (e.g. 3@2) and let the elastic supervisor recover")
+		traceOut    = flag.String("trace", "", "with -train: write the executed plan's per-PE phase timeline as Chrome trace_event JSON to this file (open in ui.perfetto.dev)")
+		cpuprofile  = flag.String("cpuprofile", "", "with -train: write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "with -train: write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -129,6 +135,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paradl: -resume and -kill are mutually exclusive (resume continues a run; kill injects a failure into a fresh one)")
 		os.Exit(1)
 	}
+	if (*traceOut != "" || *cpuprofile != "" || *memprofile != "") && *train == "" {
+		fmt.Fprintln(os.Stderr, "paradl: -trace/-cpuprofile/-memprofile instrument the real runtime and require -train")
+		os.Exit(1)
+	}
 	trainModel := trainDefaultModel
 	if modelSet {
 		trainModel = *modelName
@@ -141,34 +151,90 @@ func main() {
 	}
 
 	if *train != "" && el.active() {
-		if err := runElasticTrain(os.Stdout, *train, *overlap, trainModel, el); err != nil {
+		if err := withProfiles(*cpuprofile, *memprofile, func() error {
+			return runElasticTrain(os.Stdout, *train, *overlap, trainModel, el, *traceOut)
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "paradl:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
-		*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap, trainModel,
-		*adviseTrain, *server, trainGpus); err != nil {
+	if err := withProfiles(*cpuprofile, *memprofile, func() error {
+		return run(*modelName, *strategy, *gpus, *batch, *batchGlobal, *p1, *p2,
+			*segments, *phi, *advise, *findings, *calibrate, *measured, *train, *overlap, trainModel,
+			*adviseTrain, *server, trainGpus, *traceOut)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "paradl:", err)
 		os.Exit(1)
 	}
 }
 
+// withProfiles brackets fn with the -cpuprofile/-memprofile collectors;
+// empty paths are pass-through. The heap profile is written after fn
+// returns (post-GC), profiling the run's retained state.
+func withProfiles(cpu, mem string, fn func() error) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := fn()
+	if mem != "" {
+		f, ferr := os.Create(mem)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// writeTrace dumps rec as Chrome trace_event JSON to path. Call only
+// after the traced run has returned (the writers have quiesced).
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func run(modelName, strategyName string, gpus, batch, batchGlobal, p1, p2, segments int,
 	phi float64, advise, findings, calibrate, measured bool, train, overlap, trainModel string,
-	adviseTrain bool, server string, trainGpus int) error {
+	adviseTrain bool, server string, trainGpus int, traceOut string) error {
 	if adviseTrain {
 		return runAdviseTrain(os.Stdout, server, trainModel, overlap, trainGpus)
 	}
 	if train != "" {
-		return runTrain(os.Stdout, train, overlap, trainModel)
+		return runTrain(os.Stdout, train, overlap, trainModel, traceOut)
 	}
 	if measured {
 		// The real runtime executes on this host, so widths stay toy
 		// scale; RuntimeOverhead validates the bound.
-		return report.NewEnv().WriteRuntimeOverhead(os.Stdout, gpus)
+		e := report.NewEnv()
+		if err := e.WriteRuntimeOverhead(os.Stdout, gpus); err != nil {
+			return err
+		}
+		fmt.Println()
+		return e.WritePhaseBreakdown(os.Stdout)
 	}
 	m, err := model.ByName(modelName)
 	if err != nil {
@@ -309,7 +375,7 @@ const (
 // ("on" or "off") selects the gradient-exchange mode, so the
 // backward/comm overlap A/B is runnable from the CLI; both modes must
 // print the same losses bit for bit.
-func runTrain(w io.Writer, planStr, overlap, modelName string) error {
+func runTrain(w io.Writer, planStr, overlap, modelName, traceOut string) error {
 	if overlap != "on" && overlap != "off" {
 		return fmt.Errorf("-overlap must be on or off, got %q", overlap)
 	}
@@ -325,7 +391,7 @@ func runTrain(w io.Writer, planStr, overlap, modelName string) error {
 		return fmt.Errorf("-train is toy-scale: model %q has %d parameters (> %d); pick a tiny zoo model (tinyresnet|tinycnn|tinycnn-nobn|tiny3d)",
 			modelName, p, trainMaxParams)
 	}
-	return runPlanParity(w, pl, overlap, m)
+	return runPlanParity(w, pl, overlap, m, traceOut)
 }
 
 // toyBatches builds the fixed toy batch schedule for m.
@@ -345,16 +411,34 @@ func trainOptions(overlap string) []dist.Option {
 // runPlanParity executes pl for real on m and prints the per-iteration
 // value-parity table vs sequential SGD — shared by -train (explicit
 // plan) and -advise-and-train (advisor-chosen plan).
-func runPlanParity(w io.Writer, pl dist.Plan, overlap string, m *nn.Model) error {
+func runPlanParity(w io.Writer, pl dist.Plan, overlap string, m *nn.Model, traceOut string) error {
 	batches := toyBatches(m)
 	opts := trainOptions(overlap)
-	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, opts...)
+	// The trace observes the NAMED plan's run only; the sequential
+	// baseline stays untraced (except for -train serial, where the
+	// baseline IS the run).
+	var rec *trace.Recorder
+	tracedOpts := opts
+	if traceOut != "" {
+		rec = trace.NewRecorder()
+		tracedOpts = append(append([]dist.Option(nil), opts...), dist.WithTrace(rec))
+	}
+	seqOpts := opts
+	if pl.Strategy == core.Serial {
+		seqOpts = tracedOpts
+	}
+	seq, err := dist.Run(m, batches, dist.Plan{Strategy: core.Serial}, seqOpts...)
 	if err != nil {
 		return err
 	}
 	res := seq // -train serial: the baseline IS the run
 	if pl.Strategy != core.Serial {
-		if res, err = dist.Run(m, batches, pl, opts...); err != nil {
+		if res, err = dist.Run(m, batches, pl, tracedOpts...); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		if err := writeTrace(traceOut, rec); err != nil {
 			return err
 		}
 	}

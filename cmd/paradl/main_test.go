@@ -3,66 +3,66 @@ package main
 import "testing"
 
 func TestRunSingleProjection(t *testing.T) {
-	if err := run("resnet50", "data", 64, 32, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("resnet50", "data", 64, 32, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAdvise(t *testing.T) {
-	if err := run("vgg16", "", 64, 8, 0, 0, 0, 4, 0, true, false, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("vgg16", "", 64, 8, 0, 0, 0, 4, 0, true, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHybridWithSplit(t *testing.T) {
-	if err := run("resnet50", "df", 64, 8, 0, 16, 4, 4, 0, false, true, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("resnet50", "df", 64, 8, 0, 16, 4, 4, 0, false, true, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHybridDerivesMissingAxis(t *testing.T) {
 	// The doc-comment example: -strategy ds -gpus 64 -p2 4 (no -p1).
-	if err := run("cosmoflow", "ds", 64, 0, 16, 0, 4, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("cosmoflow", "ds", 64, 0, 16, 0, 4, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("resnet50", "df", 64, 8, 0, 16, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("resnet50", "df", 64, 8, 0, 16, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStrongScalingFilter(t *testing.T) {
-	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("resnet50", "filter", 16, 0, 32, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCalibrated(t *testing.T) {
-	if err := run("cosmoflow", "ds", 16, 0, 4, 4, 4, 4, 0, false, false, true, false, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("cosmoflow", "ds", 16, 0, 4, 4, 4, 4, 0, false, false, true, false, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownModel(t *testing.T) {
-	if err := run("alexnet", "data", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err == nil {
+	if err := run("alexnet", "data", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err == nil {
 		t.Fatal("unknown model must error")
 	}
 }
 
 func TestRunRejectsUnknownStrategy(t *testing.T) {
-	if err := run("resnet50", "quantum", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4); err == nil {
+	if err := run("resnet50", "quantum", 4, 4, 0, 0, 0, 4, 0, false, false, false, false, "", "on", trainDefaultModel, false, "", 4, ""); err == nil {
 		t.Fatal("unknown strategy must error")
 	}
 }
 
 func TestRunMeasuredOverhead(t *testing.T) {
 	// -measured runs the real dist runtime; p=2 keeps it quick.
-	if err := run("resnet50", "data", 2, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("resnet50", "data", 2, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMeasuredRejectsClusterScale(t *testing.T) {
-	if err := run("resnet50", "data", 64, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on", trainDefaultModel, false, "", 4); err == nil {
+	if err := run("resnet50", "data", 64, 4, 0, 0, 0, 4, 0, false, false, false, true, "", "on", trainDefaultModel, false, "", 4, ""); err == nil {
 		t.Fatal("-measured at 64 PEs must error: the real runtime is toy-scale")
 	}
 }
@@ -72,7 +72,7 @@ func TestRunMeasuredRejectsClusterScale(t *testing.T) {
 // built-in parity gate.
 func TestRunTrainPlans(t *testing.T) {
 	for _, plan := range []string{"serial", "data:2", "filter:2", "ds:2x2", "dp:2x3"} {
-		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", trainDefaultModel, false, "", 4); err != nil {
+		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", trainDefaultModel, false, "", 4, ""); err != nil {
 			t.Fatalf("-train %s: %v", plan, err)
 		}
 	}
@@ -81,17 +81,17 @@ func TestRunTrainPlans(t *testing.T) {
 // TestRunTrainOverlapOff: the -overlap=off A/B baseline runs the same
 // parity gate on the blocking exchange; a bad mode string errors.
 func TestRunTrainOverlapOff(t *testing.T) {
-	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "off", trainDefaultModel, false, "", 4); err != nil {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "off", trainDefaultModel, false, "", 4, ""); err != nil {
 		t.Fatalf("-train data:4 -overlap=off: %v", err)
 	}
-	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "maybe", trainDefaultModel, false, "", 4); err == nil {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:4", "maybe", trainDefaultModel, false, "", 4, ""); err == nil {
 		t.Fatal("-overlap=maybe must error")
 	}
 }
 
 func TestRunTrainRejectsBadPlans(t *testing.T) {
 	for _, plan := range []string{"df:3x0", "quantum:2", "data:2x2", "pipeline:99"} {
-		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", trainDefaultModel, false, "", 4); err == nil {
+		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", trainDefaultModel, false, "", 4, ""); err == nil {
 			t.Fatalf("-train %s must error", plan)
 		}
 	}
@@ -103,7 +103,7 @@ func TestRunTrainRejectsBadPlans(t *testing.T) {
 // hybrid and the serial degenerate case.
 func TestRunTrainTinyResNet(t *testing.T) {
 	for _, plan := range []string{"data:4", "dp:2x2", "serial"} {
-		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", "tinyresnet", false, "", 4); err != nil {
+		if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, plan, "on", "tinyresnet", false, "", 4, ""); err != nil {
 			t.Fatalf("-train %s -model tinyresnet: %v", plan, err)
 		}
 	}
@@ -112,13 +112,13 @@ func TestRunTrainTinyResNet(t *testing.T) {
 // TestRunTrainModelLookup: -train resolves -model through the zoo and
 // stays toy-scale.
 func TestRunTrainModelLookup(t *testing.T) {
-	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "tiny3d", false, "", 4); err != nil {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "tiny3d", false, "", 4, ""); err != nil {
 		t.Fatalf("-train data:2 -model tiny3d: %v", err)
 	}
-	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "alexnet", false, "", 4); err == nil {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "alexnet", false, "", 4, ""); err == nil {
 		t.Fatal("-train with an unknown model must error")
 	}
-	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "resnet50", false, "", 4); err == nil {
+	if err := run("", "", 0, 0, 0, 0, 0, 0, 0, false, false, false, false, "data:2", "on", "resnet50", false, "", 4, ""); err == nil {
 		t.Fatal("-train with an ImageNet-scale model must be rejected as beyond toy scale")
 	}
 }

@@ -112,6 +112,8 @@ func registry(csv bool) []experiment {
 			func(w io.Writer, e *report.Env, o options) error { return writeScoreboard(w, o) }},
 		{"chaos", "randomized fault-schedule soak; recovery + parity verdicts (CHAOS.json)", false,
 			func(w io.Writer, e *report.Env, o options) error { return writeChaos(w, o) }},
+		{"phases", "traced per-phase measured-vs-projected table (PHASES.json)", false,
+			func(w io.Writer, e *report.Env, o options) error { return writePhases(w, e) }},
 	}
 	return append(artefacts, measured...)
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"paradl/internal/artifact"
+	"paradl/internal/report"
+)
+
+// The phases experiment is the observability artefact: the committed
+// measured-vs-projected per-phase table. Every plan of the fixed matrix
+// (all eight strategies on tinycnn-nobn and tinyresnet) runs for REAL
+// under the trace recorder, its wall clock decomposes into the closed
+// phase vocabulary, and each row joins that decomposition against the
+// oracle's analytic breakdown of the same plan:
+//
+//	paraexp -exp phases > PHASES.json
+const (
+	phasesSchema  = "paradl/phases"
+	phasesVersion = 1
+)
+
+// PhasesSummary aggregates the table; the CI gate reads it with jq.
+type PhasesSummary struct {
+	Rows        int     `json:"rows"`
+	Models      int     `json:"models"`
+	MinCoverage float64 `json:"min_coverage"`
+}
+
+// PhasesReport is the committed PHASES.json payload.
+type PhasesReport struct {
+	artifact.Header
+	GlobalBatch int               `json:"global_batch"`
+	Iterations  int               `json:"iterations"`
+	Rows        []report.PhaseRow `json:"rows"`
+	Summary     PhasesSummary     `json:"summary"`
+}
+
+// writePhases traces the plan matrix and emits the report.
+func writePhases(w io.Writer, e *report.Env) error {
+	rows, err := e.PhaseBreakdown()
+	if err != nil {
+		return err
+	}
+	rep := &PhasesReport{
+		Header:      artifact.NewHeader(phasesSchema, phasesVersion),
+		GlobalBatch: report.PhaseBatch,
+		Iterations:  report.PhaseIters,
+		Rows:        rows,
+		Summary:     PhasesSummary{Rows: len(rows), MinCoverage: 1},
+	}
+	models := map[string]bool{}
+	for _, r := range rows {
+		models[r.Model] = true
+		if r.Coverage < rep.Summary.MinCoverage {
+			rep.Summary.MinCoverage = r.Coverage
+		}
+	}
+	rep.Summary.Models = len(models)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,15 +35,41 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "planning requests served concurrently")
 	maxQueue := flag.Int("max-queue", serve.DefaultMaxQueue, "admission queue depth beyond which requests are shed with 503")
 	reqTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline (queue wait included)")
+	pprofAddr := flag.String("pprof-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "paraserve:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(ctx, *addr, *cacheEntries, *maxConcurrent, *maxQueue, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "paraserve:", err)
 		os.Exit(1)
 	}
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener,
+// kept off the planner's mux so profiling endpoints never share a port
+// (or an admission gate) with production traffic.
+func startPprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "paraserve: pprof on %s\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
 }
 
 // run listens on addr and serves the planner until ctx is cancelled

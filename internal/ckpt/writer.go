@@ -1,6 +1,10 @@
 package ckpt
 
-import "sync"
+import (
+	"sync"
+
+	"paradl/internal/trace"
+)
 
 // Writer persists checkpoints asynchronously: Put hands a snapshot to
 // a background goroutine and returns immediately — no encoding, no
@@ -27,6 +31,8 @@ type Writer struct {
 	saved   int   // snapshots durably renamed into place
 	dropped int   // snapshots displaced by a newer one before writing
 	err     error // first write failure, surfaced by Drain/Close
+
+	tr *trace.PE // the writer's own trace track; nil when tracing is off
 }
 
 // WriterStats snapshots a Writer's accounting.
@@ -88,6 +94,17 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
+// SetTracer attaches a trace track to the writer: each disk write
+// appears as a checkpoint-put span on it (an auxiliary track, since
+// the writer's time overlaps the training PEs by design). Call before
+// the first Put; the track is read only after Drain/Close, which is
+// the quiescence the recorder requires.
+func (w *Writer) SetTracer(tr *trace.PE) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr = tr
+}
+
 // Stats reports the writer's saved/dropped accounting so far.
 func (w *Writer) Stats() WriterStats {
 	w.mu.Lock()
@@ -108,9 +125,13 @@ func (w *Writer) loop() {
 		s := w.pending
 		w.pending = nil
 		w.writing = true
+		tr := w.tr
 		w.mu.Unlock()
 
+		tr.Iter(s.Iter)
+		tr.Begin(trace.CheckpointPut)
 		_, err := Save(w.dir, s)
+		tr.End()
 
 		w.mu.Lock()
 		w.writing = false

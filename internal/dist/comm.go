@@ -231,6 +231,11 @@ func (c *Comm) Sub(members []int) *Comm {
 // Rank returns this PE's id in [0, Size) within the communicator.
 func (c *Comm) Rank() int { return c.rank }
 
+// WorldRank returns this PE's rank in the world communicator —
+// invariant under Sub, so a sub-communicator still identifies the PE
+// globally (the trace recorder keys its tracks by world rank).
+func (c *Comm) WorldRank() int { return c.worldRank(c.rank) }
+
 // Size returns the communicator size.
 func (c *Comm) Size() int {
 	if c.members == nil {

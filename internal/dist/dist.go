@@ -46,19 +46,23 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // PEFailure reports the death of one PE mid-run: the failure WithFailAt
 // injects, surfaced as the error of the whole (aborted) world. The
 // elastic supervisor (RunElastic) matches it with errors.As to tell a
-// recoverable PE loss from a configuration error.
+// recoverable PE loss from a configuration error, and measures its
+// detection latency from At.
 type PEFailure struct {
-	PE   int // world rank of the dead PE
-	Iter int // global iteration it died in
+	PE   int       // world rank of the dead PE
+	Iter int       // global iteration it died in
+	At   time.Time // when the PE died (stamped at the panic site)
 }
 
 func (e *PEFailure) Error() string {
@@ -115,8 +119,10 @@ func runSequential(m *nn.Model, batches []Batch, cfg *runConfig) (*Result, error
 	step := newStepper(cfg)
 	seedFullVelocities(cfg, step.mom, net)
 	losses := make([]float64, 0, len(batches))
+	tr := cfg.tracer(0)
 	var runErr error
 	func() {
+		defer tr.End()
 		defer func() {
 			if rec := recover(); rec != nil {
 				var pf *PEFailure
@@ -128,16 +134,22 @@ func runSequential(m *nn.Model, batches []Batch, cfg *runConfig) (*Result, error
 			}
 		}()
 		for i := range batches {
+			tr.Iter(cfg.startIter + i)
+			tr.Begin(trace.Idle)
 			cfg.maybeFail(0, i)
-			var loss float64
-			if step.mom != nil {
-				loss = net.TrainStepWith(step.mom, batches[i].X, batches[i].Labels)
-			} else {
-				loss = net.TrainStep(batches[i].X, batches[i].Labels, cfg.lr)
-			}
+			// The explicit forward/loss/backward/step composition is
+			// TrainStep(With) verbatim (see nn/exec.go), split so each
+			// phase lands on its own span.
+			tr.Begin(trace.ComputeForward)
+			logits, states := net.Forward(batches[i].X)
+			loss, dLogits := tensor.SoftmaxCrossEntropy(logits, batches[i].Labels)
+			tr.Begin(trace.ComputeBackward)
+			_, grads := net.Backward(dLogits, states)
+			step.stepNet(net, grads)
 			losses = append(losses, loss)
 			cfg.fire(i, loss)
 			if cfg.snapshotDue(i) {
+				tr.Begin(trace.CheckpointPut)
 				params, vel := cloneNetState(net, step.mom)
 				cfg.emit(m.Name, i, losses, params, vel)
 			}

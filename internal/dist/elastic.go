@@ -9,6 +9,7 @@ import (
 	"paradl/internal/ckpt"
 	"paradl/internal/core"
 	"paradl/internal/nn"
+	"paradl/internal/trace"
 )
 
 // Policy configures the elastic supervisor: how often the running world
@@ -49,8 +50,10 @@ type Policy struct {
 
 // Recovery records one supervisor intervention: a crash (shrink) or a
 // grow-back (the failed slot healed), the plan migration it forced,
-// and the iteration training resumed from (0 when no checkpoint
-// existed yet and the run restarted).
+// the iteration training resumed from (0 when no checkpoint existed
+// yet and the run restarted), and — for crashes — the recovery timing
+// breakdown (MTTR). Grow-backs are planned transitions, not repairs,
+// so their timing fields stay zero.
 type Recovery struct {
 	Kind       string `json:"kind"`        // "crash" or "grow-back"
 	PE         int    `json:"pe"`          // world rank of the dead PE (-1 for grow-back)
@@ -58,6 +61,18 @@ type Recovery struct {
 	From       string `json:"from"`        // plan string before re-planning
 	To         string `json:"to"`          // plan string after re-planning
 	ResumeIter int    `json:"resume_iter"` // first iteration of the resumed leg
+
+	// Crash-recovery timing, all in milliseconds of wall clock:
+	// DetectMS is PE death → the supervisor observing the failure (the
+	// world unwinding and Run returning its error), RestoreMS the
+	// re-establishment of the restore point (writer drain + durable
+	// checkpoint scan-back), ReplanMS the oracle consult building the
+	// candidate ladder, and MTTRMS the whole outage — PE death → the
+	// re-planned world actually launching (backoff included).
+	DetectMS  float64 `json:"detect_ms,omitempty"`
+	RestoreMS float64 `json:"restore_ms,omitempty"`
+	ReplanMS  float64 `json:"replan_ms,omitempty"`
+	MTTRMS    float64 `json:"mttr_ms,omitempty"`
 }
 
 // ElasticResult is a supervised run's outcome: the final leg's Result
@@ -111,8 +126,17 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 		writer     *ckpt.Writer // async persistence when CkptDir is set
 		recoveries []Recovery
 	)
+	// The supervisor's own trace track (and the writer's): recovery work
+	// overlaps no PE timeline, so it records on auxiliary tracks of the
+	// recorder the run options carry — nil tracks when tracing is off.
+	probe := defaultConfig()
+	for _, o := range opts {
+		o(&probe)
+	}
+	sup := probe.trace.Track("supervisor")
 	if pol.CkptDir != "" {
 		writer = ckpt.NewWriter(pol.CkptDir)
+		writer.SetTracer(probe.trace.Track("ckpt-writer"))
 		defer writer.Close()
 	}
 	sink := func(st *ckpt.State) {
@@ -183,6 +207,7 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 	attempt := 0
 	var cands []Plan      // untried alternatives for the in-progress re-plan
 	var pending *Recovery // logged once the re-planned world actually runs
+	var failAt time.Time  // crash instant of the pending recovery (zero for grow-backs)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("dist: elastic supervisor cancelled: %w", err)
@@ -196,9 +221,16 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 			cands = cands[1:]
 			pending = &Recovery{Kind: "grow-back", PE: -1, FailIter: start, From: cur.String(), To: grown.String(), ResumeIter: start}
 			cur, disarm = grown, true
+			failAt = time.Time{}
 			continue
 		}
 		end := sched.growBoundary(start, len(batches), cur.P() < fullP)
+		if pending != nil && !failAt.IsZero() {
+			// The re-planned world launches now: the outage — death to
+			// relaunch, backoff and failed candidates included — is over.
+			pending.MTTRMS = msSince(failAt)
+			sup.End()
+		}
 		res, prefix, err := leg(cur, end, disarm)
 		if err == nil {
 			if pending != nil { // the migrated world ran: log the recovery
@@ -220,6 +252,7 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 			cands = cands[1:]
 			pending = &Recovery{Kind: "grow-back", PE: -1, FailIter: end, From: cur.String(), To: grown.String(), ResumeIter: resumeIter()}
 			cur, disarm = grown, true
+			failAt = time.Time{}
 			continue
 		}
 		var pf *PEFailure
@@ -243,6 +276,13 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 		}
 		// A PE died. If a migration was pending, the re-planned world
 		// really ran (and died again): the migration happened, log it.
+		detected := time.Now() // the world has unwound; the supervisor knows
+		sup.Iter(pf.Iter)
+		sup.Begin(trace.Recovery)
+		var detectMS float64
+		if !pf.At.IsZero() {
+			detectMS = detected.Sub(pf.At).Seconds() * 1e3
+		}
 		if pending != nil {
 			recoveries = append(recoveries, *pending)
 			pending = nil
@@ -252,27 +292,48 @@ func RunElastic(m *nn.Model, batches []Batch, pl Plan, pol Policy, opts ...Optio
 		disarm = true
 		attempt++
 		if attempt > maxRetries {
+			sup.End()
 			return nil, fmt.Errorf("dist: elastic run gave up after %d recovery attempts: %w", maxRetries, err)
 		}
 		if pol.Backoff > 0 {
 			if serr := sleepCtx(ctx, pol.Backoff<<(attempt-1)); serr != nil {
+				sup.End()
 				return nil, fmt.Errorf("dist: elastic supervisor cancelled during backoff: %w", serr)
 			}
 		}
+		restoreStart := time.Now()
 		restorePoint(pf.Iter)
+		restoreMS := msSince(restoreStart)
 		pNew := cur.P() - 1
 		if pNew < 1 {
+			sup.End()
 			return nil, fmt.Errorf("dist: no PEs left to recover with: %w", err)
 		}
+		replanStart := time.Now()
 		cands = recoveryPlans(m, pNew, globalBatch, len(batches))
+		replanMS := msSince(replanStart)
 		if len(cands) == 0 { // unreachable: the ladder always ends at serial
+			sup.End()
 			return nil, fmt.Errorf("dist: no recovery plan at p=%d for %q: %w", pNew, m.Name, err)
 		}
 		next := cands[0]
 		cands = cands[1:]
-		pending = &Recovery{Kind: "crash", PE: pf.PE, FailIter: pf.Iter, From: cur.String(), To: next.String(), ResumeIter: resumeIter()}
+		pending = &Recovery{
+			Kind: "crash", PE: pf.PE, FailIter: pf.Iter,
+			From: cur.String(), To: next.String(), ResumeIter: resumeIter(),
+			DetectMS: detectMS, RestoreMS: restoreMS, ReplanMS: replanMS,
+		}
+		failAt = pf.At
+		if failAt.IsZero() {
+			failAt = detected // injected failures always stamp At; be safe
+		}
 		cur = next
 	}
+}
+
+// msSince returns the wall-clock milliseconds elapsed since t.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, whichever comes

@@ -3,6 +3,7 @@ package dist
 import (
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // defaultBucketBytes is the default gradient-bucket capacity (DDP-style
@@ -33,6 +34,7 @@ type gradExchanger struct {
 	queued      []*tensor.Tensor
 	queuedBytes int
 	flights     []flight
+	tr          *trace.PE // this PE's tracer; nil when tracing is off
 }
 
 // flight is one launched bucket: the flat buffer in the collective (or
@@ -41,6 +43,7 @@ type flight struct {
 	flat *tensor.Tensor
 	ts   []*tensor.Tensor
 	h    *Handle // nil when the exchange already ran blocking at flush
+	tok  int64   // trace flight token of the nonblocking launch
 }
 
 // newGradExchanger returns the exchanger of one PE for the given
@@ -55,7 +58,7 @@ func newGradExchanger(c *Comm, cfg *runConfig) *gradExchanger {
 	if bb < 1 {
 		bb = 1 // flush every tensor by itself
 	}
-	return &gradExchanger{c: c, overlap: cfg.overlap, bucketBytes: bb}
+	return &gradExchanger{c: c, overlap: cfg.overlap, bucketBytes: bb, tr: cfg.tracer(c.WorldRank())}
 }
 
 // push queues gradient tensors for exchange, flushing the bucket
@@ -93,6 +96,15 @@ func (ex *gradExchanger) flush(async bool) {
 	if len(ex.queued) == 0 {
 		return
 	}
+	// The synchronous flush cost — pack plus launch (async) or pack plus
+	// the blocking exchange — is a collective span; the caller's phase
+	// (usually compute-backward) is restored on the way out. The async
+	// in-flight window itself lands at drain.
+	ph := trace.CollectiveWait
+	if async {
+		ph = trace.CollectiveLaunch
+	}
+	prev := ex.tr.Begin(ph)
 	ts := ex.queued
 	ex.queued = nil
 	n := ex.queuedBytes / 8
@@ -106,13 +118,15 @@ func (ex *gradExchanger) flush(async bool) {
 		}
 		flat = tensor.FromSlice(buf, n)
 	}
-	fl := flight{ts: ts}
+	fl := flight{ts: ts, tok: -1}
 	if async {
 		fl.h = ex.c.IAllReduceSum(flat)
+		fl.tok = ex.tr.Flight()
 	} else {
 		fl.flat = ex.c.AllReduceSum(flat)
 	}
 	ex.flights = append(ex.flights, fl)
+	ex.tr.Begin(prev)
 }
 
 // drain flushes the tail bucket — blocking: at the pre-step barrier
@@ -121,10 +135,12 @@ func (ex *gradExchanger) flush(async bool) {
 // unpacks each reduced bucket back into its gradient tensors.
 func (ex *gradExchanger) drain() {
 	ex.flush(false)
+	prev := ex.tr.Begin(trace.CollectiveWait)
 	for _, fl := range ex.flights {
 		res := fl.flat
 		if fl.h != nil {
 			res = fl.h.Wait()
+			ex.tr.Land(fl.tok)
 		}
 		if len(fl.ts) == 1 {
 			if res != fl.ts[0] {
@@ -141,4 +157,5 @@ func (ex *gradExchanger) drain() {
 		}
 	}
 	ex.flights = ex.flights[:0]
+	ex.tr.Begin(prev)
 }

@@ -8,6 +8,7 @@ import (
 	"paradl/internal/profile"
 	"paradl/internal/strategy"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // RunPipeline executes layer/pipeline parallelism (§3.3): the network is
@@ -68,21 +69,27 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 		ex := newGradExchanger(seg, cfg)
 		st := stages[group.Rank()]
 		lastStage := group.Rank() == group.Size()-1
+		tr := cfg.tracer(world.Rank())
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			tr.Iter(cfg.startIter + bi)
+			tr.Begin(trace.Idle)
 			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataPipelineStep(group, seg, ex, net, st, x, labels, weight, step)
+			loss := dataPipelineStep(group, seg, ex, net, st, x, labels, weight, step, tr)
 			if lastStage {
 				// The last-stage segment sums the per-group weighted
 				// losses into the global mean loss.
+				tr.Begin(trace.CollectiveWait)
 				loss = seg.AllReduceScalar(loss)
+				tr.Begin(trace.ComputeBackward)
 				out = append(out, loss)
 				if world.Rank() == resultRank {
 					cfg.fire(bi, loss)
 				}
 			}
 			if cfg.snapshotDue(bi) {
+				tr.Begin(trace.CheckpointPut)
 				if seg.Rank() == 0 {
 					// Group 0 (the groups are bit-identical replicas) streams
 					// every stage's owned layers to its last stage — the
@@ -96,6 +103,7 @@ func runDataPipeline(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, l
 				world.AllReduceScalar(0)
 			}
 		}
+		tr.End()
 		return out, nil
 	})
 	if err != nil {
@@ -192,7 +200,7 @@ func abs(x int) int {
 // exchange is bucketed (ex): a layer's accumulated gradient is final
 // once the LAST microbatch's backward has passed it, so it enters the
 // segment exchange right there, overlapping the rest of the flush.
-func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strategy.PipelineStage, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
+func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strategy.PipelineStage, x *tensor.Tensor, labels []int, weight float64, step *stepper, tr *trace.PE) float64 {
 	rank, p := c.Rank(), c.Size()
 	total := x.Dim(0)
 	nm := min(p, total)
@@ -206,12 +214,17 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 	gph := net.Graph()
 	states := make([][]*nn.LayerState, nm)
 	logits := make([]*tensor.Tensor, nm)
+	tr.Begin(trace.ComputeForward)
 	for mb := 0; mb < nm; mb++ {
 		var xin *tensor.Tensor
 		if rank == 0 {
 			xin = x.Narrow(0, offs[mb], sizes[mb])
 		} else {
+			// Blocked on the upstream stage: bubble time on the trace
+			// until the activation arrives.
+			tr.Begin(trace.PipelineTransfer)
 			xin = c.Recv(rank - 1)
+			tr.Begin(trace.ComputeForward)
 		}
 		states[mb] = make([]*nn.LayerState, st.End-st.Start)
 		out := gph.ForwardRange(st.Start, st.End, xin, func(l int, x2 *tensor.Tensor) *tensor.Tensor {
@@ -222,7 +235,9 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 		if rank < p-1 {
 			// The stage output is dead here (states keep layer inputs,
 			// not outputs), so ownership transfers without a copy.
+			tr.Begin(trace.PipelineTransfer)
 			c.sendOwned(rank+1, out)
+			tr.Begin(trace.ComputeForward)
 		} else {
 			logits[mb] = out
 		}
@@ -230,6 +245,7 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 
 	// Backward flush in reverse microbatch order, accumulating this
 	// stage's gradients across microbatches.
+	tr.Begin(trace.ComputeBackward)
 	acc := make([]nn.Grads, st.End-st.Start)
 	loss := 0.0
 	for mb := nm - 1; mb >= 0; mb-- {
@@ -242,7 +258,9 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 			dl.Scale(mbWeight)
 			dy = dl
 		} else {
+			tr.Begin(trace.PipelineTransfer)
 			dy = c.Recv(rank + 1)
+			tr.Begin(trace.ComputeBackward)
 		}
 		dy = gph.BackwardRange(st.Start, st.End, dy, func(l int, d *tensor.Tensor) *tensor.Tensor {
 			dx, g := net.BackwardLayer(l, d, states[mb][l-st.Start])
@@ -256,7 +274,9 @@ func dataPipelineStep(c, seg *Comm, ex *gradExchanger, net *nn.Network, st strat
 			return dx
 		})
 		if rank > 0 {
+			tr.Begin(trace.PipelineTransfer)
 			c.sendOwned(rank-1, dy)
+			tr.Begin(trace.ComputeBackward)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"paradl/internal/core"
 	"paradl/internal/nn"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // runConfig carries every knob of one training run. It is assembled
@@ -62,6 +63,10 @@ type runConfig struct {
 	// duration at the top of global iteration iter, so its peers wait
 	// in collectives exactly like behind a real slow node.
 	delays map[delayPoint]time.Duration
+	// trace, when set, receives phase-attributed span events from every
+	// PE of the run (see internal/trace). Nil — the default — makes
+	// every tracer call site a nil-receiver no-op.
+	trace *trace.Recorder
 }
 
 // delayPoint keys one straggler stall: (world rank, global iteration).
@@ -148,6 +153,17 @@ func WithDelay(pe, iter int, d time.Duration) Option {
 	}
 }
 
+// WithTrace attaches a phase-attributed trace recorder: every PE of
+// the run records which phase (compute, collective, halo, pipeline
+// transfer, …) it is in at every moment into its own ring buffer in
+// rec. The recorder may be shared across runs (an elastic supervisor's
+// legs all write the same recorder) but must only be read — Summarize,
+// WriteChrome — after Run returns. A nil rec is the default: tracing
+// disabled at zero cost.
+func WithTrace(rec *trace.Recorder) Option {
+	return func(c *runConfig) { c.trace = rec }
+}
+
 // WithCheckpoint registers a checkpoint sink: every `every` global
 // iterations — right after the optimizer step — the engines gather the
 // canonical unsharded training state (full params, full momentum
@@ -189,17 +205,25 @@ func (c *runConfig) fire(iter int, loss float64) {
 	}
 }
 
+// tracer returns the configured recorder's tracer for one world rank —
+// nil (the free disabled tracer) when tracing is off.
+func (c *runConfig) tracer(worldRank int) *trace.PE {
+	return c.trace.PE(worldRank)
+}
+
 // maybeFail panics with a *PEFailure when this PE is the configured
 // casualty of global iteration startIter+bi. It runs at the top of the
 // iteration body, before any collective: the victim dies cleanly while
 // its peers are already (or soon) blocked in exchanges, so the world
-// observes a mid-iteration loss and aborts.
+// observes a mid-iteration loss and aborts. An injected straggle shows
+// up on the trace as idle time (the engines open an idle span around
+// this call).
 func (c *runConfig) maybeFail(worldRank, bi int) {
 	if d, ok := c.delays[delayPoint{worldRank, c.startIter + bi}]; ok {
 		time.Sleep(d) // straggle first: a slow node can still die
 	}
 	if worldRank == c.failPE && c.startIter+bi == c.failIter {
-		panic(&PEFailure{PE: worldRank, Iter: c.failIter})
+		panic(&PEFailure{PE: worldRank, Iter: c.failIter, At: time.Now()})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"paradl/internal/nn"
 	"paradl/internal/strategy"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // spatialAxis is the tensor axis of the first spatial dimension in the
@@ -257,16 +258,20 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 		// the whole world, head gradients over the segment.
 		exWorld := newGradExchanger(world, cfg)
 		exSeg := newGradExchanger(seg, cfg)
+		tr := cfg.tracer(world.Rank())
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			tr.Iter(cfg.startIter + bi)
+			tr.Begin(trace.Idle)
 			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataSpatialStep(world, group, seg, exWorld, exSeg, net, x, labels, weight, plans, fcStart, step)
+			loss := dataSpatialStep(world, group, seg, exWorld, exSeg, net, x, labels, weight, plans, fcStart, step, tr)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
 			if cfg.snapshotDue(bi) {
+				tr.Begin(trace.CheckpointPut)
 				if world.Rank() == 0 {
 					// Every PE steps the full replica in lockstep, so rank 0's
 					// replica IS the canonical state — no gather traffic.
@@ -277,6 +282,7 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 				world.AllReduceScalar(0)
 			}
 		}
+		tr.End()
 		return out, nil
 	})
 	if err != nil {
@@ -294,7 +300,7 @@ func runDataSpatial(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, la
 // backward produces them (overlapping the whole trunk backward), trunk
 // conv gradients enter exWorld layer by layer (overlapping the backward
 // of the layers below); draining both is the pre-step barrier.
-func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, step *stepper) float64 {
+func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net *nn.Network, x *tensor.Tensor, labels []int, weight float64, plans []*layerPlan, fcStart int, step *stepper, tr *trace.PE) float64 {
 	model := net.Model
 	rank, p := group.Rank(), group.Size()
 	layers := model.Layers
@@ -304,6 +310,7 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 	gph := net.Graph()
 	states := make([]*nn.LayerState, g)
 	bnSync := make([]bool, g)
+	tr.Begin(trace.ComputeForward)
 
 	// Partitioned trunk forward: halo-assembled windowed layers,
 	// slab-local element-wise layers, world-synchronized batch norm.
@@ -316,7 +323,9 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 			spec := &layers[l]
 			switch spec.Kind {
 			case nn.Conv:
+				tr.Begin(trace.Halo)
 				block := haloExchange(group, xin, plans[l], 0)
+				tr.Begin(trace.ComputeForward)
 				cs := tensor.ConvSpec{Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 				states[l] = &nn.LayerState{X: block}
 				return tensor.ConvForward(block, net.Params[l].W, net.Params[l].B, cs)
@@ -325,7 +334,9 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 				if spec.PoolKind == tensor.MaxPool {
 					padVal = math.Inf(-1)
 				}
+				tr.Begin(trace.Halo)
 				block := haloExchange(group, xin, plans[l], padVal)
+				tr.Begin(trace.ComputeForward)
 				ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 				y, arg := tensor.PoolForward(block, ps)
 				states[l] = &nn.LayerState{X: block, Argmax: arg}
@@ -335,7 +346,9 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 				return tensor.ReLUForward(xin)
 			case nn.BatchNorm:
 				if world.Size() > 1 {
+					tr.Begin(trace.BNSync)
 					y, st := syncBNForward(world, xin, net.Params[l].Gamma, net.Params[l].Beta)
+					tr.Begin(trace.ComputeForward)
 					states[l] = &nn.LayerState{X: xin, BN: st}
 					bnSync[l] = true
 					return y
@@ -352,10 +365,14 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 	// group's batch shard (§4.5.1) — every PE of the group computes
 	// identical logits and loss. Head batch norm sees only this group's
 	// shard and synchronizes across the segment.
+	tr.Begin(trace.CollectiveWait)
 	cur = group.AllGather(cur, spatialAxis)
+	tr.Begin(trace.ComputeForward)
 	for l := fcStart; l < g; l++ {
 		if layers[l].Kind == nn.BatchNorm && seg.Size() > 1 {
+			tr.Begin(trace.BNSync)
 			y, st := syncBNForward(seg, cur, net.Params[l].Gamma, net.Params[l].Beta)
+			tr.Begin(trace.ComputeForward)
 			states[l] = &nn.LayerState{X: cur, BN: st}
 			bnSync[l] = true
 			cur = y
@@ -367,13 +384,16 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 	if weight != 1 {
 		dy.Scale(weight)
 	}
+	tr.Begin(trace.ComputeBackward)
 
 	grads := make([]nn.Grads, g)
 	for l := g - 1; l >= fcStart; l-- {
 		if bnSync[l] {
 			// Sync-BN gradients are already global: they bypass the
 			// bucketed exchange, like the blocking path before it.
+			tr.Begin(trace.BNSync)
 			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
+			tr.Begin(trace.ComputeBackward)
 			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 			dy = dx
 			continue
@@ -402,16 +422,24 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 				if exWorld != nil {
 					exWorld.push(dw, db)
 				}
-				return haloScatter(group, dxBlock, plans[l])
+				tr.Begin(trace.Halo)
+				out := haloScatter(group, dxBlock, plans[l])
+				tr.Begin(trace.ComputeBackward)
+				return out
 			case nn.Pool:
 				ps := tensor.PoolSpec{Kind: spec.PoolKind, Window: spec.Kernel, Stride: spec.Stride, Pad: zeroAxis(spec.Pad)}
 				dxBlock := tensor.PoolBackward(dy, states[l].X.Shape(), ps, states[l].Argmax)
-				return haloScatter(group, dxBlock, plans[l])
+				tr.Begin(trace.Halo)
+				out := haloScatter(group, dxBlock, plans[l])
+				tr.Begin(trace.ComputeBackward)
+				return out
 			case nn.ReLU:
 				return tensor.ReLUBackward(dy, states[l].X)
 			case nn.BatchNorm:
 				if bnSync[l] {
+					tr.Begin(trace.BNSync)
 					dx, dgamma, dbeta := syncBNBackward(world, dy, net.Params[l].Gamma, states[l].BN)
+					tr.Begin(trace.ComputeBackward)
 					grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 					return dx
 				}
@@ -436,5 +464,8 @@ func dataSpatialStep(world, group, seg *Comm, exWorld, exSeg *gradExchanger, net
 		exSeg.drain()
 	}
 	step.stepNet(net, grads)
-	return seg.AllReduceScalar(loss * weight)
+	tr.Begin(trace.CollectiveWait)
+	global := seg.AllReduceScalar(loss * weight)
+	tr.Begin(trace.ComputeBackward)
+	return global
 }

@@ -7,6 +7,7 @@ import (
 	"paradl/internal/nn"
 	"paradl/internal/strategy"
 	"paradl/internal/tensor"
+	"paradl/internal/trace"
 )
 
 // weightShard is one PE's slice of a weighted layer's parameters.
@@ -55,16 +56,20 @@ func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, lab
 			return nil, err
 		}
 		seedFilterVelocities(cfg, step.mom, net, shards)
+		tr := cfg.tracer(world.Rank())
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			tr.Iter(cfg.startIter + bi)
+			tr.Begin(trace.Idle)
 			cfg.maybeFail(world.Rank(), bi)
 			x, labels, weight := groupShard(&batches[bi], seg.Rank(), p1)
-			loss := dataFilterStep(group, seg, ex, net, shards, rsOK, x, labels, weight, step)
+			loss := dataFilterStep(group, seg, ex, net, shards, rsOK, x, labels, weight, step, tr)
 			if world.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
 			if cfg.snapshotDue(bi) {
+				tr.Begin(trace.CheckpointPut)
 				// Collective within the group (every group holds an
 				// identical replica of the canonical state); only the
 				// world's result rank emits.
@@ -79,6 +84,7 @@ func runDataFilter(m *nn.Model, batches []Batch, cfg *runConfig, p1, p2 int, lab
 				world.AllReduceScalar(0)
 			}
 		}
+		tr.End()
 		return out, nil
 	})
 	if err != nil {
@@ -193,12 +199,13 @@ func shardGrad(dy *tensor.Tensor, sh *weightShard, group *Comm) *tensor.Tensor {
 // weight/bias gradients are pushed the moment its backward completes,
 // so with overlap on the segment allreduce of layer l hides behind the
 // backward compute of the layers below it.
-func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper) float64 {
+func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards []*weightShard, rsOK []bool, x *tensor.Tensor, labels []int, weight float64, step *stepper, tr *trace.PE) float64 {
 	layers := net.Model.Layers
 	gph := net.Graph()
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
 	bnSync := make([]bool, g)
+	tr.Begin(trace.ComputeForward)
 	cur := gph.ForwardRange(0, g, x, func(l int, xin *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
@@ -209,14 +216,24 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 			// allgathered output into the main path.
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
 			states[l] = &nn.LayerState{X: xin}
-			return group.AllGather(tensor.ConvForward(xin, sh.w, sh.b, cs), 1)
+			y := tensor.ConvForward(xin, sh.w, sh.b, cs)
+			tr.Begin(trace.CollectiveWait)
+			out := group.AllGather(y, 1)
+			tr.Begin(trace.ComputeForward)
+			return out
 		case spec.Kind == nn.FC:
 			n := xin.Dim(0)
 			flat := xin.Reshape(n, xin.Len()/n)
 			states[l] = &nn.LayerState{X: xin}
-			return group.AllGather(tensor.FCForward(flat, sh.w, sh.b), 1)
+			y := tensor.FCForward(flat, sh.w, sh.b)
+			tr.Begin(trace.CollectiveWait)
+			out := group.AllGather(y, 1)
+			tr.Begin(trace.ComputeForward)
+			return out
 		case spec.Kind == nn.BatchNorm && seg.Size() > 1:
+			tr.Begin(trace.BNSync)
 			y, st := syncBNForward(seg, xin, net.Params[l].Gamma, net.Params[l].Beta)
+			tr.Begin(trace.ComputeForward)
 			states[l] = &nn.LayerState{X: xin, BN: st}
 			bnSync[l] = true
 			return y
@@ -232,6 +249,7 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 	if weight != 1 {
 		dy.Scale(weight)
 	}
+	tr.Begin(trace.ComputeBackward)
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
@@ -259,7 +277,9 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 				return nil
 			}
 			dxPart := tensor.ConvBackwardData(dySh, sh.w, xl.Shape(), cs)
+			tr.Begin(trace.CollectiveWait)
 			out, sliced := exchangeInputGrad(group, dxPart, rsOK[l])
+			tr.Begin(trace.ComputeBackward)
 			if !spec.Branch {
 				dySliced = sliced
 			}
@@ -280,11 +300,15 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 			if gph.Src(l) < 0 {
 				return nil
 			}
+			tr.Begin(trace.CollectiveWait)
 			out, sliced := exchangeInputGrad(group, dxPart, rsOK[l])
+			tr.Begin(trace.ComputeBackward)
 			dySliced = sliced
 			return out
 		case bnSync[l]:
+			tr.Begin(trace.BNSync)
 			dx, dgamma, dbeta := syncBNBackward(seg, dy, net.Params[l].Gamma, states[l].BN)
+			tr.Begin(trace.ComputeBackward)
 			grads[l] = nn.Grads{Gamma: dgamma, Beta: dbeta}
 			return dx
 		case dySliced:
@@ -325,7 +349,10 @@ func dataFilterStep(group, seg *Comm, ex *gradExchanger, net *nn.Network, shards
 		step.step(shards[l].w, shardGrads[l].w)
 		step.step(shards[l].b, shardGrads[l].b)
 	}
-	return seg.AllReduceScalar(loss * weight)
+	tr.Begin(trace.CollectiveWait)
+	global := seg.AllReduceScalar(loss * weight)
+	tr.Begin(trace.ComputeBackward)
+	return global
 }
 
 // exchangeInputGrad performs the group-wide input-gradient exchange of
@@ -380,15 +407,19 @@ func runChannel(m *nn.Model, batches []Batch, cfg *runConfig, p int) (*Result, e
 			return nil, err
 		}
 		seedChannelVelocities(cfg, step.mom, net, shards)
+		tr := cfg.tracer(c.Rank())
 		out := make([]float64, 0, len(batches))
 		for bi := range batches {
+			tr.Iter(cfg.startIter + bi)
+			tr.Begin(trace.Idle)
 			cfg.maybeFail(c.Rank(), bi)
-			loss := channelStep(c, net, shards, &batches[bi], step)
+			loss := channelStep(c, net, shards, &batches[bi], step, tr)
 			if c.Rank() == 0 {
 				cfg.fire(bi, loss)
 			}
 			out = append(out, loss)
 			if cfg.snapshotDue(bi) {
+				tr.Begin(trace.CheckpointPut)
 				params, vel := gatherChannelState(c, net, shards, step.mom)
 				if c.Rank() == 0 {
 					cfg.emit(m.Name, bi, out, params, vel)
@@ -397,6 +428,7 @@ func runChannel(m *nn.Model, batches []Batch, cfg *runConfig, p int) (*Result, e
 				c.AllReduceScalar(0)
 			}
 		}
+		tr.End()
 		return out, nil
 	})
 	if err != nil {
@@ -443,11 +475,12 @@ func channelShards(net *nn.Network, rank, p int) ([]*weightShard, error) {
 // routes shortcut convolutions from their taps and merges their output
 // into the main path; a sharded shortcut convolves its input-channel
 // slice of the tap activation like any other sharded layer.
-func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step *stepper) float64 {
+func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step *stepper, tr *trace.PE) float64 {
 	layers := net.Model.Layers
 	gph := net.Graph()
 	g := len(layers)
 	states := make([]*nn.LayerState, g)
+	tr.Begin(trace.ComputeForward)
 	cur := gph.ForwardRange(0, g, b.X, func(l int, xin *tensor.Tensor) *tensor.Tensor {
 		spec := &layers[l]
 		sh := shards[l]
@@ -456,7 +489,10 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step
 			cs := tensor.ConvSpec{Stride: spec.Stride, Pad: spec.Pad}
 			xSh := xin.Narrow(1, sh.rng.Start, sh.rng.Size())
 			states[l] = &nn.LayerState{X: xSh}
-			y := c.AllReduceSum(tensor.ConvForward(xSh, sh.w, nil, cs))
+			part := tensor.ConvForward(xSh, sh.w, nil, cs)
+			tr.Begin(trace.CollectiveWait)
+			y := c.AllReduceSum(part)
+			tr.Begin(trace.ComputeForward)
 			tensor.AddBias(y, net.Params[l].B)
 			return y
 		case spec.Kind == nn.FC && sh != nil:
@@ -464,7 +500,10 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step
 			n := xSh.Dim(0)
 			flat := xSh.Reshape(n, xSh.Len()/n)
 			states[l] = &nn.LayerState{X: xSh}
-			y := c.AllReduceSum(tensor.FCForward(flat, sh.w, nil))
+			part := tensor.FCForward(flat, sh.w, nil)
+			tr.Begin(trace.CollectiveWait)
+			y := c.AllReduceSum(part)
+			tr.Begin(trace.ComputeForward)
 			tensor.AddBias(y, net.Params[l].B)
 			return y
 		default:
@@ -476,6 +515,7 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step
 		}
 	})
 	loss, dy := tensor.SoftmaxCrossEntropy(cur, b.Labels)
+	tr.Begin(trace.ComputeBackward)
 
 	grads := make([]nn.Grads, g)
 	shardGrads := make([]weightShard, g)
@@ -489,14 +529,20 @@ func channelStep(c *Comm, net *nn.Network, shards []*weightShard, b *Batch, step
 			dxSh := tensor.ConvBackwardData(dy, sh.w, xSh.Shape(), cs)
 			dw, db := tensor.ConvBackwardWeight(dy, xSh, sh.w.Shape(), cs)
 			shardGrads[l] = weightShard{w: dw, b: db}
-			return c.AllGather(dxSh, 1)
+			tr.Begin(trace.CollectiveWait)
+			out := c.AllGather(dxSh, 1)
+			tr.Begin(trace.ComputeBackward)
+			return out
 		case spec.Kind == nn.FC && sh != nil:
 			xSh := states[l].X
 			n := xSh.Dim(0)
 			flat := xSh.Reshape(n, xSh.Len()/n)
 			dxSh, dw, db := tensor.FCBackward(dy, flat, sh.w, xSh.Shape())
 			shardGrads[l] = weightShard{w: dw, b: db}
-			return c.AllGather(dxSh, 1)
+			tr.Begin(trace.CollectiveWait)
+			out := c.AllGather(dxSh, 1)
+			tr.Begin(trace.ComputeBackward)
+			return out
 		default:
 			dx, gr := net.BackwardLayer(l, dy, states[l])
 			grads[l] = gr

@@ -1,0 +1,285 @@
+// Package metrics is the shared operational-telemetry registry: a
+// dependency-free set of counters and fixed-bucket histograms that
+// render in Prometheus text exposition format (and snapshot as plain
+// values for JSON views and tests). internal/serve keeps its request/
+// cache/shed counters and latency histogram here, and internal/trace
+// publishes per-phase duration histograms into the same registry type,
+// so one scrape endpoint can expose both the service's and the
+// runtime's telemetry without a client library dependency.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 counter (float so
+// second-valued totals fit; integral counts render without decimals).
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v (v must be >= 0).
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		newV := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, newV) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Int returns the current count truncated to int64 — for counters that
+// only ever Inc.
+func (c *Counter) Int() int64 { return int64(c.Value()) }
+
+// CounterVec is a counter family keyed by one label's values.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Counter
+}
+
+// With returns (creating on first use) the counter for label value v.
+func (c *CounterVec) With(v string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.vals == nil {
+		c.vals = map[string]*Counter{}
+	}
+	ctr := c.vals[v]
+	if ctr == nil {
+		ctr = &Counter{}
+		c.vals[v] = ctr
+	}
+	return ctr
+}
+
+// Snapshot returns the family's values keyed by label value.
+func (c *CounterVec) Snapshot() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bounds in
+// the metric's unit (seconds for durations); counts[i] is the number of
+// observations in (bounds[i-1], bounds[i]] — raw per-bucket counts, as
+// the expvar-style JSON view wants — and the Prometheus renderer
+// accumulates them into the cumulative le series the format requires.
+// The implicit final bucket is +Inf.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1: the last is the +Inf bucket
+	sum    Counter
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the raw (non-cumulative) per-bucket counts; the
+// final entry is the +Inf bucket.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// metric is one registered family.
+type metric struct {
+	name, help, typ string
+	counter         *Counter
+	vec             *CounterVec
+	hist            *Histogram
+	histVec         map[string]*Histogram // labelValue → histogram (one label)
+	histVecKeys     []string              // registration order
+}
+
+// Registry holds registered metrics and renders them. The zero value
+// is not usable; construct with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*metric{}} }
+
+func (r *Registry) register(name string, m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok {
+		return prev
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, &metric{name: name, help: help, typ: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// CounterVec registers (or returns) a one-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.register(name, &metric{name: name, help: help, typ: "counter", vec: &CounterVec{label: label}})
+	return m.vec
+}
+
+// Histogram registers (or returns) a histogram with the given upper
+// bounds (ascending, excluding +Inf).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, &metric{name: name, help: help, typ: "histogram",
+		hist: newHistogram(bounds)})
+	return m.hist
+}
+
+// HistogramVec returns (registering on first use) the histogram of one
+// label value within a one-label histogram family — e.g. the
+// per-phase duration histograms paradl_phase_duration_seconds{phase=x}.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64, labelValue string) *Histogram {
+	m := r.register(name, &metric{name: name, help: help, typ: "histogram",
+		vec: &CounterVec{label: label}, histVec: map[string]*Histogram{}})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := m.histVec[labelValue]
+	if h == nil {
+		h = newHistogram(bounds)
+		m.histVec[labelValue] = h
+		m.histVecKeys = append(m.histVecKeys, labelValue)
+	}
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// fmtFloat renders a sample value: integers without decimals, the rest
+// in shortest round-trip form — matching the text exposition format's
+// conventions.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtLe renders a histogram bucket bound for the le label.
+func fmtLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, counter
+// samples, and cumulative-le histogram series with _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.counter.Value()))
+		case m.histVec != nil:
+			r.mu.Lock()
+			keys := append([]string(nil), m.histVecKeys...)
+			hs := make([]*Histogram, len(keys))
+			for i, k := range keys {
+				hs[i] = m.histVec[k]
+			}
+			label := m.vec.label
+			r.mu.Unlock()
+			sort.Sort(&byKey{keys, hs})
+			for i, k := range keys {
+				writeHistogram(w, m.name, fmt.Sprintf("%s=%q,", label, k), hs[i])
+			}
+		case m.vec != nil:
+			snap := m.vec.Snapshot()
+			keys := make([]string, 0, len(snap))
+			for k := range snap {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.vec.label, k, fmtFloat(snap[k]))
+			}
+		case m.hist != nil:
+			writeHistogram(w, m.name, "", m.hist)
+		}
+	}
+}
+
+// byKey co-sorts label keys with their histograms.
+type byKey struct {
+	keys []string
+	hs   []*Histogram
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.hs[i], s.hs[j] = s.hs[j], s.hs[i]
+}
+
+// writeHistogram renders one histogram's cumulative le series.
+// labelPrefix is "" or `key="value",` for a one-label family member.
+func writeHistogram(w io.Writer, name, labelPrefix string, h *Histogram) {
+	counts := h.Buckets()
+	var cum int64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, fmtLe(b), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, cum)
+	if labelPrefix == "" {
+		fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(h.Sum()), name, h.Count())
+		return
+	}
+	lp := labelPrefix[:len(labelPrefix)-1] // drop the trailing comma
+	fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, lp, fmtFloat(h.Sum()), name, lp, h.Count())
+}

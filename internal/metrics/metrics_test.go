@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Int() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Int())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 2, 7, 100} {
+		h.Observe(v)
+	}
+	// (≤1]: 0.5, 1 → 2; (1,5]: 2 → 1; (5,10]: 7 → 1; +Inf: 100 → 1.
+	want := []int64{2, 1, 1, 1}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-110.5) > 1e-9 {
+		t.Errorf("sum = %v, want 110.5", h.Sum())
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	h1 := r.HistogramVec("d_seconds", "h", "phase", []float64{1}, "fw")
+	h2 := r.HistogramVec("d_seconds", "h", "phase", []float64{1}, "fw")
+	h3 := r.HistogramVec("d_seconds", "h", "phase", []float64{1}, "bw")
+	if h1 != h2 || h1 == h3 {
+		t.Fatal("HistogramVec label identity broken")
+	}
+}
+
+// TestWritePrometheus pins the text exposition format: HELP/TYPE
+// headers, label quoting, cumulative le buckets, _sum/_count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("paradl_requests_total", "Total requests.").Add(3)
+	r.CounterVec("paradl_endpoint_requests_total", "Per endpoint.", "endpoint").With("project").Add(2)
+	h := r.Histogram("paradl_latency_seconds", "Latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(1)
+	hv := r.HistogramVec("paradl_phase_seconds", "Phase time.", "phase", []float64{0.01}, "compute-forward")
+	hv.Observe(0.002)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP paradl_requests_total Total requests.",
+		"# TYPE paradl_requests_total counter",
+		"paradl_requests_total 3",
+		`paradl_endpoint_requests_total{endpoint="project"} 2`,
+		"# TYPE paradl_latency_seconds histogram",
+		`paradl_latency_seconds_bucket{le="0.001"} 1`,
+		`paradl_latency_seconds_bucket{le="0.01"} 2`, // cumulative
+		`paradl_latency_seconds_bucket{le="+Inf"} 3`,
+		"paradl_latency_seconds_sum 1.0055",
+		"paradl_latency_seconds_count 3",
+		`paradl_phase_seconds_bucket{phase="compute-forward",le="0.01"} 1`,
+		`paradl_phase_seconds_bucket{phase="compute-forward",le="+Inf"} 1`,
+		`paradl_phase_seconds_sum{phase="compute-forward"} 0.002`,
+		`paradl_phase_seconds_count{phase="compute-forward"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" — no NaNs.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "NaN") {
+			t.Errorf("NaN in exposition line %q", line)
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 || h.Buckets()[0] != 4000 {
+		t.Fatalf("count=%d buckets=%v", h.Count(), h.Buckets())
+	}
+}

@@ -1,81 +1,111 @@
 package serve
 
 import (
-	"expvar"
-	"fmt"
+	"encoding/json"
 	"io"
 	"time"
+
+	"paradl/internal/metrics"
 )
 
-// metrics holds the server's counters as unpublished expvar values —
-// each Server owns its own instances (expvar.Publish is global and
-// would collide across servers in tests), and /metrics renders their
-// canonical expvar JSON.
-type metrics struct {
-	requests     *expvar.Map // per-endpoint request counts
-	hits         *expvar.Int // cache hits
-	misses       *expvar.Int // cache misses (includes coalesced joiners)
-	coalesced    *expvar.Int // requests that joined an in-flight compute
-	computations *expvar.Int // response computations actually performed
-	projections  *expvar.Int // individual core.Project evaluations
-	errors       *expvar.Int // requests answered with an error status
-	shed         *expvar.Int // requests shed by admission (503 + Retry-After)
-	latency      *expvar.Map // request latency histogram
+// serverMetrics holds the server's counters in a metrics.Registry —
+// each Server owns its own registry (a process-global one would
+// collide across servers in tests), which gives two views of the same
+// counters: the stable expvar-style JSON document on /metrics, and
+// Prometheus text exposition on /metrics/prom. The registry is shared:
+// trace recorders can publish per-phase histograms into it (see
+// trace.Recorder.PublishMetrics) and they ride the same scrape.
+type serverMetrics struct {
+	reg          *metrics.Registry
+	requests     *metrics.CounterVec // per-endpoint request counts
+	hits         *metrics.Counter    // cache hits
+	misses       *metrics.Counter    // cache misses (includes coalesced joiners)
+	coalesced    *metrics.Counter    // requests that joined an in-flight compute
+	computations *metrics.Counter    // response computations actually performed
+	projections  *metrics.Counter    // individual core.Project evaluations
+	errors       *metrics.Counter    // requests answered with an error status
+	shed         *metrics.Counter    // requests shed by admission (503 + Retry-After)
+	latency      *metrics.Histogram  // request latency histogram
 }
 
-// latencyBuckets are the histogram upper bounds; the key order is the
-// bucket order (expvar.Map renders keys sorted, so keys are chosen to
-// sort by bound).
+// latencyBuckets are the histogram upper bounds (seconds) paired with
+// the JSON view's bucket keys — keys are chosen to sort by bound, which
+// keeps the rendered document's bucket order stable. The final +Inf
+// bucket renders as le_inf.
 var latencyBuckets = []struct {
-	le  time.Duration
+	le  float64
 	key string
 }{
-	{100 * time.Microsecond, "le_0000100us"},
-	{500 * time.Microsecond, "le_0000500us"},
-	{time.Millisecond, "le_0001000us"},
-	{5 * time.Millisecond, "le_0005000us"},
-	{25 * time.Millisecond, "le_0025000us"},
-	{100 * time.Millisecond, "le_0100000us"},
-	{time.Second, "le_1000000us"},
-	{1<<63 - 1, "le_inf"},
+	{100e-6, "le_0000100us"},
+	{500e-6, "le_0000500us"},
+	{1e-3, "le_0001000us"},
+	{5e-3, "le_0005000us"},
+	{25e-3, "le_0025000us"},
+	{100e-3, "le_0100000us"},
+	{1, "le_1000000us"},
 }
 
-func newMetrics() *metrics {
-	m := &metrics{
-		requests:     new(expvar.Map).Init(),
-		hits:         new(expvar.Int),
-		misses:       new(expvar.Int),
-		coalesced:    new(expvar.Int),
-		computations: new(expvar.Int),
-		projections:  new(expvar.Int),
-		errors:       new(expvar.Int),
-		shed:         new(expvar.Int),
-		latency:      new(expvar.Map).Init(),
+func newMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	bounds := make([]float64, len(latencyBuckets))
+	for i, b := range latencyBuckets {
+		bounds[i] = b.le
 	}
-	for _, b := range latencyBuckets {
-		m.latency.Add(b.key, 0) // pre-create so the histogram shape is stable
+	return &serverMetrics{
+		reg:          reg,
+		requests:     reg.CounterVec("paradl_serve_requests_total", "Planning requests by endpoint.", "endpoint"),
+		hits:         reg.Counter("paradl_serve_cache_hits_total", "Responses served from the projection cache."),
+		misses:       reg.Counter("paradl_serve_cache_misses_total", "Requests that missed the projection cache."),
+		coalesced:    reg.Counter("paradl_serve_singleflight_coalesced_total", "Requests that joined an in-flight computation."),
+		computations: reg.Counter("paradl_serve_computations_total", "Response computations actually performed."),
+		projections:  reg.Counter("paradl_serve_projections_total", "Individual core.Project evaluations."),
+		errors:       reg.Counter("paradl_serve_errors_total", "Requests answered with an error status."),
+		shed:         reg.Counter("paradl_serve_shed_total", "Requests shed by admission control."),
+		latency:      reg.Histogram("paradl_serve_request_duration_seconds", "Request latency.", bounds),
 	}
-	return m
 }
 
 // observe records one request latency in the histogram.
-func (m *metrics) observe(d time.Duration) {
-	for _, b := range latencyBuckets {
-		if d <= b.le {
-			m.latency.Add(b.key, 1)
-			return
-		}
-	}
+func (m *serverMetrics) observe(d time.Duration) {
+	m.latency.Observe(d.Seconds())
 }
 
-// writeJSON renders the full metrics document; every value is an
-// expvar, so each String() is already valid JSON.
-func (m *metrics) writeJSON(w io.Writer) {
-	fmt.Fprintf(w,
-		`{"requests":%s,"cache_hits":%s,"cache_misses":%s,"singleflight_coalesced":%s,"computations":%s,"projections":%s,"errors":%s,"shed":%s,"latency":%s}`,
-		m.requests.String(), m.hits.String(), m.misses.String(), m.coalesced.String(),
-		m.computations.String(), m.projections.String(), m.errors.String(), m.shed.String(), m.latency.String())
-	io.WriteString(w, "\n")
+// writeJSON renders the full metrics document. The key set and bucket
+// keys are a stable contract (the CI e2e step jq-gates on them), so the
+// document is built field-by-field rather than from the registry.
+func (m *serverMetrics) writeJSON(w io.Writer) {
+	req := map[string]int64{}
+	for k, v := range m.requests.Snapshot() {
+		req[k] = int64(v)
+	}
+	lat := map[string]int64{}
+	counts := m.latency.Buckets()
+	for i, b := range latencyBuckets {
+		lat[b.key] = counts[i]
+	}
+	lat["le_inf"] = counts[len(counts)-1]
+	doc := struct {
+		Requests     map[string]int64 `json:"requests"`
+		CacheHits    int64            `json:"cache_hits"`
+		CacheMisses  int64            `json:"cache_misses"`
+		Coalesced    int64            `json:"singleflight_coalesced"`
+		Computations int64            `json:"computations"`
+		Projections  int64            `json:"projections"`
+		Errors       int64            `json:"errors"`
+		Shed         int64            `json:"shed"`
+		Latency      map[string]int64 `json:"latency"`
+	}{
+		Requests:     req,
+		CacheHits:    m.hits.Int(),
+		CacheMisses:  m.misses.Int(),
+		Coalesced:    m.coalesced.Int(),
+		Computations: m.computations.Int(),
+		Projections:  m.projections.Int(),
+		Errors:       m.errors.Int(),
+		Shed:         m.shed.Int(),
+		Latency:      lat,
+	}
+	json.NewEncoder(w).Encode(doc)
 }
 
 // Stats is a point-in-time snapshot of the server's counters, for
@@ -91,19 +121,17 @@ type Stats struct {
 	Shed         int64
 }
 
-func (m *metrics) stats() Stats {
+func (m *serverMetrics) stats() Stats {
 	s := Stats{Requests: map[string]int64{}}
-	m.requests.Do(func(kv expvar.KeyValue) {
-		if v, ok := kv.Value.(*expvar.Int); ok {
-			s.Requests[kv.Key] = v.Value()
-		}
-	})
-	s.CacheHits = m.hits.Value()
-	s.CacheMisses = m.misses.Value()
-	s.Coalesced = m.coalesced.Value()
-	s.Computations = m.computations.Value()
-	s.Projections = m.projections.Value()
-	s.Errors = m.errors.Value()
-	s.Shed = m.shed.Value()
+	for k, v := range m.requests.Snapshot() {
+		s.Requests[k] = int64(v)
+	}
+	s.CacheHits = m.hits.Int()
+	s.CacheMisses = m.misses.Int()
+	s.Coalesced = m.coalesced.Int()
+	s.Computations = m.computations.Int()
+	s.Projections = m.projections.Int()
+	s.Errors = m.errors.Int()
+	s.Shed = m.shed.Int()
 	return s
 }

@@ -34,6 +34,7 @@ import (
 	"paradl/internal/cluster"
 	"paradl/internal/core"
 	"paradl/internal/dist"
+	"paradl/internal/metrics"
 	"paradl/internal/model"
 	"paradl/internal/profile"
 )
@@ -49,7 +50,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *lruCache
 	group flightGroup
-	met   *metrics
+	met   *serverMetrics
 	adm   *admission
 	start time.Time
 }
@@ -99,8 +100,17 @@ func New(opts ...Option) *Server {
 		w.Header().Set("Content-Type", "application/json")
 		s.met.writeJSON(w)
 	})
+	s.mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.reg.WritePrometheus(w)
+	})
 	return s
 }
+
+// Metrics exposes the server's metrics registry so other subsystems
+// (e.g. a trace recorder via Recorder.PublishMetrics) can publish into
+// the same /metrics/prom scrape.
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
 
 // BeginDrain flips the server to not-ready and sheds all new planning
 // work: readiness probes fail (so load balancers stop routing here)
@@ -173,7 +183,7 @@ func (s *Server) CacheLen() int { return s.cache.len() }
 func (s *Server) endpoint(name string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.met.requests.Add(name, 1)
+		s.met.requests.With(name).Inc()
 		defer func() { s.met.observe(time.Since(start)) }()
 
 		if r.Method != http.MethodPost {
@@ -270,14 +280,14 @@ func (s *Server) compute(endpoint string, req Request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.met.projections.Add(int64(len(advs)))
+		s.met.projections.Add(float64(len(advs)))
 		return json.Marshal(advs)
 	case "sweep":
 		resp, n, err := sweepGrid(req)
 		if err != nil {
 			return nil, err
 		}
-		s.met.projections.Add(int64(n))
+		s.met.projections.Add(float64(n))
 		return json.Marshal(resp)
 	}
 	return nil, fmt.Errorf("serve: unknown endpoint %q", endpoint)

@@ -60,6 +60,27 @@ func TestHealthzAndMetrics(t *testing.T) {
 			t.Fatalf("metrics missing %q: %v", k, doc)
 		}
 	}
+	resp3, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prom content type %q", ct)
+	}
+	prom, err := io.ReadAll(resp3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE paradl_serve_requests_total counter",
+		"# TYPE paradl_serve_request_duration_seconds histogram",
+		"paradl_serve_request_duration_seconds_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
 }
 
 // The /project response must be bit-identical to the in-process

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file renders a recorder in Chrome trace_event JSON — the format
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly. Each
+// track (PE or aux) is one thread row of process "paradl"; sync spans
+// are complete ("X") events, and the in-flight windows of nonblocking
+// collectives are async "b"/"e" pairs, so overlap is visible as spans
+// floating above the compute that hid them. The document is the object
+// form ({"traceEvents": [...]}) with a "paradl" extension key carrying
+// the aggregated Summary — Perfetto ignores unknown keys, and the CI
+// smoke reads the summary with jq from the same file it validates.
+
+// chromeEvent is one trace_event entry (the subset we emit).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the exported document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Paradl          Summary       `json:"paradl"`
+}
+
+const chromePid = 1
+
+// WriteChrome writes the recorder's events as Chrome trace_event JSON.
+// Call only after the writing goroutines have quiesced.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	labels, tids := r.trackLabels()
+	events := r.Events()
+	doc := chromeDoc{DisplayTimeUnit: "ms", Paradl: r.Summarize()}
+
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "paradl"},
+	})
+	// Stable metadata order: PE tracks by rank, then aux by tid.
+	type tl struct {
+		id    int32
+		tid   int
+		label string
+	}
+	var tracks []tl
+	for id, tid := range tids {
+		tracks = append(tracks, tl{id, tid, labels[id]})
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].tid < tracks[j].tid })
+	for _, t := range tracks {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: t.tid,
+			Args: map[string]any{"name": t.label},
+		})
+	}
+
+	asyncID := 0
+	for _, e := range events {
+		tid := tids[e.Track]
+		ts := float64(e.Start) / 1e3
+		dur := float64(e.Dur) / 1e3
+		if e.Async {
+			// One async span per in-flight collective: a "b"/"e" pair
+			// scoped by (cat, id) floats above the thread's sync spans.
+			asyncID++
+			doc.TraceEvents = append(doc.TraceEvents,
+				chromeEvent{Name: "collective-inflight", Ph: "b", Cat: "async", Pid: chromePid, Tid: tid,
+					Ts: ts, ID: asyncID, Args: map[string]any{"iter": e.Iter}},
+				chromeEvent{Name: "collective-inflight", Ph: "e", Cat: "async", Pid: chromePid, Tid: tid,
+					Ts: ts + dur, ID: asyncID},
+			)
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: e.Phase.String(), Ph: "X", Cat: "phase", Pid: chromePid, Tid: tid,
+			Ts: ts, Dur: dur, Args: map[string]any{"iter": e.Iter},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"time"
+
+	"paradl/internal/metrics"
+)
+
+// PhaseDurationBuckets are the upper bounds (seconds) of the per-phase
+// duration histograms: toy-scale spans run from microseconds to tens of
+// milliseconds, recovery legs to seconds.
+var PhaseDurationBuckets = []float64{
+	10e-6, 100e-6, 1e-3, 10e-3, 100e-3, 1, 10,
+}
+
+// PublishMetrics folds the recorder's events into reg as operational
+// telemetry: one per-phase duration histogram family
+// (paradl_phase_duration_seconds{phase=...}) covering sync spans of PE
+// tracks, a separate family for aux tracks
+// (paradl_aux_duration_seconds), the async in-flight windows as
+// paradl_collective_inflight_seconds, and the recovery events of the
+// supervisor as paradl_recoveries_total. Call after the run quiesces;
+// calling for successive runs accumulates into the same registry, which
+// is what a scrape endpoint wants.
+func (r *Recorder) PublishMetrics(reg *metrics.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	inflight := reg.Histogram("paradl_collective_inflight_seconds",
+		"In-flight windows of nonblocking collectives (overlap-hidden communication).",
+		PhaseDurationBuckets)
+	recoveries := reg.Counter("paradl_recoveries_total",
+		"Elastic recovery interventions observed on the supervisor track.")
+	for _, e := range r.Events() {
+		sec := time.Duration(e.Dur).Seconds()
+		switch {
+		case e.Async:
+			inflight.Observe(sec)
+		case e.Track < 0:
+			reg.HistogramVec("paradl_aux_duration_seconds",
+				"Span durations on auxiliary tracks (checkpoint writer, supervisor).",
+				"phase", PhaseDurationBuckets, e.Phase.String()).Observe(sec)
+			if e.Phase == Recovery {
+				recoveries.Inc()
+			}
+		default:
+			reg.HistogramVec("paradl_phase_duration_seconds",
+				"Per-PE span durations by phase.",
+				"phase", PhaseDurationBuckets, e.Phase.String()).Observe(sec)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+// Summary aggregates a recorder's events into the per-phase time table
+// the measured-vs-projected join consumes. Sync spans tile each
+// track's timeline, so their per-track sums approximate that track's
+// wall clock — Coverage reports how tightly (the CI smoke gates it at
+// ≥ 0.95). Async in-flight windows overlap the sync spans and are
+// reported separately as overlap-hidden communication.
+type Summary struct {
+	// PEs is the number of world-rank tracks that recorded events.
+	PEs int `json:"pes"`
+	// Iters is the number of distinct non-negative iteration labels.
+	Iters int `json:"iters"`
+	// Events counts recorded events (sync + async), Dropped the events
+	// lost to ring wraps.
+	Events  int `json:"events"`
+	Dropped int `json:"dropped"`
+	// WallNS is the observed wall clock: max span end minus min span
+	// start over the sync events of the PE tracks.
+	WallNS int64 `json:"wall_ns"`
+	// PhaseNS sums sync span durations per phase across PE tracks.
+	// The aux tracks (checkpoint writer, supervisor) are excluded:
+	// they overlap the PE timeline by design.
+	PhaseNS map[string]int64 `json:"phase_ns"`
+	// AuxNS sums aux-track sync spans per phase (writer disk time,
+	// supervisor recovery time).
+	AuxNS map[string]int64 `json:"aux_ns,omitempty"`
+	// AsyncNS sums the async in-flight windows of nonblocking
+	// collectives — the communication the overlap machinery hid
+	// behind backward compute.
+	AsyncNS int64 `json:"async_ns"`
+	// Coverage is min over PE tracks of sum(sync durations) / (last
+	// end − first start): 1.0 means the spans tile the track exactly.
+	Coverage float64 `json:"coverage"`
+}
+
+// BusyNS sums every phase's sync time across PEs.
+func (s Summary) BusyNS() int64 {
+	var n int64
+	for _, v := range s.PhaseNS {
+		n += v
+	}
+	return n
+}
+
+// ComputeNS is the compute share (forward + backward/update).
+func (s Summary) ComputeNS() int64 {
+	return s.PhaseNS[ComputeForward.String()] + s.PhaseNS[ComputeBackward.String()]
+}
+
+// CommNS is the exposed (non-hidden) communication share: collective
+// launch+wait, halo, pipeline transfer, and BN sync.
+func (s Summary) CommNS() int64 {
+	return s.PhaseNS[CollectiveLaunch.String()] + s.PhaseNS[CollectiveWait.String()] +
+		s.PhaseNS[Halo.String()] + s.PhaseNS[PipelineTransfer.String()] +
+		s.PhaseNS[BNSync.String()]
+}
+
+// Summarize aggregates the recorder's events. Call only after the
+// writing goroutines have quiesced (the run returned, the writer
+// drained).
+func (r *Recorder) Summarize() Summary {
+	s := Summary{PhaseNS: map[string]int64{}, Coverage: 1}
+	if r == nil {
+		return s
+	}
+	type extent struct {
+		busy     int64
+		lo, hi   int64
+		nonEmpty bool
+	}
+	perTrack := map[int32]*extent{}
+	iters := map[int32]bool{}
+	for _, e := range r.Events() {
+		s.Events++
+		if e.Async {
+			s.AsyncNS += e.Dur
+			continue
+		}
+		if e.Track < 0 {
+			if s.AuxNS == nil {
+				s.AuxNS = map[string]int64{}
+			}
+			s.AuxNS[e.Phase.String()] += e.Dur
+			continue
+		}
+		s.PhaseNS[e.Phase.String()] += e.Dur
+		if e.Iter >= 0 {
+			iters[e.Iter] = true
+		}
+		x := perTrack[e.Track]
+		if x == nil {
+			x = &extent{lo: e.Start, hi: e.Start + e.Dur, nonEmpty: true}
+			perTrack[e.Track] = x
+		}
+		x.busy += e.Dur
+		if e.Start < x.lo {
+			x.lo = e.Start
+		}
+		if end := e.Start + e.Dur; end > x.hi {
+			x.hi = end
+		}
+	}
+	s.PEs = len(perTrack)
+	s.Iters = len(iters)
+	s.Dropped = r.Dropped()
+	var lo, hi int64
+	first := true
+	for _, x := range perTrack {
+		if first {
+			lo, hi, first = x.lo, x.hi, false
+		} else {
+			if x.lo < lo {
+				lo = x.lo
+			}
+			if x.hi > hi {
+				hi = x.hi
+			}
+		}
+		if span := x.hi - x.lo; span > 0 {
+			if c := float64(x.busy) / float64(span); c < s.Coverage {
+				s.Coverage = c
+			}
+		}
+	}
+	if !first {
+		s.WallNS = hi - lo
+	}
+	return s
+}

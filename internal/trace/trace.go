@@ -1,0 +1,368 @@
+// Package trace is the phase-attributed event recorder of the runtime:
+// every PE of a dist run (plus auxiliary actors — the async checkpoint
+// writer, the elastic supervisor) records which phase of the closed
+// vocabulary it is in at every moment, so a run's wall clock decomposes
+// into the same terms the analytic oracle projects (compute, gradient
+// exchange, halo, pipeline transfer, …) instead of one opaque total.
+//
+// The design constraints come from the measurement use case:
+//
+//   - Disabled tracing must be free. Every engine call site holds a
+//     *PE tracer that is nil when no recorder is configured, and every
+//     method no-ops on the nil receiver — zero allocations and a few
+//     nanoseconds per call, pinned by AllocsPerRun and an A/B bench.
+//   - Enabled tracing must not perturb what it measures. Each PE
+//     writes only its own preallocated ring buffer (single-writer, so
+//     no locks or atomics on the hot path) and records a span as one
+//     in-place struct store plus a monotonic clock read.
+//   - Spans must TILE the timeline. Begin(ph) closes the open span and
+//     opens the next, so a PE's spans are contiguous from its first
+//     Begin to End — which is what lets the harness gate "per-phase
+//     durations sum to the measured wall clock" instead of trusting
+//     the instrumentation blindly.
+//
+// Ring buffers are drained only after the writers have joined (Run
+// returns, the writer Drains, the supervisor leg ends), so the reader
+// side needs no synchronization either; registering a tracer takes a
+// lock, but that happens once per run leg, off the hot path.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Phase is one entry of the closed phase vocabulary. The vocabulary is
+// deliberately small and runtime-oriented: each phase is a thing a PE
+// goroutine can be observed doing, and the summary joins them against
+// the oracle's analytic terms (compute ↔ FW/BW/WU, the collective and
+// transfer phases ↔ GE/FBComm/Halo/PipeP2P).
+type Phase uint8
+
+const (
+	// ComputeForward is forward-pass arithmetic (kernels, loss).
+	ComputeForward Phase = iota
+	// ComputeBackward is backward-pass arithmetic plus the optimizer
+	// step (the oracle's BW+WU terms).
+	ComputeBackward
+	// CollectiveLaunch is the synchronous cost of launching a
+	// nonblocking collective: packing the bucket and starting the
+	// worker. Async in-flight windows are recorded as Async events
+	// with this phase.
+	CollectiveLaunch
+	// CollectiveWait is time blocked in a collective: a blocking
+	// allreduce/allgather/reduce-scatter, or waiting an async handle.
+	CollectiveWait
+	// Halo is the spatial strategy's neighbour halo exchange and
+	// scatter (§3.2).
+	Halo
+	// PipelineTransfer is stage-to-stage activation/gradient traffic
+	// (§3.3).
+	PipelineTransfer
+	// BNSync is synchronized batch normalization's statistic
+	// allreduces (§4.5.2).
+	BNSync
+	// CheckpointPut is checkpoint work: the canonical state gather,
+	// the sink handoff, the checkpoint barrier, and the async writer's
+	// disk write on its own track.
+	CheckpointPut
+	// Idle is idle or straggle time: injected stalls, schedule gaps,
+	// and per-iteration bookkeeping outside any other phase.
+	Idle
+	// Recovery is elastic-supervisor work after a failure: detection,
+	// restore-point re-establishment, and re-planning.
+	Recovery
+
+	// NumPhases bounds the vocabulary; it is NOT itself a phase.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"compute-forward",
+	"compute-backward",
+	"collective-launch",
+	"collective-wait",
+	"halo",
+	"pipeline-transfer",
+	"bn-sync",
+	"checkpoint-put",
+	"idle",
+	"recovery",
+}
+
+// String returns the canonical phase name used in exports, summaries,
+// and metric labels.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Phases returns the closed vocabulary in declaration order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Event is one closed span on a track's timeline. Sync events tile the
+// track (Begin closes the previous span); Async events are the
+// in-flight windows of nonblocking collectives and overlap the sync
+// spans recorded while the collective was airborne — they are the
+// "overlap-hidden communication" the summary reports separately.
+type Event struct {
+	Track int32 // track id (world rank for PEs; negative-free aux ids after)
+	Iter  int32 // global iteration the span belongs to (-1 outside any)
+	Phase Phase
+	Async bool  // an in-flight nonblocking collective window
+	Start int64 // ns since the recorder epoch
+	Dur   int64 // ns
+}
+
+// DefaultRingEvents is the per-track ring capacity: 64 Ki events
+// (~2 MiB per track) holds hundreds of toy iterations; overflow wraps,
+// overwriting the oldest events and counting them as dropped.
+const DefaultRingEvents = 1 << 16
+
+// Recorder collects per-track events. One Recorder observes one
+// logical run (possibly spanning several elastic legs); world rank r of
+// every leg writes the same track, ordered by the supervisor's joins.
+type Recorder struct {
+	epoch time.Time
+	cap   int
+
+	mu     sync.Mutex
+	pes    []*PE    // indexed by world rank
+	aux    []*PE    // named auxiliary tracks (ckpt writer, supervisor)
+	auxIDs []string // aux[i]'s name; exported as the track label
+}
+
+// NewRecorder returns a recorder with the default per-track ring
+// capacity; its epoch (the zero of every timestamp) is now.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultRingEvents) }
+
+// NewRecorderCap returns a recorder whose per-track rings hold up to
+// capEvents events each (minimum 16).
+func NewRecorderCap(capEvents int) *Recorder {
+	if capEvents < 16 {
+		capEvents = 16
+	}
+	return &Recorder{epoch: time.Now(), cap: capEvents}
+}
+
+// PE returns the tracer of one world rank, creating its ring on first
+// use. Nil-safe: a nil recorder returns a nil tracer, whose methods all
+// no-op — the disabled fast path. Registration locks; recording does
+// not.
+func (r *Recorder) PE(rank int) *PE {
+	if r == nil || rank < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.pes) <= rank {
+		r.pes = append(r.pes, nil)
+	}
+	if r.pes[rank] == nil {
+		r.pes[rank] = newPE(r, int32(rank))
+	}
+	return r.pes[rank]
+}
+
+// Track returns a named auxiliary track (e.g. "ckpt-writer",
+// "supervisor"), creating it on first use. Nil-safe like PE.
+func (r *Recorder) Track(name string) *PE {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, n := range r.auxIDs {
+		if n == name {
+			return r.aux[i]
+		}
+	}
+	// Aux tracks get negative ids so they can never collide with a
+	// world rank in Event.Track.
+	t := newPE(r, int32(-len(r.aux)-1))
+	r.aux = append(r.aux, t)
+	r.auxIDs = append(r.auxIDs, name)
+	return t
+}
+
+// PE is one track's single-writer tracer. Only the owning goroutine
+// may call its recording methods; the ring is read (Events, Summarize,
+// WriteChrome) only after that goroutine has quiesced — which the run
+// structure guarantees: engines join before Run returns, the writer
+// track quiesces at Drain/Close, the supervisor track is the reading
+// goroutine itself.
+//
+// All methods are nil-safe: a nil *PE is the disabled tracer, and
+// every call on it returns immediately without allocating.
+type PE struct {
+	rec  *Recorder
+	id   int32
+	ring []Event
+	n    int // total events ever written; ring index is n % len(ring)
+
+	iter     int32
+	cur      Phase
+	open     bool
+	curStart int64
+	curIter  int32 // iteration the open span belongs to (stamped at open)
+}
+
+func newPE(r *Recorder, id int32) *PE {
+	return &PE{rec: r, id: id, ring: make([]Event, 0, r.cap), iter: -1}
+}
+
+// now is nanoseconds since the recorder epoch (monotonic).
+func (t *PE) now() int64 { return int64(time.Since(t.rec.epoch)) }
+
+// put appends one event to the ring, overwriting the oldest on wrap.
+func (t *PE) put(e Event) {
+	if t.n < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.n%len(t.ring)] = e
+	}
+	t.n++
+}
+
+// Iter sets the global iteration subsequent spans are labelled with.
+func (t *PE) Iter(iter int) {
+	if t == nil {
+		return
+	}
+	t.iter = int32(iter)
+}
+
+// Begin switches the track to phase ph: it closes the open span (if
+// any) and opens a new one, so spans tile the timeline. It returns the
+// previous phase, letting nested call sites (the gradient exchanger, a
+// collective inside a forward walk) restore their caller's phase with
+// a second Begin. Begin with the already-open phase is a no-op, so
+// nesting never fragments a span into zero-length pieces.
+func (t *PE) Begin(ph Phase) Phase {
+	if t == nil {
+		return ComputeForward
+	}
+	if t.open && t.cur == ph {
+		return ph
+	}
+	now := t.now()
+	prev := t.cur
+	if t.open {
+		t.put(Event{Track: t.id, Iter: t.curIter, Phase: t.cur, Start: t.curStart, Dur: now - t.curStart})
+	} else {
+		prev = ph
+	}
+	t.cur, t.curStart, t.open, t.curIter = ph, now, true, t.iter
+	return prev
+}
+
+// End closes the open span without opening another — the end of a
+// run's loop, or of one supervisor intervention.
+func (t *PE) End() {
+	if t == nil || !t.open {
+		return
+	}
+	now := t.now()
+	t.put(Event{Track: t.id, Iter: t.curIter, Phase: t.cur, Start: t.curStart, Dur: now - t.curStart})
+	t.open = false
+}
+
+// Flight stamps the launch of a nonblocking collective and returns its
+// token (the launch time); Land records the in-flight window. A nil
+// tracer returns a token Land will ignore.
+func (t *PE) Flight() int64 {
+	if t == nil {
+		return -1
+	}
+	return t.now()
+}
+
+// Land records the async in-flight span of a collective launched at
+// token tok — launch to completion-observed — as an Async event. These
+// windows overlap the sync spans recorded meanwhile (that is the
+// point: they are the communication the overlap machinery hid behind
+// compute) and are excluded from the tiling/coverage accounting.
+func (t *PE) Land(tok int64) {
+	if t == nil || tok < 0 {
+		return
+	}
+	t.put(Event{Track: t.id, Iter: t.iter, Phase: CollectiveLaunch, Async: true, Start: tok, Dur: t.now() - tok})
+}
+
+// Events returns every recorded event, PE tracks first (by rank), then
+// auxiliary tracks in creation order; within a track, in write order
+// (oldest surviving first after a wrap). Call only after the writing
+// goroutines have quiesced.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	tracks := make([]*PE, 0, len(r.pes)+len(r.aux))
+	tracks = append(tracks, r.pes...)
+	tracks = append(tracks, r.aux...)
+	r.mu.Unlock()
+	var out []Event
+	for _, t := range tracks {
+		if t == nil {
+			continue
+		}
+		if t.n <= len(t.ring) {
+			out = append(out, t.ring...)
+			continue
+		}
+		at := t.n % len(t.ring)
+		out = append(out, t.ring[at:]...)
+		out = append(out, t.ring[:at]...)
+	}
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraps
+// across all tracks.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := 0
+	for _, set := range [][]*PE{r.pes, r.aux} {
+		for _, t := range set {
+			if t != nil && t.n > len(t.ring) {
+				d += t.n - len(t.ring)
+			}
+		}
+	}
+	return d
+}
+
+// trackLabels returns a display label and export thread id per track
+// id: "PE <rank>" at tid == rank for world ranks, the registered name
+// for aux tracks at tids after the widest rank.
+func (r *Recorder) trackLabels() (labels map[int32]string, tids map[int32]int) {
+	labels, tids = map[int32]string{}, map[int32]int{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for rank, t := range r.pes {
+		if t != nil {
+			labels[int32(rank)] = fmt.Sprintf("PE %d", rank)
+			tids[int32(rank)] = rank
+		}
+	}
+	for i, name := range r.auxIDs {
+		id := int32(-i - 1)
+		labels[id] = name
+		tids[id] = len(r.pes) + i
+	}
+	return labels, tids
+}

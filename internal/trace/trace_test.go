@@ -1,0 +1,452 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPhaseVocabulary pins the closed vocabulary: names, count, and
+// String round-trip. The export format, the summary keys, and the
+// metric labels all use these strings, so a change here is a schema
+// change.
+func TestPhaseVocabulary(t *testing.T) {
+	want := []string{
+		"compute-forward", "compute-backward", "collective-launch",
+		"collective-wait", "halo", "pipeline-transfer", "bn-sync",
+		"checkpoint-put", "idle", "recovery",
+	}
+	ps := Phases()
+	if len(ps) != len(want) || int(NumPhases) != len(want) {
+		t.Fatalf("vocabulary size = %d, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+	if s := Phase(200).String(); s != "phase(200)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+// TestBeginEndTiling checks that Begin/End produce contiguous spans:
+// each span starts where the previous ended, phases and iteration
+// labels are attributed correctly, and Begin with the open phase is a
+// no-op rather than a fragment.
+func TestBeginEndTiling(t *testing.T) {
+	r := NewRecorder()
+	pe := r.PE(0)
+	pe.Iter(0)
+	pe.Begin(ComputeForward)
+	pe.Begin(ComputeForward) // same phase: must not close the span
+	pe.Begin(CollectiveWait)
+	pe.Iter(1)
+	pe.Begin(ComputeBackward)
+	pe.End()
+	pe.End() // double End: no-op
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(evs), evs)
+	}
+	wantPhases := []Phase{ComputeForward, CollectiveWait, ComputeBackward}
+	wantIters := []int32{0, 0, 1}
+	for i, e := range evs {
+		if e.Phase != wantPhases[i] {
+			t.Errorf("event %d phase = %v, want %v", i, e.Phase, wantPhases[i])
+		}
+		if e.Iter != wantIters[i] {
+			t.Errorf("event %d iter = %d, want %d", i, e.Iter, wantIters[i])
+		}
+		if e.Dur < 0 {
+			t.Errorf("event %d negative duration %d", i, e.Dur)
+		}
+		if i > 0 && e.Start != evs[i-1].Start+evs[i-1].Dur {
+			t.Errorf("event %d start %d does not abut previous end %d",
+				i, e.Start, evs[i-1].Start+evs[i-1].Dur)
+		}
+	}
+}
+
+// TestBeginReturnsPrev checks the nesting contract: Begin returns the
+// phase that was open so a nested site can restore it.
+func TestBeginReturnsPrev(t *testing.T) {
+	r := NewRecorder()
+	pe := r.PE(0)
+	if got := pe.Begin(ComputeBackward); got != ComputeBackward {
+		t.Errorf("first Begin returned %v, want the new phase back", got)
+	}
+	if got := pe.Begin(CollectiveWait); got != ComputeBackward {
+		t.Errorf("nested Begin returned %v, want compute-backward", got)
+	}
+	pe.Begin(ComputeBackward) // restore
+	pe.End()
+	evs := r.Events()
+	if len(evs) != 3 || evs[2].Phase != ComputeBackward {
+		t.Fatalf("restore did not reopen compute-backward: %+v", evs)
+	}
+}
+
+// TestRingWrap checks overflow behaviour: oldest events are dropped,
+// Dropped counts them, and Events returns the survivors in order.
+func TestRingWrap(t *testing.T) {
+	r := NewRecorderCap(16)
+	pe := r.PE(0)
+	const total = 40
+	for i := 0; i < total; i++ {
+		pe.Iter(i)
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward) // closes forward span → 1 event per pair
+	}
+	pe.End()
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("got %d events, want ring capacity 16", len(evs))
+	}
+	if got, want := r.Dropped(), total*2-16; got != want {
+		t.Errorf("Dropped = %d, want %d", got, want)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events out of order after wrap at %d", i)
+		}
+	}
+}
+
+// TestFlightLand checks async window recording and that async events
+// do not disturb the open sync span.
+func TestFlightLand(t *testing.T) {
+	r := NewRecorder()
+	pe := r.PE(0)
+	pe.Iter(3)
+	pe.Begin(ComputeBackward)
+	tok := pe.Flight()
+	time.Sleep(time.Millisecond)
+	pe.Land(tok)
+	pe.End()
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want async + sync: %+v", len(evs), evs)
+	}
+	var async, syncE *Event
+	for i := range evs {
+		if evs[i].Async {
+			async = &evs[i]
+		} else {
+			syncE = &evs[i]
+		}
+	}
+	if async == nil || syncE == nil {
+		t.Fatalf("missing async or sync event: %+v", evs)
+	}
+	if async.Phase != CollectiveLaunch || async.Dur < int64(time.Millisecond) {
+		t.Errorf("async window wrong: %+v", *async)
+	}
+	if syncE.Phase != ComputeBackward || syncE.Start+syncE.Dur < async.Start+async.Dur {
+		t.Errorf("sync span should cover the async window: sync=%+v async=%+v", *syncE, *async)
+	}
+	pe.Land(-1) // nil-tracer token: must be ignored
+	if n := len(r.Events()); n != 2 {
+		t.Errorf("Land(-1) recorded an event: %d", n)
+	}
+}
+
+// TestNilRecorder checks the whole disabled surface: nil recorder, nil
+// tracer, every method a no-op.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	pe := r.PE(0)
+	if pe != nil {
+		t.Fatal("nil recorder returned non-nil tracer")
+	}
+	tr := r.Track("aux")
+	if tr != nil {
+		t.Fatal("nil recorder returned non-nil aux track")
+	}
+	pe.Iter(1)
+	pe.Begin(ComputeForward)
+	pe.End()
+	pe.Land(pe.Flight())
+	if evs := r.Events(); evs != nil {
+		t.Errorf("nil recorder has events: %+v", evs)
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Errorf("nil recorder dropped = %d", d)
+	}
+	s := r.Summarize()
+	if s.Events != 0 || s.Coverage != 1 {
+		t.Errorf("nil summary = %+v", s)
+	}
+}
+
+// TestSummarize builds a two-PE + aux recorder and checks the
+// aggregation: phase sums, iteration count, async separation, aux
+// separation, and coverage ≈ 1 for tiled tracks.
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			pe := r.PE(rank)
+			for it := 0; it < 3; it++ {
+				pe.Iter(it)
+				pe.Begin(ComputeForward)
+				time.Sleep(200 * time.Microsecond)
+				pe.Begin(ComputeBackward)
+				tok := pe.Flight()
+				time.Sleep(200 * time.Microsecond)
+				pe.Begin(CollectiveWait)
+				pe.Land(tok)
+				time.Sleep(50 * time.Microsecond)
+			}
+			pe.End()
+		}(rank)
+	}
+	wg.Wait()
+	aux := r.Track("ckpt-writer")
+	aux.Begin(CheckpointPut)
+	time.Sleep(100 * time.Microsecond)
+	aux.End()
+
+	s := r.Summarize()
+	if s.PEs != 2 {
+		t.Errorf("PEs = %d, want 2", s.PEs)
+	}
+	if s.Iters != 3 {
+		t.Errorf("Iters = %d, want 3", s.Iters)
+	}
+	if s.Dropped != 0 {
+		t.Errorf("Dropped = %d", s.Dropped)
+	}
+	for _, ph := range []Phase{ComputeForward, ComputeBackward, CollectiveWait} {
+		if s.PhaseNS[ph.String()] <= 0 {
+			t.Errorf("PhaseNS[%s] = %d, want > 0", ph, s.PhaseNS[ph.String()])
+		}
+	}
+	if s.AsyncNS <= 0 {
+		t.Errorf("AsyncNS = %d, want > 0", s.AsyncNS)
+	}
+	if s.AuxNS[CheckpointPut.String()] <= 0 {
+		t.Errorf("AuxNS[checkpoint-put] = %d, want > 0", s.AuxNS[CheckpointPut.String()])
+	}
+	if s.PhaseNS[CheckpointPut.String()] != 0 {
+		t.Errorf("aux time leaked into PhaseNS: %d", s.PhaseNS[CheckpointPut.String()])
+	}
+	// Spans are emitted back-to-back by Begin, so each PE track tiles
+	// its own extent exactly.
+	if s.Coverage < 0.999 {
+		t.Errorf("Coverage = %v, want ≈ 1 for tiled tracks", s.Coverage)
+	}
+	if s.BusyNS() <= 0 || s.ComputeNS() <= 0 || s.CommNS() <= 0 {
+		t.Errorf("aggregate helpers: busy=%d compute=%d comm=%d", s.BusyNS(), s.ComputeNS(), s.CommNS())
+	}
+	if s.WallNS <= 0 {
+		t.Errorf("WallNS = %d", s.WallNS)
+	}
+}
+
+// TestWriteChrome checks the export is valid trace_event JSON: object
+// form, metadata + X + b/e events, µs timestamps, and the embedded
+// summary under "paradl".
+func TestWriteChrome(t *testing.T) {
+	r := NewRecorder()
+	pe := r.PE(0)
+	pe.Iter(0)
+	pe.Begin(ComputeForward)
+	tok := pe.Flight()
+	time.Sleep(time.Millisecond)
+	pe.Begin(CollectiveWait)
+	pe.Land(tok)
+	pe.End()
+	r.Track("supervisor").Begin(Recovery)
+	r.Track("supervisor").End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			ID   int     `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+		Paradl          Summary `json:"paradl"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	counts := map[string]int{}
+	tids := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+		if e.Ph == "M" && e.Name == "thread_name" {
+			tids[e.Name]++
+		}
+	}
+	if counts["M"] < 3 { // process_name + 2 thread_names
+		t.Errorf("metadata events = %d, want ≥ 3", counts["M"])
+	}
+	if counts["X"] != 3 { // 2 PE sync spans + 1 supervisor span
+		t.Errorf("X events = %d, want 3", counts["X"])
+	}
+	if counts["b"] != 1 || counts["e"] != 1 {
+		t.Errorf("async pair = b:%d e:%d, want 1/1", counts["b"], counts["e"])
+	}
+	if doc.Paradl.Events != r.Summarize().Events {
+		t.Errorf("embedded summary events = %d, want %d", doc.Paradl.Events, r.Summarize().Events)
+	}
+	// The 1 ms sleep must show up as ≥ 1000 µs somewhere.
+	var maxDur float64
+	for _, e := range doc.TraceEvents {
+		if e.Dur > maxDur {
+			maxDur = e.Dur
+		}
+	}
+	if maxDur < 1000 {
+		t.Errorf("timestamps not in microseconds? max dur = %v", maxDur)
+	}
+}
+
+// TestAuxTrackIdentity checks aux tracks get ids that cannot collide
+// with PE ranks and keep their registered identity.
+func TestAuxTrackIdentity(t *testing.T) {
+	r := NewRecorder()
+	r.PE(0).Begin(ComputeForward)
+	r.PE(0).End()
+	a := r.Track("writer")
+	if a2 := r.Track("writer"); a2 != a {
+		t.Error("Track is not idempotent per name")
+	}
+	b := r.Track("supervisor")
+	a.Begin(CheckpointPut)
+	a.End()
+	b.Begin(Recovery)
+	b.End()
+	for _, e := range r.Events() {
+		if e.Phase == CheckpointPut || e.Phase == Recovery {
+			if e.Track >= 0 {
+				t.Errorf("aux event carries PE-range track id %d", e.Track)
+			}
+		}
+	}
+	labels, tids := r.trackLabels()
+	if labels[0] != "PE 0" || tids[0] != 0 {
+		t.Errorf("PE label/tid wrong: %q %d", labels[0], tids[0])
+	}
+	if labels[a.id] != "writer" || labels[b.id] != "supervisor" {
+		t.Errorf("aux labels wrong: %v", labels)
+	}
+	if tids[a.id] == tids[b.id] || tids[a.id] == 0 {
+		t.Errorf("aux tids collide: %v", tids)
+	}
+}
+
+// TestDisabledAllocs pins the disabled fast path: zero allocations for
+// the full per-iteration call pattern on a nil tracer.
+func TestDisabledAllocs(t *testing.T) {
+	var r *Recorder
+	pe := r.PE(3)
+	allocs := testing.AllocsPerRun(1000, func() {
+		pe.Iter(7)
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward)
+		tok := pe.Flight()
+		pe.Begin(CollectiveWait)
+		pe.Land(tok)
+		pe.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestEnabledSteadyStateAllocs pins the enabled hot path: once the ring
+// is warm (appends stop growing it), recording allocates nothing.
+func TestEnabledSteadyStateAllocs(t *testing.T) {
+	r := NewRecorderCap(64)
+	pe := r.PE(0)
+	for i := 0; i < 128; i++ { // wrap the ring: all further puts overwrite
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pe.Iter(7)
+		pe.Begin(ComputeForward)
+		tok := pe.Flight()
+		pe.Begin(ComputeBackward)
+		pe.Land(tok)
+		pe.Begin(CollectiveWait)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled steady-state recording allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkTracerDisabled / BenchmarkTracerEnabled are the A/B pair
+// pinning the disabled-path cost. TestDisabledOverheadBound turns the
+// same A/B into a hard test bound.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var r *Recorder
+	pe := r.PE(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pe.Iter(i)
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward)
+		pe.End()
+	}
+}
+
+func BenchmarkTracerEnabled(b *testing.B) {
+	r := NewRecorderCap(1 << 10)
+	pe := r.PE(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pe.Iter(i)
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward)
+		pe.End()
+	}
+}
+
+// TestDisabledOverheadBound bounds the absolute cost of the disabled
+// tracer: the full per-iteration call pattern (≈ a dozen calls) must
+// cost well under a microsecond, which against the ≥ 100 µs toy
+// iterations measured by the engine tests is far below the 1% overhead
+// budget the issue pins. An absolute bound is used rather than a
+// noisy measured-iteration ratio; the engines' A/B (traced vs not)
+// loss bit-identity is checked in internal/dist.
+func TestDisabledOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing bound")
+	}
+	var r *Recorder
+	pe := r.PE(0)
+	const rounds = 200_000
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		pe.Iter(i)
+		pe.Begin(ComputeForward)
+		pe.Begin(ComputeBackward)
+		tok := pe.Flight()
+		pe.Begin(CollectiveWait)
+		pe.Land(tok)
+		pe.End()
+	}
+	perRound := time.Since(start) / rounds
+	// Seven nil-receiver calls; generous bound (plain runs measure ~5 ns).
+	if perRound > 2*time.Microsecond {
+		t.Errorf("disabled tracer costs %v per iteration pattern, want ≤ 2µs", perRound)
+	}
+}
